@@ -1,0 +1,128 @@
+// Command gssr-client is the mobile client of the reproduction (the
+// Moonlight analogue): it connects to gssr-server, announces its
+// capability-probed RoI window, receives frame+RoI packets, decodes them
+// and performs the RoI-assisted upscale (DNN SR on the RoI, bilinear
+// elsewhere, merged), reporting per-frame statistics.
+//
+// Usage:
+//
+//	gssr-client [-addr localhost:7007] [-device s8] [-scale 2] [-save out.ppm]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"time"
+
+	"gamestreamsr/internal/codec"
+	"gamestreamsr/internal/device"
+	"gamestreamsr/internal/frame"
+	"gamestreamsr/internal/sr"
+	"gamestreamsr/internal/stream"
+	"gamestreamsr/internal/upscale"
+)
+
+func main() {
+	addr := flag.String("addr", "localhost:7007", "server address")
+	devName := flag.String("device", "s8", "device profile (s8 or pixel)")
+	scale := flag.Int("scale", 2, "upscale factor")
+	save := flag.String("save", "", "save the last upscaled frame to this PPM path")
+	flag.Parse()
+
+	if err := run(*addr, *devName, *scale, *save); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(addr, devName string, scale int, save string) error {
+	dev, err := device.ProfileByName(devName)
+	if err != nil {
+		return err
+	}
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+
+	c := stream.NewClient(conn)
+	// Step ❶ of Fig. 6: the capability probe determines the largest RoI the
+	// NPU can super-resolve in real time; it is announced in the Hello. For
+	// the small demo streams we also clamp to a fraction of the frame.
+	roiWin := dev.MaxRoIWindow(device.RealTimeDeadline)
+	cfg, err := c.Handshake(stream.Hello{Device: dev.Name, RoIWindow: min(roiWin, 64), Scale: scale})
+	if err != nil {
+		return err
+	}
+	log.Printf("stream: %dx%d, GOP %d, q %d", cfg.Width, cfg.Height, cfg.GOPSize, cfg.QStep)
+
+	dec := codec.NewDecoder()
+	engine := sr.NewFast(sr.FastConfig{})
+	var lastUp *frame.Image
+	frames, bytes := 0, 0
+	start := time.Now()
+
+	// Send a few demo input events (the interactive path).
+	for i := 0; i < 3; i++ {
+		if err := c.SendInput(stream.InputPacket{Seq: uint32(i), Payload: []byte("move-forward")}); err != nil {
+			return err
+		}
+	}
+
+	for {
+		pkt, err := c.RecvFrame()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		df, err := dec.Decode(pkt.Payload)
+		if err != nil {
+			return fmt.Errorf("frame %d: %w", pkt.Index, err)
+		}
+		// RoI-assisted upscale (Fig. 9).
+		base, err := upscale.Resize(df.Image, df.Image.W*scale, df.Image.H*scale, upscale.Bilinear)
+		if err != nil {
+			return err
+		}
+		roiRect := pkt.RoI.Clamp(df.Image.W, df.Image.H)
+		roiImg, err := df.Image.SubImage(roiRect.X, roiRect.Y, roiRect.W, roiRect.H)
+		if err != nil {
+			return err
+		}
+		hr, err := engine.Upscale(roiImg.Compact(), scale)
+		if err != nil {
+			return err
+		}
+		if err := upscale.Merge(base, hr, roiRect, scale); err != nil {
+			return err
+		}
+		lastUp = base
+		frames++
+		bytes += len(pkt.Payload)
+		if pkt.Keyenc {
+			log.Printf("frame %d (reference): %d B, RoI %v", pkt.Index, len(pkt.Payload), pkt.RoI)
+		}
+	}
+	elapsed := time.Since(start)
+	log.Printf("received %d frames, %.1f KB total, %.1f FPS wall-clock",
+		frames, float64(bytes)/1024, float64(frames)/elapsed.Seconds())
+	if save != "" && lastUp != nil {
+		if err := lastUp.SavePPM(save); err != nil {
+			return err
+		}
+		log.Printf("last upscaled frame saved to %s", save)
+	}
+	return nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,100 @@
+// Command gssr-server is the cloud-gaming host of the reproduction (the
+// Sunshine analogue): it renders a game workload, runs depth-guided RoI
+// detection on every frame, encodes it with the block codec and streams
+// frame+RoI packets to one client over TCP.
+//
+// Usage:
+//
+//	gssr-server [-addr :7007] [-game G3] [-frames 120] [-w 320] [-h 180] [-gop 12]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+
+	"gamestreamsr/internal/codec"
+	"gamestreamsr/internal/frame"
+	"gamestreamsr/internal/games"
+	"gamestreamsr/internal/render"
+	"gamestreamsr/internal/roi"
+	"gamestreamsr/internal/stream"
+)
+
+func main() {
+	addr := flag.String("addr", ":7007", "listen address")
+	gameID := flag.String("game", "G3", "workload id (G1..G10)")
+	frames := flag.Int("frames", 120, "frames to stream")
+	width := flag.Int("w", 320, "stream width")
+	height := flag.Int("h", 180, "stream height")
+	gop := flag.Int("gop", 12, "keyframe interval")
+	qstep := flag.Int("q", 6, "codec quantizer")
+	flag.Parse()
+
+	if err := run(*addr, *gameID, *frames, *width, *height, *gop, *qstep); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(addr, gameID string, frames, width, height, gop, qstep int) error {
+	g, err := games.ByID(gameID)
+	if err != nil {
+		return err
+	}
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	defer l.Close()
+	log.Printf("serving %s (%d frames at %dx%d) on %s", g, frames, width, height, l.Addr())
+
+	// Each client gets its own encoder + RoI detector sized to the RoI
+	// window its Hello announced (Fig. 6 step ❶); sessions run
+	// concurrently.
+	srv := &stream.MultiServer{
+		Accept:    stream.Accept{Width: width, Height: height, GOPSize: gop, QStep: qstep},
+		MaxFrames: frames,
+		OnInput: func(remote string, in stream.InputPacket) {
+			log.Printf("input from %s #%d: %q", remote, in.Seq, in.Payload)
+		},
+		NewSource: func(h stream.Hello) (stream.FrameSource, error) {
+			if h.RoIWindow < 8 || h.RoIWindow > width || h.RoIWindow > height {
+				return nil, fmt.Errorf("RoI window %d unusable for a %dx%d stream", h.RoIWindow, width, height)
+			}
+			det, err := roi.New(roi.Config{WindowW: h.RoIWindow, WindowH: h.RoIWindow})
+			if err != nil {
+				return nil, err
+			}
+			enc, err := codec.NewEncoder(codec.Config{Width: width, Height: height, GOPSize: gop, QStep: qstep})
+			if err != nil {
+				return nil, err
+			}
+			log.Printf("hello from %q: RoI window %d, scale %d", h.Device, h.RoIWindow, h.Scale)
+			return &gameSource{game: g, enc: enc, det: det, rd: &render.Renderer{}, w: width, h: height}, nil
+		},
+	}
+	return srv.Serve(l)
+}
+
+// gameSource renders, detects and encodes frames on demand.
+type gameSource struct {
+	game *games.Workload
+	enc  *codec.Encoder
+	det  *roi.Detector
+	rd   *render.Renderer
+	w, h int
+}
+
+func (s *gameSource) NextFrame(i int) ([]byte, bool, frame.Rect, error) {
+	out := s.game.Render(s.rd, i, s.w, s.h)
+	rect, err := s.det.Detect(out.Depth)
+	if err != nil {
+		return nil, false, frame.Rect{}, err
+	}
+	data, ftype, err := s.enc.Encode(out.Color)
+	if err != nil {
+		return nil, false, frame.Rect{}, err
+	}
+	return data, ftype == codec.Intra, rect, nil
+}

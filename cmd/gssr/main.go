@@ -1,0 +1,340 @@
+// Command gssr is the GameStreamSR experiment harness: it regenerates the
+// paper's tables and figures, renders scene previews and dumps RoI-detection
+// visualisations.
+//
+// Usage:
+//
+//	gssr list                          list available experiments
+//	gssr run <id> [flags]              run one experiment (or "all")
+//	gssr sim [flags]                   run a pipeline; -json archives the result
+//	gssr report <out.md> [flags]       regenerate every experiment into Markdown
+//	gssr render <game> <frame> <out>   render a game frame to PPM (+depth PGM)
+//	gssr roi <game> <frame> <out-dir>  dump RoI detection stages as PGM/PPM
+//
+// Flags for run:
+//
+//	-simdiv N    pixel-simulation divisor (default 8; 4 = slower, finer)
+//	-gop N       simulated GOP size (default 12)
+//	-frames N    frames per pipeline run (default GOP size)
+//	-games LIST  comma-separated game ids (default all ten)
+//	-out DIR     output directory for image dumps (fig8)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	gssr "gamestreamsr"
+	"gamestreamsr/internal/experiments"
+	"gamestreamsr/internal/frame"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "gssr:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		usage()
+		return fmt.Errorf("missing command")
+	}
+	switch args[0] {
+	case "list":
+		return cmdList()
+	case "run":
+		return cmdRun(args[1:])
+	case "render":
+		return cmdRender(args[1:])
+	case "roi":
+		return cmdRoI(args[1:])
+	case "sim":
+		return cmdSim(args[1:])
+	case "report":
+		return cmdReport(args[1:])
+	case "help", "-h", "--help":
+		usage()
+		return nil
+	default:
+		usage()
+		return fmt.Errorf("unknown command %q", args[0])
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  gssr list
+  gssr run <experiment-id|all> [-simdiv N] [-gop N] [-frames N] [-games G1,G3] [-out DIR]
+  gssr sim [-game G3] [-device s8] [-pipeline ours|nemo|srdec] [-frames N] [-gop N] [-simdiv N] [-json out.json]
+  gssr report <out.md> [-simdiv N] [-gop N] [-games G1,G3]
+  gssr render <game> <frame> <out.ppm>
+  gssr roi <game> <frame> <out-dir>`)
+}
+
+func cmdList() error {
+	for _, id := range experiments.IDs() {
+		title, err := experiments.Title(id)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-8s %s\n", id, title)
+	}
+	return nil
+}
+
+func cmdRun(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("run: missing experiment id (try `gssr list`)")
+	}
+	id := args[0]
+	fs := flag.NewFlagSet("run", flag.ContinueOnError)
+	simdiv := fs.Int("simdiv", 8, "pixel-simulation divisor")
+	gop := fs.Int("gop", 12, "simulated GOP size")
+	frames := fs.Int("frames", 0, "frames per run (default GOP size)")
+	gamesFlag := fs.String("games", "", "comma-separated game ids")
+	out := fs.String("out", "", "output directory for image dumps")
+	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+	opt := experiments.Options{
+		SimDiv:  *simdiv,
+		GOPSize: *gop,
+		Frames:  *frames,
+		OutDir:  *out,
+	}
+	if *gamesFlag != "" {
+		opt.GameIDs = strings.Split(*gamesFlag, ",")
+	}
+	if id == "all" {
+		return experiments.RunAll(os.Stdout, opt)
+	}
+	return experiments.Run(id, os.Stdout, opt)
+}
+
+func cmdRender(args []string) error {
+	if len(args) != 3 {
+		return fmt.Errorf("render: want <game> <frame> <out.ppm>")
+	}
+	g, err := gssr.GameByID(args[0])
+	if err != nil {
+		return err
+	}
+	var fi int
+	if _, err := fmt.Sscanf(args[1], "%d", &fi); err != nil {
+		return fmt.Errorf("render: bad frame index %q", args[1])
+	}
+	out := g.Render(&gssr.Renderer{}, fi, 640, 360)
+	if err := out.Color.SavePPM(args[2]); err != nil {
+		return err
+	}
+	depthPath := strings.TrimSuffix(args[2], filepath.Ext(args[2])) + "_depth.pgm"
+	if err := out.Depth.SavePGM(depthPath); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s and %s\n", args[2], depthPath)
+	return nil
+}
+
+func cmdRoI(args []string) error {
+	if len(args) != 3 {
+		return fmt.Errorf("roi: want <game> <frame> <out-dir>")
+	}
+	g, err := gssr.GameByID(args[0])
+	if err != nil {
+		return err
+	}
+	var fi int
+	if _, err := fmt.Sscanf(args[1], "%d", &fi); err != nil {
+		return fmt.Errorf("roi: bad frame index %q", args[1])
+	}
+	dir := args[2]
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	out := g.Render(&gssr.Renderer{}, fi, 320, 180)
+	det, err := gssr.NewRoIDetector(gssr.RoIConfig{WindowW: 72, WindowH: 72})
+	if err != nil {
+		return err
+	}
+	rect, dbg, err := det.DetectDebug(out.Depth)
+	if err != nil {
+		return err
+	}
+	// Color frame with the RoI box burned in.
+	marked := out.Color.Clone()
+	drawBox(marked, rect)
+	if err := marked.SavePPM(filepath.Join(dir, "frame_roi.ppm")); err != nil {
+		return err
+	}
+	if err := out.Depth.SavePGM(filepath.Join(dir, "depth.pgm")); err != nil {
+		return err
+	}
+	for _, st := range []struct {
+		name  string
+		plane []float64
+	}{
+		{"nearness", dbg.Nearness}, {"foreground", dbg.Foreground},
+		{"weighted", dbg.Weighted}, {"selected_layer", dbg.SearchMap},
+	} {
+		f, err := os.Create(filepath.Join(dir, st.name+".pgm"))
+		if err != nil {
+			return err
+		}
+		if err := frame.WriteGrayPGM(f, st.plane, dbg.W, dbg.H); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("%s frame %d: RoI %v (threshold %.3f, layer %d/%d)\n",
+		g.ID, fi, rect, dbg.Threshold, dbg.Selected, len(dbg.LayerSums))
+	fmt.Printf("stage images written to %s\n", dir)
+	return nil
+}
+
+// cmdReport regenerates every experiment and writes a Markdown report with
+// one fenced section per table/figure — a machine-produced companion to
+// EXPERIMENTS.md.
+func cmdReport(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("report: missing output path")
+	}
+	path := args[0]
+	fs := flag.NewFlagSet("report", flag.ContinueOnError)
+	simdiv := fs.Int("simdiv", 8, "pixel-simulation divisor")
+	gop := fs.Int("gop", 12, "simulated GOP size")
+	gamesFlag := fs.String("games", "", "comma-separated game ids")
+	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+	opt := experiments.Options{SimDiv: *simdiv, GOPSize: *gop}
+	if *gamesFlag != "" {
+		opt.GameIDs = strings.Split(*gamesFlag, ",")
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	fmt.Fprintf(f, "# GameStreamSR — generated results\n\n")
+	fmt.Fprintf(f, "Produced by `gssr report` (simdiv %d, GOP %d). Deterministic:\n", *simdiv, *gop)
+	fmt.Fprintf(f, "identical invocations reproduce identical numbers.\n\n")
+	for _, id := range experiments.IDs() {
+		title, err := experiments.Title(id)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(f, "## %s — %s\n\n```\n", id, title)
+		if err := experiments.Run(id, f, opt); err != nil {
+			return fmt.Errorf("report: %s: %w", id, err)
+		}
+		fmt.Fprintf(f, "```\n\n")
+	}
+	fmt.Printf("report written to %s\n", path)
+	return nil
+}
+
+// cmdSim runs one pipeline end to end and prints a summary; -json archives
+// the full per-frame result.
+func cmdSim(args []string) error {
+	fs := flag.NewFlagSet("sim", flag.ContinueOnError)
+	gameID := fs.String("game", "G3", "workload id")
+	devName := fs.String("device", "s8", "client device (s8 or pixel)")
+	pipe := fs.String("pipeline", "ours", "pipeline: ours, nemo or srdec")
+	frames := fs.Int("frames", 12, "frames to stream")
+	gop := fs.Int("gop", 12, "GOP size")
+	simdiv := fs.Int("simdiv", 8, "pixel-simulation divisor")
+	jsonPath := fs.String("json", "", "write the full result as JSON to this path")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	g, err := gssr.GameByID(*gameID)
+	if err != nil {
+		return err
+	}
+	dev, err := gssr.DeviceByName(*devName)
+	if err != nil {
+		return err
+	}
+	cfg := gssr.Config{Game: g, Device: dev, SimDiv: *simdiv, GOPSize: *gop}
+	var res *gssr.Result
+	switch *pipe {
+	case "ours":
+		s, err := gssr.NewSession(cfg)
+		if err != nil {
+			return err
+		}
+		res, err = s.Run(*frames)
+		if err != nil {
+			return err
+		}
+	case "nemo":
+		s, err := gssr.NewNEMOSession(cfg)
+		if err != nil {
+			return err
+		}
+		res, err = s.Run(*frames)
+		if err != nil {
+			return err
+		}
+	case "srdec":
+		s, err := gssr.NewSRDecoderSession(cfg, gssr.Bicubic)
+		if err != nil {
+			return err
+		}
+		res, err = s.Run(*frames)
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("sim: unknown pipeline %q (want ours, nemo or srdec)", *pipe)
+	}
+	psnr, _ := res.MeanPSNR()
+	mtp, _ := res.MeanMTP(gssr.ReferenceFrame)
+	energy, _ := res.GOPEnergyTotal(*gop)
+	fmt.Printf("%s on %s via %s: %d frames, mean PSNR %.2f dB, ref MTP %.1f ms, %.2f J/GOP\n",
+		g.ID, dev.Name, res.Pipeline, len(res.Frames), psnr,
+		float64(mtp)/1e6, energy)
+	if *jsonPath != "" {
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			return err
+		}
+		if err := res.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("result archived to %s\n", *jsonPath)
+	}
+	return nil
+}
+
+// drawBox burns a 1-px red rectangle outline into im.
+func drawBox(im *gssr.Image, r gssr.Rect) {
+	for x := r.X; x < r.X+r.W && x < im.W; x++ {
+		if r.Y >= 0 && r.Y < im.H {
+			im.Set(x, r.Y, 255, 30, 30)
+		}
+		if y := r.Y + r.H - 1; y >= 0 && y < im.H {
+			im.Set(x, y, 255, 30, 30)
+		}
+	}
+	for y := r.Y; y < r.Y+r.H && y < im.H; y++ {
+		if r.X >= 0 && r.X < im.W {
+			im.Set(r.X, y, 255, 30, 30)
+		}
+		if x := r.X + r.W - 1; x >= 0 && x < im.W {
+			im.Set(x, y, 255, 30, 30)
+		}
+	}
+}

@@ -1,0 +1,63 @@
+package gamestreamsr_test
+
+import (
+	"fmt"
+	"log"
+
+	gssr "gamestreamsr"
+)
+
+// Example streams one simulated GOP through the GameStreamSR pipeline and
+// reports whether the RoI upscale met the 60 FPS budget.
+func Example() {
+	session, err := gssr.NewSession(gssr.Config{SimDiv: 8, GOPSize: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	result, err := session.Run(4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, f := range result.Frames[:1] {
+		fmt.Println("meets 60 FPS:", f.Stages.Upscale <= gssr.RealTimeDeadline)
+	}
+	// Output:
+	// meets 60 FPS: true
+}
+
+// ExampleNewRoIDetector runs depth-guided RoI detection on a rendered game
+// frame — the paper's server-side step.
+func ExampleNewRoIDetector() {
+	game, _ := gssr.GameByID("G3")
+	out := game.Render(&gssr.Renderer{}, 30, 160, 90)
+	det, _ := gssr.NewRoIDetector(gssr.RoIConfig{WindowW: 36, WindowH: 36})
+	rect, _ := det.Detect(out.Depth)
+	fmt.Println("RoI size:", rect.W, "x", rect.H, "inside frame:", rect.In(160, 90))
+	// Output:
+	// RoI size: 36 x 36 inside frame: true
+}
+
+// ExampleDeviceProfile_MaxRoIWindow shows the §IV-B1 capability probe: the
+// largest RoI the Tab S8's NPU can super-resolve within 16.66 ms.
+func ExampleDeviceProfile_MaxRoIWindow() {
+	dev, _ := gssr.DeviceByName("s8")
+	fmt.Println(dev.MaxRoIWindow(gssr.RealTimeDeadline))
+	// Output:
+	// 304
+}
+
+// ExampleMergeRoI composites a DNN-upscaled RoI into a bilinearly upscaled
+// frame — the client-side merge of the paper's Fig. 9.
+func ExampleMergeRoI() {
+	game, _ := gssr.GameByID("G1")
+	lr := game.Render(&gssr.Renderer{}, 0, 160, 90)
+	roi := gssr.Rect{X: 60, Y: 30, W: 40, H: 40}
+
+	base, _ := gssr.Resize(lr.Color, 320, 180, gssr.Bilinear)
+	patch := lr.Color.MustSubImage(roi.X, roi.Y, roi.W, roi.H).Compact()
+	hr, _ := gssr.NewFastSR().Upscale(patch, 2)
+	err := gssr.MergeRoI(base, hr, roi, 2)
+	fmt.Println("merged:", err == nil, "frame:", base.W, "x", base.H)
+	// Output:
+	// merged: true frame: 320 x 180
+}

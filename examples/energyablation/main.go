@@ -1,0 +1,104 @@
+// Energy ablation: where does the client's energy go, and what would the
+// alternatives cost? Reproduces the reasoning behind the paper's Fig. 12
+// and the §III-A eye-tracking rejection: per-rail breakdown for our design
+// vs the SOTA on both devices, plus the camera-based gaze-tracking power
+// that depth-guided RoI detection avoids.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	gssr "gamestreamsr"
+)
+
+func main() {
+	game, err := gssr.GameByID("G3")
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, dev := range gssr.Devices() {
+		cfg := gssr.Config{Game: game, Device: dev, SimDiv: 8, GOPSize: 8}
+
+		ours, err := gssr.NewSession(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		oursRes, err := ours.Run(8)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sota, err := gssr.NewNEMOSession(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sotaRes, err := sota.Run(8)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		oursGOP, err := oursRes.GOPEnergy(60)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sotaGOP, err := sotaRes.GOPEnergy(60)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("=== %s (per 60-frame GOP ≈ 1 s of gameplay) ===\n", dev.Name)
+		printBreakdown("GameStreamSR", oursGOP)
+		printBreakdown("NEMO (SOTA)", sotaGOP)
+		oursTotal := total(oursGOP)
+		sotaTotal := total(sotaGOP)
+		fmt.Printf("saving: %.1f%%\n", (1-oursTotal/sotaTotal)*100)
+
+		// What camera-based eye tracking would add instead of depth-guided
+		// RoI detection (which is free at the server).
+		camera := dev.Power[rail("camera", dev)] // watts, continuous
+		fmt.Printf("camera eye-tracking alternative: +%.1f W continuous = +%.1f J per GOP (+%.0f%% on our design)\n",
+			camera, camera, camera/oursTotal*100)
+
+		// Battery projection: a 60-frame GOP ≈ 1 s of gameplay, so J/GOP ≈
+		// pipeline watts.
+		fmt.Printf("projected gameplay: %.1f h (ours) vs %.1f h (SOTA) on a %.0f Wh battery\n\n",
+			dev.GameplayHours(oursTotal), dev.GameplayHours(sotaTotal), dev.BatteryWh)
+	}
+}
+
+func printBreakdown(name string, m map[gssr.EnergyRail]float64) {
+	t := total(m)
+	type kv struct {
+		r gssr.EnergyRail
+		j float64
+	}
+	var rows []kv
+	for r, j := range m {
+		rows = append(rows, kv{r, j})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].j > rows[j].j })
+	fmt.Printf("%-14s total %.2f J:", name, t)
+	for _, row := range rows {
+		fmt.Printf("  %v %.0f%%", row.r, row.j/t*100)
+	}
+	fmt.Println()
+}
+
+func total(m map[gssr.EnergyRail]float64) float64 {
+	t := 0.0
+	for _, j := range m {
+		t += j
+	}
+	return t
+}
+
+// rail finds a rail by name on the device (the facade exposes rails as
+// values on the profile's Power array).
+func rail(name string, dev *gssr.DeviceProfile) gssr.EnergyRail {
+	for r := gssr.EnergyRail(0); int(r) < len(dev.Power); r++ {
+		if r.String() == name {
+			return r
+		}
+	}
+	return 0
+}

@@ -1,0 +1,113 @@
+// Head-to-head simulation: stream the same game through GameStreamSR, the
+// NEMO baseline (SOTA) and the §VI SR-integrated decoder prototype, and
+// compare frame rate, motion-to-photon latency, energy and quality — the
+// comparison behind the paper's Figs. 10–15.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	gssr "gamestreamsr"
+)
+
+func main() {
+	gameID := flag.String("game", "G10", "workload (G1..G10)")
+	devName := flag.String("device", "pixel", "client device (s8 or pixel)")
+	gop := flag.Int("gop", 12, "simulated GOP size")
+	flag.Parse()
+
+	game, err := gssr.GameByID(*gameID)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dev, err := gssr.DeviceByName(*devName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := gssr.Config{Game: game, Device: dev, SimDiv: 8, GOPSize: *gop}
+
+	ours, err := gssr.NewSession(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	oursRes, err := ours.Run(*gop)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	sota, err := gssr.NewNEMOSession(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sotaRes, err := sota.Run(*gop)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	future, err := gssr.NewSRDecoderSession(cfg, gssr.Bicubic)
+	if err != nil {
+		log.Fatal(err)
+	}
+	futureRes, err := future.Run(*gop)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%s on %s, GOP %d\n\n", game, dev.Name, *gop)
+	fmt.Printf("%-24s %14s %14s %14s\n", "metric", "GameStreamSR", "NEMO (SOTA)", "SR-int decoder")
+	row := func(name string, f func(r *gssr.Result) string) {
+		fmt.Printf("%-24s %14s %14s %14s\n", name, f(oursRes), f(sotaRes), f(futureRes))
+	}
+	row("ref upscale (ms)", func(r *gssr.Result) string {
+		d, err := r.MeanUpscale(gssr.ReferenceFrame)
+		if err != nil {
+			return "-"
+		}
+		return fmt.Sprintf("%.1f", float64(d)/float64(time.Millisecond))
+	})
+	row("non-ref upscale (ms)", func(r *gssr.Result) string {
+		d, err := r.MeanUpscale(gssr.NonReferenceFrame)
+		if err != nil {
+			return "-"
+		}
+		return fmt.Sprintf("%.1f", float64(d)/float64(time.Millisecond))
+	})
+	row("ref MTP (ms)", func(r *gssr.Result) string {
+		d, err := r.MeanMTP(gssr.ReferenceFrame)
+		if err != nil {
+			return "-"
+		}
+		return fmt.Sprintf("%.1f", float64(d)/float64(time.Millisecond))
+	})
+	row("energy (J / 60-GOP)", func(r *gssr.Result) string {
+		j, err := r.GOPEnergyTotal(60)
+		if err != nil {
+			return "-"
+		}
+		return fmt.Sprintf("%.2f", j)
+	})
+	row("mean PSNR (dB)", func(r *gssr.Result) string {
+		p, err := r.MeanPSNR()
+		if err != nil {
+			return "-"
+		}
+		return fmt.Sprintf("%.2f", p)
+	})
+	row("mean LPIPS (proxy)", func(r *gssr.Result) string {
+		p, err := r.MeanLPIPS()
+		if err != nil {
+			return "-"
+		}
+		return fmt.Sprintf("%.3f", p)
+	})
+
+	oursRef, _ := oursRes.MeanUpscale(gssr.ReferenceFrame)
+	sotaRef, _ := sotaRes.MeanUpscale(gssr.ReferenceFrame)
+	oursE, _ := oursRes.GOPEnergyTotal(60)
+	sotaE, _ := sotaRes.GOPEnergyTotal(60)
+	fmt.Printf("\nreference-frame speedup: %.1fx, energy saving: %.1f%%\n",
+		float64(sotaRef)/float64(oursRef), (1-oursE/sotaE)*100)
+}

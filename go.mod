@@ -1,0 +1,3 @@
+module gamestreamsr
+
+go 1.22

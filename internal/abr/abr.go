@@ -1,0 +1,150 @@
+// Package abr implements adaptive bitrate control for the game stream.
+// The paper's motivation (§II-A, study [8]) is that mobile links cannot
+// sustain a 2K stream; GameStreamSR's answer is a fixed 720p rung plus
+// client-side SR. A deployment still needs a ladder below 720p for when
+// even that rung exceeds the channel — the role this controller plays,
+// with the standard throughput-based scheme: an EWMA estimator, immediate
+// down-switching when the safe throughput falls below the current rung,
+// and hysteretic up-switching only after sustained headroom (rapid
+// up-switches oscillate; rapid down-switches prevent stalls).
+package abr
+
+import (
+	"fmt"
+
+	"gamestreamsr/internal/pipeline"
+)
+
+// Rung is one resolution/bitrate step of the ladder.
+type Rung struct {
+	// Name of the rung ("720p").
+	Name string
+	// W, H is the encoded resolution.
+	W, H int
+	// Mbps is the rung's stream bitrate.
+	Mbps float64
+}
+
+// DefaultLadder returns the streaming ladder below and at the paper's 720p
+// operating point, with bitrates from the same model that calibrates the
+// pipeline (pipeline.BitrateMbps).
+func DefaultLadder() []Rung {
+	mk := func(name string, w, h int) Rung {
+		return Rung{Name: name, W: w, H: h, Mbps: pipeline.BitrateMbps(w * h)}
+	}
+	return []Rung{
+		mk("360p", 640, 360),
+		mk("480p", 854, 480),
+		mk("540p", 960, 540),
+		mk("720p", 1280, 720),
+	}
+}
+
+// Config tunes the controller.
+type Config struct {
+	// Ladder must be ordered from lowest to highest bitrate
+	// (default DefaultLadder).
+	Ladder []Rung
+	// Safety is the fraction of estimated throughput the stream may
+	// consume (default 0.8).
+	Safety float64
+	// EWMA is the throughput estimator's smoothing factor in (0, 1]
+	// (default 0.3; higher reacts faster).
+	EWMA float64
+	// UpStreak is how many consecutive samples must clear the next rung
+	// before switching up (default 5 ≈ 5 s at one sample per second).
+	UpStreak int
+}
+
+func (c Config) withDefaults() Config {
+	if len(c.Ladder) == 0 {
+		c.Ladder = DefaultLadder()
+	}
+	if c.Safety <= 0 || c.Safety > 1 {
+		c.Safety = 0.8
+	}
+	if c.EWMA <= 0 || c.EWMA > 1 {
+		c.EWMA = 0.3
+	}
+	if c.UpStreak <= 0 {
+		c.UpStreak = 5
+	}
+	return c
+}
+
+// Controller picks ladder rungs from throughput observations.
+type Controller struct {
+	cfg     Config
+	idx     int
+	est     float64
+	started bool
+	streak  int
+}
+
+// New validates the ladder and builds a controller starting at the highest
+// rung the first observation will correct downward if needed.
+func New(cfg Config) (*Controller, error) {
+	cfg = cfg.withDefaults()
+	for i, r := range cfg.Ladder {
+		if r.W <= 0 || r.H <= 0 || r.Mbps <= 0 {
+			return nil, fmt.Errorf("abr: invalid rung %d: %+v", i, r)
+		}
+		if i > 0 && r.Mbps <= cfg.Ladder[i-1].Mbps {
+			return nil, fmt.Errorf("abr: ladder not ascending at rung %d", i)
+		}
+	}
+	return &Controller{cfg: cfg, idx: len(cfg.Ladder) - 1}, nil
+}
+
+// Rung returns the currently selected rung.
+func (c *Controller) Rung() Rung { return c.cfg.Ladder[c.idx] }
+
+// Throughput returns the current smoothed estimate in Mbps.
+func (c *Controller) Throughput() float64 { return c.est }
+
+// Observe feeds one throughput sample (Mbps) and returns the rung for the
+// next interval.
+func (c *Controller) Observe(throughputMbps float64) Rung {
+	if throughputMbps < 0 {
+		throughputMbps = 0
+	}
+	if !c.started {
+		c.est = throughputMbps
+		c.started = true
+	} else {
+		c.est += c.cfg.EWMA * (throughputMbps - c.est)
+	}
+	safe := c.est * c.cfg.Safety
+
+	// Down-switch immediately to the highest rung that fits.
+	if safe < c.cfg.Ladder[c.idx].Mbps {
+		for c.idx > 0 && safe < c.cfg.Ladder[c.idx].Mbps {
+			c.idx--
+		}
+		c.streak = 0
+		return c.Rung()
+	}
+	// Up-switch only after sustained headroom over the next rung.
+	if c.idx < len(c.cfg.Ladder)-1 && safe >= c.cfg.Ladder[c.idx+1].Mbps {
+		c.streak++
+		if c.streak >= c.cfg.UpStreak {
+			c.idx++
+			c.streak = 0
+		}
+	} else {
+		c.streak = 0
+	}
+	return c.Rung()
+}
+
+// Simulate runs the controller over a bandwidth trace (one sample per
+// interval) and returns the selected rung index per interval — the series
+// the extabr experiment plots.
+func (c *Controller) Simulate(trace []float64) []int {
+	out := make([]int, len(trace))
+	for i, bw := range trace {
+		c.Observe(bw)
+		out[i] = c.idx
+	}
+	return out
+}

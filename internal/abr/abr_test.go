@@ -1,0 +1,134 @@
+package abr
+
+import (
+	"testing"
+)
+
+func TestDefaultLadder(t *testing.T) {
+	l := DefaultLadder()
+	if len(l) != 4 || l[3].Name != "720p" {
+		t.Fatalf("ladder = %+v", l)
+	}
+	for i := 1; i < len(l); i++ {
+		if l[i].Mbps <= l[i-1].Mbps {
+			t.Fatalf("ladder not ascending at %d", i)
+		}
+	}
+	// The top rung matches the paper's ≈7.5 Mbps 720p60 operating point.
+	if l[3].Mbps < 7 || l[3].Mbps > 8.5 {
+		t.Errorf("720p rung = %.1f Mbps, want ≈7.7", l[3].Mbps)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{Ladder: []Rung{{Name: "bad", W: 0, H: 1, Mbps: 1}}}); err == nil {
+		t.Error("invalid rung should fail")
+	}
+	if _, err := New(Config{Ladder: []Rung{
+		{Name: "a", W: 1, H: 1, Mbps: 5},
+		{Name: "b", W: 1, H: 1, Mbps: 3},
+	}}); err == nil {
+		t.Error("descending ladder should fail")
+	}
+	c, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Rung().Name != "720p" {
+		t.Errorf("starting rung = %s, want the top", c.Rung().Name)
+	}
+}
+
+func TestDownSwitchImmediate(t *testing.T) {
+	c, _ := New(Config{EWMA: 1}) // no smoothing: reacts in one sample
+	// Plenty of bandwidth: stays at 720p.
+	if r := c.Observe(50); r.Name != "720p" {
+		t.Fatalf("rung = %s with 50 Mbps", r.Name)
+	}
+	// Throughput collapses to 3 Mbps: must leave 720p at once.
+	r := c.Observe(3)
+	if r.Name == "720p" {
+		t.Fatalf("still at 720p after collapse")
+	}
+	// safe = 2.4 Mbps → must sit on a rung that fits or the lowest.
+	if r.Mbps > 2.4 && r.Name != DefaultLadder()[0].Name {
+		t.Errorf("rung %s (%.1f Mbps) does not fit 2.4 Mbps safe throughput", r.Name, r.Mbps)
+	}
+}
+
+func TestUpSwitchHysteresis(t *testing.T) {
+	c, _ := New(Config{EWMA: 1, UpStreak: 3})
+	c.Observe(3) // drop to a low rung
+	low := c.Rung()
+	// One good sample must NOT up-switch.
+	c.Observe(50)
+	if c.Rung() != low {
+		t.Fatal("up-switched after a single good sample")
+	}
+	// Sustained headroom does.
+	c.Observe(50)
+	c.Observe(50)
+	if c.Rung() == low {
+		t.Fatal("never up-switched despite sustained headroom")
+	}
+}
+
+func TestUpStreakResetsOnDip(t *testing.T) {
+	c, _ := New(Config{EWMA: 1, UpStreak: 3})
+	c.Observe(3)
+	low := c.Rung()
+	c.Observe(50)
+	c.Observe(50)
+	c.Observe(4) // dip interrupts the streak (still enough for the low rung)
+	c.Observe(50)
+	c.Observe(50)
+	if c.Rung() != low {
+		t.Fatal("streak should have been reset by the dip")
+	}
+	c.Observe(50)
+	if c.Rung() == low {
+		t.Fatal("third consecutive good sample should up-switch")
+	}
+}
+
+func TestSimulateTrace(t *testing.T) {
+	c, _ := New(Config{EWMA: 0.5, UpStreak: 3})
+	// 25 Mbps cruise, collapse to 4 Mbps, recover.
+	trace := []float64{25, 25, 25, 4, 4, 4, 4, 25, 25, 25, 25, 25, 25, 25}
+	idx := c.Simulate(trace)
+	top := len(DefaultLadder()) - 1
+	if idx[0] != top || idx[2] != top {
+		t.Errorf("should cruise at the top rung: %v", idx)
+	}
+	// During the collapse the rung must fall...
+	minIdx := top
+	for _, i := range idx[3:7] {
+		if i < minIdx {
+			minIdx = i
+		}
+	}
+	if minIdx == top {
+		t.Errorf("no down-switch during collapse: %v", idx)
+	}
+	// ...and recover to the top by the end.
+	if idx[len(idx)-1] != top {
+		t.Errorf("no recovery after the collapse: %v", idx)
+	}
+	// Indices always within the ladder.
+	for _, i := range idx {
+		if i < 0 || i > top {
+			t.Fatalf("rung index %d out of range", i)
+		}
+	}
+}
+
+func TestNegativeThroughputClamped(t *testing.T) {
+	c, _ := New(Config{EWMA: 1})
+	r := c.Observe(-10)
+	if r != DefaultLadder()[0] {
+		t.Errorf("negative throughput should floor the ladder, got %s", r.Name)
+	}
+	if c.Throughput() != 0 {
+		t.Errorf("estimate = %f, want 0", c.Throughput())
+	}
+}

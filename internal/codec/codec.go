@@ -1,0 +1,753 @@
+// Package codec implements the video codec substrate of the reproduction: a
+// block-based GOP codec with intra-coded reference frames and inter-coded
+// non-reference frames carrying per-macroblock motion vectors and quantized
+// residuals.
+//
+// The paper's client uses an opaque hardware decoder (H.264/H.265), while
+// the NEMO baseline needs a *modified software decoder* that exposes motion
+// vectors and residuals so non-reference frames can be reconstructed from an
+// upscaled reference (paper §II-A, §V-A). This codec plays both roles: the
+// normal Decode path reconstructs pixels like any decoder would, and the
+// decoded frame additionally surfaces its MV field and residual planes for
+// the NEMO pipeline. Whether decoding is billed at hardware-decoder or
+// CPU-software rates is the device model's concern, not the codec's.
+//
+// The design favours transparency over compression ratio: quantization +
+// delta prediction + zero-run/varint entropy coding. Bitstream sizes are
+// still content-dependent and monotone in quality, which is all the
+// bandwidth experiments (§IV-B2) need.
+package codec
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"gamestreamsr/internal/frame"
+)
+
+// FrameType distinguishes reference (intra) from non-reference (inter)
+// frames.
+type FrameType uint8
+
+const (
+	// Intra frames are self-contained reference frames (keyframes).
+	Intra FrameType = 1
+	// Inter frames are predicted from the previous reconstructed frame via
+	// motion compensation plus a residual.
+	Inter FrameType = 2
+)
+
+func (t FrameType) String() string {
+	switch t {
+	case Intra:
+		return "intra"
+	case Inter:
+		return "inter"
+	default:
+		return fmt.Sprintf("FrameType(%d)", uint8(t))
+	}
+}
+
+// Config parameterises the codec.
+type Config struct {
+	// Width, Height of the coded stream.
+	Width, Height int
+	// GOPSize is the keyframe interval: frame i is intra iff i%GOPSize == 0.
+	// The paper uses 60 (one reference + 59 non-reference frames, §V-B).
+	GOPSize int
+	// BlockSize is the macroblock edge in pixels (default 16).
+	BlockSize int
+	// SearchRange is the motion-search radius in pixels (default 12).
+	SearchRange int
+	// QStep is the quantization step for intra pixels and inter residuals
+	// (default 6). Larger means smaller bitstreams and lower quality.
+	QStep int
+	// HalfPel enables half-pixel motion estimation and compensation
+	// (production-codec behaviour). MVs are then coded in half-pel units,
+	// halving the effective search radius the int8 coding can express.
+	HalfPel bool
+	// Deadzone zeroes inter residuals with magnitude ≤ Deadzone before
+	// quantization, as production encoders do to spend no bits on noise.
+	// Off by default: with the motion these game streams carry, a deadzone
+	// lets reconstruction error accumulate inside a GOP even in the
+	// closed LR loop. Exposed for the codec ablation benches.
+	Deadzone int
+}
+
+func (c Config) withDefaults() Config {
+	if c.GOPSize <= 0 {
+		c.GOPSize = 60
+	}
+	if c.BlockSize <= 0 {
+		c.BlockSize = 16
+	}
+	if c.SearchRange <= 0 {
+		c.SearchRange = 12
+	}
+	if c.SearchRange > 127 {
+		c.SearchRange = 127 // MVs are coded as int8
+	}
+	if c.HalfPel && c.SearchRange > 63 {
+		c.SearchRange = 63 // half-pel units halve the int8 span
+	}
+	if c.QStep <= 0 {
+		c.QStep = 6
+	}
+	if c.Deadzone < 0 {
+		c.Deadzone = 0
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	if c.Width <= 0 || c.Height <= 0 {
+		return fmt.Errorf("codec: invalid dimensions %dx%d", c.Width, c.Height)
+	}
+	return nil
+}
+
+// MV is a motion vector in full pixels, pointing from the current block to
+// its prediction in the previous reconstructed frame.
+type MV struct {
+	DX, DY int8
+}
+
+// SideInfo is what a NEMO-style modified decoder extracts from an inter
+// frame: the motion-vector grid and the dequantized residual planes.
+type SideInfo struct {
+	// BlocksX, BlocksY give the MV grid dimensions.
+	BlocksX, BlocksY int
+	// BlockSize is the macroblock edge.
+	BlockSize int
+	// HalfPel marks MVs as being in half-pixel units.
+	HalfPel bool
+	// MVs is the row-major BlocksX×BlocksY motion-vector grid.
+	MVs []MV
+	// Residual holds the dequantized residual planes (R, G, B), full-frame,
+	// row-major, in signed units.
+	Residual [3][]int16
+}
+
+// DecodedFrame is the output of Decoder.Decode.
+type DecodedFrame struct {
+	Type  FrameType
+	Image *frame.Image
+	// Side is non-nil for inter frames.
+	Side *SideInfo
+}
+
+// magic identifies GameStreamSR bitstream frames.
+const magic = 0x47 // 'G'
+
+const version = 2
+
+// Encoder turns raw frames into bitstream frames. Frames must be fed in
+// display order; the encoder tracks GOP position and reference state.
+type Encoder struct {
+	cfg   Config
+	count int
+	// prev is the previous *reconstructed* frame — predicting from the
+	// reconstruction rather than the source keeps encoder and decoder in
+	// lockstep and prevents drift.
+	prev *frame.Image
+}
+
+// NewEncoder creates an encoder for the given configuration.
+func NewEncoder(cfg Config) (*Encoder, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &Encoder{cfg: cfg}, nil
+}
+
+// Config returns the encoder's effective configuration.
+func (e *Encoder) Config() Config { return e.cfg }
+
+// Reset rewinds the encoder to the start of a stream.
+func (e *Encoder) Reset() {
+	e.count = 0
+	e.prev = nil
+}
+
+// Encode encodes the next frame at uniform quality and returns its
+// bitstream and type.
+func (e *Encoder) Encode(im *frame.Image) ([]byte, FrameType, error) {
+	return e.encode(im, nil)
+}
+
+// EncodeRoI encodes the next frame with RoI-aware quality: pixels inside
+// roi are quantized with roiQ (typically finer than Config.QStep), the rest
+// with Config.QStep. This is the server-side "spend bits where the player
+// looks" optimisation of RoI-based encoding; the RoI rectangle and its
+// quantizer travel in the frame header so any decoder reconstructs exactly.
+func (e *Encoder) EncodeRoI(im *frame.Image, roi frame.Rect, roiQ int) ([]byte, FrameType, error) {
+	if roiQ <= 0 || roiQ > 255 {
+		return nil, 0, fmt.Errorf("codec: invalid RoI quantizer %d", roiQ)
+	}
+	if !roi.In(e.cfg.Width, e.cfg.Height) || roi.Empty() {
+		return nil, 0, fmt.Errorf("codec: RoI %v outside %dx%d stream", roi, e.cfg.Width, e.cfg.Height)
+	}
+	return e.encode(im, &roiQuant{rect: roi, q: roiQ})
+}
+
+func (e *Encoder) encode(im *frame.Image, rq *roiQuant) ([]byte, FrameType, error) {
+	if im.W != e.cfg.Width || im.H != e.cfg.Height {
+		return nil, 0, fmt.Errorf("codec: frame is %dx%d, stream is %dx%d", im.W, im.H, e.cfg.Width, e.cfg.Height)
+	}
+	isIntra := e.count%e.cfg.GOPSize == 0 || e.prev == nil
+	e.count++
+	if isIntra {
+		data, recon := e.encodeIntra(im, rq)
+		e.prev = recon
+		return data, Intra, nil
+	}
+	data, recon := e.encodeInter(im, rq)
+	e.prev = recon
+	return data, Inter, nil
+}
+
+// qPlan precomputes the per-pixel quantizer lookup for one frame.
+type qPlan struct {
+	base int32
+	rq   *roiQuant
+}
+
+func (p qPlan) at(x, y int) int32 {
+	if p.rq != nil && p.rq.rect.Contains(x, y) {
+		return int32(p.rq.q)
+	}
+	return p.base
+}
+
+// encodeIntra quantizes and entropy-codes the frame, returning the bitstream
+// and the decoder-identical reconstruction.
+func (e *Encoder) encodeIntra(im *frame.Image, rq *roiQuant) ([]byte, *frame.Image) {
+	im = im.Compact()
+	plan := qPlan{base: int32(e.cfg.QStep), rq: rq}
+	buf := newHeader(Intra, e.cfg, rq)
+	recon := frame.NewImage(im.W, im.H)
+	W := im.W
+	for p, plane := range [3][]uint8{im.R, im.G, im.B} {
+		vals := make([]int32, len(plane))
+		prev := int32(0)
+		rp := reconPlane(recon, p)
+		for i, v := range plane {
+			q := plan.at(i%W, i/W)
+			qv := (int32(v) + q/2) / q
+			vals[i] = qv - prev
+			prev = qv
+			rp[i] = clamp8(qv * q)
+		}
+		buf = appendSignedRLE(buf, vals)
+	}
+	return buf, recon
+}
+
+// encodeInter motion-compensates against the previous reconstruction,
+// quantizes the residual and entropy-codes MVs + residual.
+func (e *Encoder) encodeInter(im *frame.Image, rq *roiQuant) ([]byte, *frame.Image) {
+	im = im.Compact()
+	cfg := e.cfg
+	bs := cfg.BlockSize
+	bw := (im.W + bs - 1) / bs
+	bh := (im.H + bs - 1) / bs
+	mvs := make([]MV, bw*bh)
+	// Motion estimation on luma-ish green plane (cheap, standard trick).
+	for by := 0; by < bh; by++ {
+		for bx := 0; bx < bw; bx++ {
+			x := bx * bs
+			y := by * bs
+			w := min(bs, im.W-x)
+			h := min(bs, im.H-y)
+			if cfg.HalfPel {
+				mvs[by*bw+bx] = halfPelSearch(im.G, e.prev.G, im.W, im.H, x, y, w, h, cfg.SearchRange)
+			} else {
+				mvs[by*bw+bx] = diamondSearch(im.G, e.prev.G, im.W, im.H, x, y, w, h, cfg.SearchRange)
+			}
+		}
+	}
+	buf := newHeader(Inter, cfg, rq)
+	// MV grid.
+	for _, mv := range mvs {
+		buf = binary.AppendVarint(buf, int64(mv.DX))
+		buf = binary.AppendVarint(buf, int64(mv.DY))
+	}
+	// Residuals per plane.
+	plan := qPlan{base: int32(cfg.QStep), rq: rq}
+	dz := int32(cfg.Deadzone)
+	recon := frame.NewImage(im.W, im.H)
+	for p := 0; p < 3; p++ {
+		src := srcPlane(im, p)
+		ref := srcPlane(e.prev, p)
+		rp := reconPlane(recon, p)
+		res := make([]int32, len(src))
+		for by := 0; by < bh; by++ {
+			for bx := 0; bx < bw; bx++ {
+				mv := mvs[by*bw+bx]
+				x := bx * bs
+				y := by * bs
+				w := min(bs, im.W-x)
+				h := min(bs, im.H-y)
+				for j := 0; j < h; j++ {
+					sy := y + j
+					ry := clampInt(sy+int(mv.DY), 0, im.H-1)
+					for i := 0; i < w; i++ {
+						sx := x + i
+						rx := clampInt(sx+int(mv.DX), 0, im.W-1)
+						var pred int32
+						if cfg.HalfPel {
+							pred = predHalfPel(ref, im.W, im.H, sx, sy, int(mv.DX), int(mv.DY))
+						} else {
+							pred = int32(ref[ry*im.W+rx])
+						}
+						d := int32(src[sy*im.W+sx]) - pred
+						q := plan.at(sx, sy)
+						var qd int32
+						switch {
+						case d > dz:
+							qd = (d + q/2) / q
+						case d < -dz:
+							qd = -((-d + q/2) / q)
+						}
+						res[sy*im.W+sx] = qd
+						rp[sy*im.W+sx] = clamp8(pred + qd*q)
+					}
+				}
+			}
+		}
+		buf = appendSignedRLE(buf, res)
+	}
+	return buf, recon
+}
+
+// Decoder reconstructs frames from bitstreams. Like the encoder it is
+// stateful: inter frames reference the previously decoded frame.
+type Decoder struct {
+	prev *frame.Image
+}
+
+// NewDecoder creates a decoder.
+func NewDecoder() *Decoder { return &Decoder{} }
+
+// Reset clears reference state (e.g. on seek or stream restart).
+func (d *Decoder) Reset() { d.prev = nil }
+
+// ErrCorrupt is wrapped by all bitstream parsing failures.
+var ErrCorrupt = errors.New("codec: corrupt bitstream")
+
+// Decode parses one bitstream frame and returns its reconstruction. For
+// inter frames the result includes the NEMO side information.
+func (d *Decoder) Decode(data []byte) (*DecodedFrame, error) {
+	hdr, rest, err := parseHeader(data)
+	if err != nil {
+		return nil, err
+	}
+	switch hdr.ftype {
+	case Intra:
+		im, err := decodeIntra(hdr, rest)
+		if err != nil {
+			return nil, err
+		}
+		d.prev = im
+		return &DecodedFrame{Type: Intra, Image: im}, nil
+	case Inter:
+		if d.prev == nil {
+			return nil, fmt.Errorf("%w: inter frame without reference", ErrCorrupt)
+		}
+		if d.prev.W != hdr.w || d.prev.H != hdr.h {
+			return nil, fmt.Errorf("%w: inter frame %dx%d but reference is %dx%d", ErrCorrupt, hdr.w, hdr.h, d.prev.W, d.prev.H)
+		}
+		im, side, err := decodeInter(hdr, rest, d.prev)
+		if err != nil {
+			return nil, err
+		}
+		d.prev = im
+		return &DecodedFrame{Type: Inter, Image: im, Side: side}, nil
+	default:
+		return nil, fmt.Errorf("%w: unknown frame type %d", ErrCorrupt, hdr.ftype)
+	}
+}
+
+type header struct {
+	ftype FrameType
+	w, h  int
+	bs    int
+	q     int
+	// RoI-aware quality: pixels inside roi are quantized with roiQ
+	// instead of q. hasRoI is false for uniform-quality frames.
+	hasRoI bool
+	roi    frame.Rect
+	roiQ   int
+	// halfPel marks MVs as being in half-pixel units.
+	halfPel bool
+}
+
+// qAt returns the quantizer for pixel (x, y).
+func (h header) qAt(x, y int) int32 {
+	if h.hasRoI && h.roi.Contains(x, y) {
+		return int32(h.roiQ)
+	}
+	return int32(h.q)
+}
+
+func newHeader(t FrameType, cfg Config, roi *roiQuant) []byte {
+	buf := make([]byte, 0, 64)
+	buf = append(buf, magic, version, byte(t))
+	buf = binary.AppendUvarint(buf, uint64(cfg.Width))
+	buf = binary.AppendUvarint(buf, uint64(cfg.Height))
+	buf = binary.AppendUvarint(buf, uint64(cfg.BlockSize))
+	buf = binary.AppendUvarint(buf, uint64(cfg.QStep))
+	if roi == nil {
+		buf = binary.AppendUvarint(buf, 0)
+	} else {
+		buf = binary.AppendUvarint(buf, 1)
+		for _, v := range []int{roi.rect.X, roi.rect.Y, roi.rect.W, roi.rect.H, roi.q} {
+			buf = binary.AppendUvarint(buf, uint64(v))
+		}
+	}
+	hp := uint64(0)
+	if cfg.HalfPel {
+		hp = 1
+	}
+	buf = binary.AppendUvarint(buf, hp)
+	return buf
+}
+
+// roiQuant carries the per-frame RoI quality override on the encode side.
+type roiQuant struct {
+	rect frame.Rect
+	q    int
+}
+
+func parseHeader(data []byte) (header, []byte, error) {
+	if len(data) < 3 {
+		return header{}, nil, fmt.Errorf("%w: truncated header", ErrCorrupt)
+	}
+	if data[0] != magic {
+		return header{}, nil, fmt.Errorf("%w: bad magic 0x%02x", ErrCorrupt, data[0])
+	}
+	if data[1] != version {
+		return header{}, nil, fmt.Errorf("%w: unsupported version %d", ErrCorrupt, data[1])
+	}
+	h := header{ftype: FrameType(data[2])}
+	rest := data[3:]
+	fields := []*int{&h.w, &h.h, &h.bs, &h.q}
+	for _, f := range fields {
+		v, n := binary.Uvarint(rest)
+		if n <= 0 {
+			return header{}, nil, fmt.Errorf("%w: truncated header varint", ErrCorrupt)
+		}
+		rest = rest[n:]
+		*f = int(v)
+	}
+	roiFlag, n := binary.Uvarint(rest)
+	if n <= 0 {
+		return header{}, nil, fmt.Errorf("%w: truncated RoI flag", ErrCorrupt)
+	}
+	rest = rest[n:]
+	switch roiFlag {
+	case 0:
+	case 1:
+		h.hasRoI = true
+		fields := []*int{&h.roi.X, &h.roi.Y, &h.roi.W, &h.roi.H, &h.roiQ}
+		for _, f := range fields {
+			v, n := binary.Uvarint(rest)
+			if n <= 0 {
+				return header{}, nil, fmt.Errorf("%w: truncated RoI header", ErrCorrupt)
+			}
+			rest = rest[n:]
+			*f = int(v)
+		}
+	default:
+		return header{}, nil, fmt.Errorf("%w: unknown RoI flag %d", ErrCorrupt, roiFlag)
+	}
+	hpFlag, n := binary.Uvarint(rest)
+	if n <= 0 {
+		return header{}, nil, fmt.Errorf("%w: truncated half-pel flag", ErrCorrupt)
+	}
+	rest = rest[n:]
+	switch hpFlag {
+	case 0:
+	case 1:
+		h.halfPel = true
+	default:
+		return header{}, nil, fmt.Errorf("%w: unknown half-pel flag %d", ErrCorrupt, hpFlag)
+	}
+	// Bound each dimension and the total pixel count (up to 4K frames)
+	// before any allocation happens — corrupt headers must not be able to
+	// demand gigabytes.
+	if h.w <= 0 || h.h <= 0 || h.w > 1<<13 || h.h > 1<<13 || h.w*h.h > 1<<23 {
+		return header{}, nil, fmt.Errorf("%w: unreasonable dimensions %dx%d", ErrCorrupt, h.w, h.h)
+	}
+	if h.bs <= 0 || h.bs > 256 {
+		return header{}, nil, fmt.Errorf("%w: unreasonable block size %d", ErrCorrupt, h.bs)
+	}
+	if h.q <= 0 || h.q > 255 {
+		return header{}, nil, fmt.Errorf("%w: unreasonable quantizer %d", ErrCorrupt, h.q)
+	}
+	if h.hasRoI {
+		if h.roiQ <= 0 || h.roiQ > 255 {
+			return header{}, nil, fmt.Errorf("%w: unreasonable RoI quantizer %d", ErrCorrupt, h.roiQ)
+		}
+		if !h.roi.In(h.w, h.h) || h.roi.Empty() {
+			return header{}, nil, fmt.Errorf("%w: RoI %v outside %dx%d frame", ErrCorrupt, h.roi, h.w, h.h)
+		}
+	}
+	return h, rest, nil
+}
+
+func decodeIntra(h header, data []byte) (*frame.Image, error) {
+	im := frame.NewImage(h.w, h.h)
+	n := h.w * h.h
+	for p := 0; p < 3; p++ {
+		vals, rest, err := decodeSignedRLE(data, n)
+		if err != nil {
+			return nil, err
+		}
+		data = rest
+		rp := reconPlane(im, p)
+		acc := int32(0)
+		for i, dv := range vals {
+			acc += dv
+			rp[i] = clamp8(acc * h.qAt(i%h.w, i/h.w))
+		}
+	}
+	return im, nil
+}
+
+func decodeInter(h header, data []byte, ref *frame.Image) (*frame.Image, *SideInfo, error) {
+	bs := h.bs
+	bw := (h.w + bs - 1) / bs
+	bh := (h.h + bs - 1) / bs
+	side := &SideInfo{BlocksX: bw, BlocksY: bh, BlockSize: bs, HalfPel: h.halfPel, MVs: make([]MV, bw*bh)}
+	for i := range side.MVs {
+		dx, n := binary.Varint(data)
+		if n <= 0 {
+			return nil, nil, fmt.Errorf("%w: truncated MV grid", ErrCorrupt)
+		}
+		data = data[n:]
+		dy, n := binary.Varint(data)
+		if n <= 0 {
+			return nil, nil, fmt.Errorf("%w: truncated MV grid", ErrCorrupt)
+		}
+		data = data[n:]
+		if dx < -128 || dx > 127 || dy < -128 || dy > 127 {
+			return nil, nil, fmt.Errorf("%w: MV out of range (%d,%d)", ErrCorrupt, dx, dy)
+		}
+		side.MVs[i] = MV{DX: int8(dx), DY: int8(dy)}
+	}
+	im := frame.NewImage(h.w, h.h)
+	n := h.w * h.h
+	ref = ref.Compact()
+	for p := 0; p < 3; p++ {
+		vals, rest, err := decodeSignedRLE(data, n)
+		if err != nil {
+			return nil, nil, err
+		}
+		data = rest
+		rp := reconPlane(im, p)
+		refp := srcPlane(ref, p)
+		resPlane := make([]int16, n)
+		side.Residual[p] = resPlane
+		for by := 0; by < bh; by++ {
+			for bx := 0; bx < bw; bx++ {
+				mv := side.MVs[by*bw+bx]
+				x := bx * bs
+				y := by * bs
+				w := min(bs, h.w-x)
+				hh := min(bs, h.h-y)
+				for j := 0; j < hh; j++ {
+					sy := y + j
+					ry := clampInt(sy+int(mv.DY), 0, h.h-1)
+					for i := 0; i < w; i++ {
+						sx := x + i
+						rx := clampInt(sx+int(mv.DX), 0, h.w-1)
+						var pred int32
+						if h.halfPel {
+							pred = predHalfPel(refp, h.w, h.h, sx, sy, int(mv.DX), int(mv.DY))
+						} else {
+							pred = int32(refp[ry*h.w+rx])
+						}
+						res := vals[sy*h.w+sx] * h.qAt(sx, sy)
+						resPlane[sy*h.w+sx] = int16(clampRes(res))
+						rp[sy*h.w+sx] = clamp8(pred + res)
+					}
+				}
+			}
+		}
+	}
+	return im, side, nil
+}
+
+// diamondSearch finds the motion vector minimising the SAD of the block at
+// (x, y) of size w×h between cur and ref (both width W, height H planes),
+// searching within ±rng using a small-diamond pattern seeded at (0, 0).
+func diamondSearch(cur, ref []uint8, W, H, x, y, w, h, rng int) MV {
+	best := sad(cur, ref, W, H, x, y, w, h, 0, 0)
+	bx, by := 0, 0
+	if best == 0 {
+		return MV{}
+	}
+	// Large diamond until stable, then small diamond refinement.
+	large := [8][2]int{{0, -2}, {1, -1}, {2, 0}, {1, 1}, {0, 2}, {-1, 1}, {-2, 0}, {-1, -1}}
+	small := [4][2]int{{0, -1}, {1, 0}, {0, 1}, {-1, 0}}
+	for moved := true; moved; {
+		moved = false
+		for _, d := range large {
+			nx, ny := bx+d[0], by+d[1]
+			if nx < -rng || nx > rng || ny < -rng || ny > rng {
+				continue
+			}
+			if s := sad(cur, ref, W, H, x, y, w, h, nx, ny); s < best {
+				best, bx, by = s, nx, ny
+				moved = true
+			}
+		}
+	}
+	for _, d := range small {
+		nx, ny := bx+d[0], by+d[1]
+		if nx < -rng || nx > rng || ny < -rng || ny > rng {
+			continue
+		}
+		if s := sad(cur, ref, W, H, x, y, w, h, nx, ny); s < best {
+			best, bx, by = s, nx, ny
+		}
+	}
+	return MV{DX: int8(bx), DY: int8(by)}
+}
+
+// sad computes the sum of absolute differences between the block at (x, y)
+// in cur and the block displaced by (dx, dy) in ref, clamping at frame
+// borders.
+func sad(cur, ref []uint8, W, H, x, y, w, h, dx, dy int) int {
+	total := 0
+	for j := 0; j < h; j++ {
+		sy := y + j
+		ry := clampInt(sy+dy, 0, H-1)
+		crow := sy * W
+		rrow := ry * W
+		for i := 0; i < w; i++ {
+			sx := x + i
+			rx := clampInt(sx+dx, 0, W-1)
+			d := int(cur[crow+sx]) - int(ref[rrow+rx])
+			if d < 0 {
+				d = -d
+			}
+			total += d
+		}
+	}
+	return total
+}
+
+// --- entropy coding: zero-run + zigzag varints -------------------------------
+
+// appendSignedRLE encodes a signed int32 sequence: each zero run becomes the
+// marker byte 0x00 followed by a uvarint run length; every non-zero value is
+// encoded as a varint of the value itself (whose first byte can never be
+// 0x00 for non-zero values, so the marker is unambiguous).
+func appendSignedRLE(buf []byte, vals []int32) []byte {
+	i := 0
+	for i < len(vals) {
+		if vals[i] == 0 {
+			run := 0
+			for i < len(vals) && vals[i] == 0 {
+				run++
+				i++
+			}
+			buf = append(buf, 0x00)
+			buf = binary.AppendUvarint(buf, uint64(run))
+			continue
+		}
+		buf = binary.AppendVarint(buf, int64(vals[i]))
+		i++
+	}
+	return buf
+}
+
+// decodeSignedRLE decodes exactly n values and returns the remaining bytes.
+func decodeSignedRLE(data []byte, n int) ([]int32, []byte, error) {
+	out := make([]int32, n)
+	i := 0
+	for i < n {
+		if len(data) == 0 {
+			return nil, nil, fmt.Errorf("%w: truncated plane data", ErrCorrupt)
+		}
+		if data[0] == 0x00 {
+			run, m := binary.Uvarint(data[1:])
+			if m <= 0 {
+				return nil, nil, fmt.Errorf("%w: truncated zero run", ErrCorrupt)
+			}
+			data = data[1+m:]
+			if run == 0 || run > uint64(n-i) {
+				return nil, nil, fmt.Errorf("%w: zero run %d overflows plane", ErrCorrupt, run)
+			}
+			i += int(run) // out already zeroed
+			continue
+		}
+		v, m := binary.Varint(data)
+		if m <= 0 {
+			return nil, nil, fmt.Errorf("%w: bad varint", ErrCorrupt)
+		}
+		if v < -1<<30 || v > 1<<30 {
+			return nil, nil, fmt.Errorf("%w: value out of range", ErrCorrupt)
+		}
+		data = data[m:]
+		out[i] = int32(v)
+		i++
+	}
+	return out, data, nil
+}
+
+// --- small helpers ------------------------------------------------------------
+
+func srcPlane(im *frame.Image, p int) []uint8 {
+	switch p {
+	case 0:
+		return im.R
+	case 1:
+		return im.G
+	default:
+		return im.B
+	}
+}
+
+func reconPlane(im *frame.Image, p int) []uint8 { return srcPlane(im, p) }
+
+func clamp8(v int32) uint8 {
+	if v < 0 {
+		return 0
+	}
+	if v > 255 {
+		return 255
+	}
+	return uint8(v)
+}
+
+func clampRes(v int32) int32 {
+	if v < -32768 {
+		return -32768
+	}
+	if v > 32767 {
+		return 32767
+	}
+	return v
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,141 @@
+package codec
+
+import (
+	"fmt"
+	"time"
+
+	"gamestreamsr/internal/frame"
+)
+
+// RateController adapts the encoder's quantization step to hold a target
+// bitrate, the role a production encoder's rate control plays. Streaming
+// over a constrained downlink (the whole premise of the paper's motivation)
+// is only stable if the encoder tracks the channel; the controller uses the
+// standard leaky-bucket scheme: a virtual buffer drains at the target rate
+// and fills with produced bytes, and the quantizer follows the buffer's
+// fullness.
+type RateController struct {
+	// TargetBps is the target bitrate in bits per second.
+	TargetBps float64
+	// FPS is the stream frame rate (default 60).
+	FPS float64
+	// MinQ and MaxQ bound the quantizer (defaults 2 and 24).
+	MinQ, MaxQ int
+	// BufferFrames sizes the virtual buffer in frame intervals (default 30).
+	BufferFrames float64
+
+	q        int
+	buffer   float64 // bytes currently in the virtual buffer
+	capacity float64 // buffer capacity in bytes
+}
+
+// NewRateController builds a controller starting at the given quantizer.
+func NewRateController(targetBps float64, startQ int) (*RateController, error) {
+	if targetBps <= 0 {
+		return nil, fmt.Errorf("codec: invalid target bitrate %f", targetBps)
+	}
+	rc := &RateController{
+		TargetBps:    targetBps,
+		FPS:          60,
+		MinQ:         2,
+		MaxQ:         24,
+		BufferFrames: 30,
+	}
+	if startQ < rc.MinQ {
+		startQ = rc.MinQ
+	}
+	if startQ > rc.MaxQ {
+		startQ = rc.MaxQ
+	}
+	rc.q = startQ
+	rc.capacity = targetBps / 8 / rc.FPS * rc.BufferFrames
+	// Start the buffer half full so the first adjustment can go either way.
+	rc.buffer = rc.capacity / 2
+	return rc, nil
+}
+
+// QStep returns the quantizer to use for the next frame.
+func (rc *RateController) QStep() int { return rc.q }
+
+// BufferDelay returns the queueing delay the virtual buffer currently
+// represents at the target drain rate — extra latency a real stream would
+// see before the bytes clear the link.
+func (rc *RateController) BufferDelay() time.Duration {
+	return time.Duration(rc.buffer / (rc.TargetBps / 8) * float64(time.Second))
+}
+
+// Observe feeds the size of the frame just produced and returns the
+// quantizer for the next frame.
+func (rc *RateController) Observe(frameBytes int) int {
+	perFrame := rc.TargetBps / 8 / rc.FPS
+	rc.buffer += float64(frameBytes) - perFrame
+	if rc.buffer < 0 {
+		rc.buffer = 0
+	}
+	if rc.buffer > rc.capacity {
+		rc.buffer = rc.capacity
+	}
+	// Quantizer follows buffer fullness: near-empty buffer → spend bits
+	// (lower Q), near-full → save bits (raise Q). The deadband around the
+	// half-full set point avoids oscillation.
+	fullness := rc.buffer / rc.capacity
+	switch {
+	case fullness > 0.65:
+		rc.q++
+	case fullness < 0.35:
+		rc.q--
+	}
+	if rc.q < rc.MinQ {
+		rc.q = rc.MinQ
+	}
+	if rc.q > rc.MaxQ {
+		rc.q = rc.MaxQ
+	}
+	return rc.q
+}
+
+// RatedEncoder couples an Encoder with a RateController, re-creating the
+// encoder when the quantizer changes (our bitstream fixes QStep per frame
+// header, so a quantizer change is a per-frame re-parameterisation).
+type RatedEncoder struct {
+	cfg Config
+	rc  *RateController
+	enc *Encoder
+}
+
+// NewRatedEncoder builds a rate-controlled encoder for the stream geometry
+// in cfg (cfg.QStep seeds the controller).
+func NewRatedEncoder(cfg Config, targetBps float64) (*RatedEncoder, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	rc, err := NewRateController(targetBps, cfg.QStep)
+	if err != nil {
+		return nil, err
+	}
+	enc, err := NewEncoder(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &RatedEncoder{cfg: cfg, rc: rc, enc: enc}, nil
+}
+
+// Controller exposes the rate controller (for inspection in tests/benches).
+func (re *RatedEncoder) Controller() *RateController { return re.rc }
+
+// Encode encodes the next frame at the controller's current quantizer and
+// feeds the result back.
+func (re *RatedEncoder) Encode(im *frame.Image) ([]byte, FrameType, error) {
+	if q := re.rc.QStep(); q != re.enc.cfg.QStep {
+		// Carry GOP position and reference state across the quantizer
+		// change; only the quantization step differs.
+		re.enc.cfg.QStep = q
+	}
+	data, ft, err := re.enc.Encode(im)
+	if err != nil {
+		return nil, 0, err
+	}
+	re.rc.Observe(len(data))
+	return data, ft, nil
+}

@@ -1,0 +1,150 @@
+package codec
+
+import (
+	"math"
+	"testing"
+
+	"gamestreamsr/internal/frame"
+)
+
+func regionPSNR(t *testing.T, a, b *frame.Image, r frame.Rect) float64 {
+	t.Helper()
+	sa := a.MustSubImage(r.X, r.Y, r.W, r.H)
+	sb := b.MustSubImage(r.X, r.Y, r.W, r.H)
+	return psnrOf(t, sa.Clone(), sb.Clone())
+}
+
+func TestEncodeRoIValidation(t *testing.T) {
+	enc, _ := NewEncoder(Config{Width: 64, Height: 64})
+	im := frame.NewImage(64, 64)
+	r := frame.Rect{X: 8, Y: 8, W: 16, H: 16}
+	if _, _, err := enc.EncodeRoI(im, r, 0); err == nil {
+		t.Error("zero RoI quantizer should fail")
+	}
+	if _, _, err := enc.EncodeRoI(im, frame.Rect{X: 60, Y: 0, W: 16, H: 16}, 2); err == nil {
+		t.Error("out-of-frame RoI should fail")
+	}
+	if _, _, err := enc.EncodeRoI(im, frame.Rect{}, 2); err == nil {
+		t.Error("empty RoI should fail")
+	}
+	if _, _, err := enc.EncodeRoI(im, r, 2); err != nil {
+		t.Errorf("valid RoI encode failed: %v", err)
+	}
+}
+
+func TestRoIEncodingImprovesRoIQuality(t *testing.T) {
+	f := gameFrames(t, "G3", 30, 1, 160, 90)[0]
+	roi := frame.Rect{X: 60, Y: 25, W: 40, H: 40}
+
+	// Uniform coarse encoding.
+	encU, _ := NewEncoder(Config{Width: 160, Height: 90, QStep: 12})
+	dataU, _, err := encU.Encode(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dfU, err := NewDecoder().Decode(dataU)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Same coarse base, fine RoI.
+	encR, _ := NewEncoder(Config{Width: 160, Height: 90, QStep: 12})
+	dataR, _, err := encR.EncodeRoI(f, roi, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dfR, err := NewDecoder().Decode(dataR)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	uIn := regionPSNR(t, f, dfU.Image, roi)
+	rIn := regionPSNR(t, f, dfR.Image, roi)
+	if rIn <= uIn+3 {
+		t.Errorf("RoI quality %.1f dB should clearly beat uniform %.1f dB", rIn, uIn)
+	}
+	// Outside the RoI both encodings behave the same.
+	outside := frame.Rect{X: 4, Y: 4, W: 30, H: 16}
+	uOut := regionPSNR(t, f, dfU.Image, outside)
+	rOut := regionPSNR(t, f, dfR.Image, outside)
+	if math.Abs(uOut-rOut) > 0.5 {
+		t.Errorf("non-RoI quality changed: %.2f vs %.2f dB", uOut, rOut)
+	}
+	// RoI encoding costs more bytes than uniform-coarse but less than
+	// uniform-fine.
+	encF, _ := NewEncoder(Config{Width: 160, Height: 90, QStep: 2})
+	dataF, _, err := encF.Encode(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(len(dataU) < len(dataR) && len(dataR) < len(dataF)) {
+		t.Errorf("sizes not ordered: coarse %d, RoI %d, fine %d", len(dataU), len(dataR), len(dataF))
+	}
+	t.Logf("RoI PSNR %.1f vs uniform %.1f dB; bytes coarse/RoI/fine = %d/%d/%d",
+		rIn, uIn, len(dataU), len(dataR), len(dataF))
+}
+
+func TestRoIEncodingInterFrames(t *testing.T) {
+	frames := gameFrames(t, "G10", 0, 4, 160, 90)
+	roi := frame.Rect{X: 60, Y: 25, W: 40, H: 40}
+	enc, _ := NewEncoder(Config{Width: 160, Height: 90, QStep: 12, GOPSize: 60})
+	dec := NewDecoder()
+	for i, f := range frames {
+		data, ft, err := enc.EncodeRoI(f, roi, 2)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if i > 0 && ft != Inter {
+			t.Fatalf("frame %d should be inter", i)
+		}
+		df, err := dec.Decode(data)
+		if err != nil {
+			t.Fatalf("frame %d decode: %v", i, err)
+		}
+		in := regionPSNR(t, f, df.Image, roi)
+		out := regionPSNR(t, f, df.Image, frame.Rect{X: 4, Y: 50, W: 30, H: 30})
+		if in <= out {
+			t.Errorf("frame %d: RoI PSNR %.1f not above non-RoI %.1f", i, in, out)
+		}
+	}
+}
+
+func TestRoIHeaderRoundTrip(t *testing.T) {
+	f := gameFrames(t, "G1", 0, 1, 96, 54)[0]
+	roi := frame.Rect{X: 10, Y: 12, W: 24, H: 20}
+	enc, _ := NewEncoder(Config{Width: 96, Height: 54, QStep: 10})
+	data, _, err := enc.EncodeRoI(f, roi, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, _, err := parseHeader(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h.hasRoI || h.roi != roi || h.roiQ != 3 {
+		t.Errorf("header = %+v", h)
+	}
+	// qAt dispatches correctly.
+	if h.qAt(10, 12) != 3 || h.qAt(9, 12) != 10 || h.qAt(33, 31) != 3 || h.qAt(34, 32) != 10 {
+		t.Error("qAt boundaries wrong")
+	}
+}
+
+func TestRoIHeaderCorruptionRejected(t *testing.T) {
+	f := gameFrames(t, "G1", 0, 1, 96, 54)[0]
+	enc, _ := NewEncoder(Config{Width: 96, Height: 54})
+	data, _, err := enc.EncodeRoI(f, frame.Rect{X: 1, Y: 1, W: 8, H: 8}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip the RoI flag to an unknown value.
+	idx := -1
+	// Header: magic, version, type, then 4 uvarints (each 1 byte for small
+	// dims), then the flag byte.
+	idx = 3 + 4
+	corrupted := append([]byte(nil), data...)
+	corrupted[idx] = 7
+	if _, err := NewDecoder().Decode(corrupted); err == nil {
+		t.Error("unknown RoI flag should be rejected")
+	}
+}

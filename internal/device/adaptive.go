@@ -1,0 +1,118 @@
+package device
+
+import "time"
+
+// WindowController adapts the RoI window between the §IV-B1 foveal minimum
+// and the capability-probed maximum at runtime. The paper sizes the window
+// once at session start (Fig. 6 step ❶); on a real handset sustained NPU
+// load triggers thermal throttling and the static window starts missing the
+// deadline. The controller closes that loop: multiplicative decrease on a
+// deadline miss, cautious additive increase while there is headroom — the
+// AIMD shape used by every latency governor because it converges and does
+// not oscillate.
+type WindowController struct {
+	// Min and Max bound the window side in LR pixels (foveal minimum and
+	// probed maximum).
+	Min, Max int
+	// Deadline is the per-frame budget (default RealTimeDeadline).
+	Deadline time.Duration
+	// Headroom is the utilisation target as a fraction of the deadline
+	// (default 0.97): increase only while below it.
+	Headroom float64
+	// DecreaseFactor shrinks the window area on a miss (default 0.85).
+	DecreaseFactor float64
+	// IncreaseStep grows the window side per in-budget frame (default 4 px).
+	IncreaseStep int
+
+	side int
+}
+
+// NewWindowController builds a controller starting at the maximum window.
+func NewWindowController(minSide, maxSide int) *WindowController {
+	if minSide < 8 {
+		minSide = 8
+	}
+	if maxSide < minSide {
+		maxSide = minSide
+	}
+	return &WindowController{
+		Min:            minSide &^ 3,
+		Max:            maxSide &^ 3,
+		Deadline:       RealTimeDeadline,
+		Headroom:       0.97,
+		DecreaseFactor: 0.85,
+		IncreaseStep:   4,
+		side:           maxSide &^ 3,
+	}
+}
+
+// Side returns the current window side.
+func (c *WindowController) Side() int { return c.side }
+
+// Observe feeds the measured upscale-stage latency of the last frame and
+// returns the window side to use for the next frame.
+func (c *WindowController) Observe(upscale time.Duration) int {
+	deadline := c.Deadline
+	if deadline <= 0 {
+		deadline = RealTimeDeadline
+	}
+	switch {
+	case upscale > deadline:
+		// Miss: shrink the window area multiplicatively.
+		area := float64(c.side) * float64(c.side) * c.DecreaseFactor
+		c.side = intSqrt(area)
+	case float64(upscale) < c.Headroom*float64(deadline):
+		c.side += c.IncreaseStep
+	}
+	c.side &^= 3
+	if c.side < c.Min {
+		c.side = c.Min
+	}
+	if c.side > c.Max {
+		c.side = c.Max
+	}
+	return c.side
+}
+
+func intSqrt(a float64) int {
+	if a <= 0 {
+		return 0
+	}
+	// Newton iteration is overkill; a few steps from a good seed suffice.
+	x := a / 2
+	for i := 0; i < 20; i++ {
+		x = (x + a/x) / 2
+	}
+	return int(x)
+}
+
+// AdaptiveWindow picks a static RoI side between the foveal minimum and the
+// capability maximum from an energy/thermal budget in [0, 1]: 0 selects the
+// smallest acceptable window (longest battery life), 1 the largest
+// real-time window (highest quality). Interpolation is done in window area,
+// since both NPU latency and energy scale with pixels, and the result is
+// 4-aligned.
+func AdaptiveWindow(minSide, maxSide int, budget float64) int {
+	if minSide < 8 {
+		minSide = 8
+	}
+	if maxSide < minSide {
+		maxSide = minSide
+	}
+	if budget < 0 {
+		budget = 0
+	} else if budget > 1 {
+		budget = 1
+	}
+	minA := float64(minSide) * float64(minSide)
+	maxA := float64(maxSide) * float64(maxSide)
+	side := intSqrt(minA + budget*(maxA-minA))
+	side &^= 3
+	if side < minSide&^3 {
+		side = minSide &^ 3
+	}
+	if side > maxSide {
+		side = maxSide
+	}
+	return side
+}

@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"gamestreamsr/internal/abr"
+	"gamestreamsr/internal/device"
+)
+
+func init() {
+	registry = append(registry, struct {
+		ID, Title string
+		Run       Runner
+	}{"extabr", "Extension: adaptive bitrate ladder under a congestion episode", ExtABR})
+}
+
+// ExtABR drives the ABR controller through the bandwidth regimes of the
+// paper's motivating study: WiFi cruise, a 5G-mmWave-style collapse, and
+// recovery. The table shows the selected rung per interval and the SR
+// implication: below the 720p rung the client upscales by more than ×2, so
+// the RoI quality concentration matters even more.
+func ExtABR(w io.Writer, _ Options) error {
+	ctl, err := abr.New(abr.Config{EWMA: 0.5, UpStreak: 4})
+	if err != nil {
+		return err
+	}
+	// Bandwidth trace (Mbps), one sample per second.
+	trace := []float64{
+		30, 30, 30, 30, // healthy WiFi
+		9, 9, 9, // congested: 720p (≈7.7 Mbps) barely no longer safe
+		3, 3, 3, 3, // collapse
+		30, 30, 30, 30, 30, 30, 30, 30, // recovery
+	}
+	ladder := abr.DefaultLadder()
+	tw := newTab(w)
+	fmt.Fprintln(tw, "t(s)\tbandwidth(Mbps)\trung\trung bitrate\tupscale to 1440p")
+	for i, bw := range trace {
+		r := ctl.Observe(bw)
+		factor := 2560.0 / float64(r.W)
+		fmt.Fprintf(tw, "%d\t%.0f\t%s\t%.1f Mbps\tx%.2f\n", i, bw, r.Name, r.Mbps, factor)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	// What the lower rungs mean for the client: the capability probe gives
+	// the same RoI pixel budget regardless of input resolution, so the RoI
+	// covers a larger fraction of a smaller frame.
+	dev := device.TabS8()
+	side := dev.MaxRoIWindow(device.RealTimeDeadline)
+	fmt.Fprintf(w, "RoI budget %dx%d px covers", side, side)
+	for _, r := range ladder {
+		frac := float64(side*side) / float64(r.W*r.H) * 100
+		fmt.Fprintf(w, " %.0f%% of %s,", frac, r.Name)
+	}
+	fmt.Fprintln(w, " so quality concentration rises as the ladder drops")
+	return nil
+}

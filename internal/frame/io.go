@@ -1,0 +1,187 @@
+package frame
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+)
+
+// WritePPM serialises the image as a binary PPM (P6). PPM/PGM are used for
+// debug dumps (`gssr run fig8` writes the depth pre-processing stages) since
+// they need no external codecs and every viewer understands them.
+func (im *Image) WritePPM(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "P6\n%d %d\n255\n", im.W, im.H); err != nil {
+		return err
+	}
+	row := make([]byte, im.W*3)
+	for y := 0; y < im.H; y++ {
+		off := y * im.Stride
+		for x := 0; x < im.W; x++ {
+			row[3*x+0] = im.R[off+x]
+			row[3*x+1] = im.G[off+x]
+			row[3*x+2] = im.B[off+x]
+		}
+		if _, err := bw.Write(row); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// SavePPM writes the image to a PPM file at path.
+func (im *Image) SavePPM(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := im.WritePPM(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadPPM parses a binary PPM (P6) image.
+func ReadPPM(r io.Reader) (*Image, error) {
+	br := bufio.NewReader(r)
+	magic, err := readToken(br)
+	if err != nil {
+		return nil, err
+	}
+	if magic != "P6" {
+		return nil, fmt.Errorf("frame: not a P6 PPM (magic %q)", magic)
+	}
+	var w, h, maxv int
+	for _, dst := range []*int{&w, &h, &maxv} {
+		tok, err := readToken(br)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := fmt.Sscanf(tok, "%d", dst); err != nil {
+			return nil, fmt.Errorf("frame: bad PPM header token %q: %w", tok, err)
+		}
+	}
+	if w <= 0 || h <= 0 || w*h > 1<<28 {
+		return nil, fmt.Errorf("frame: unreasonable PPM size %dx%d", w, h)
+	}
+	if maxv != 255 {
+		return nil, fmt.Errorf("frame: unsupported PPM max value %d", maxv)
+	}
+	im := NewImage(w, h)
+	row := make([]byte, w*3)
+	for y := 0; y < h; y++ {
+		if _, err := io.ReadFull(br, row); err != nil {
+			return nil, fmt.Errorf("frame: short PPM pixel data: %w", err)
+		}
+		off := y * im.Stride
+		for x := 0; x < w; x++ {
+			im.R[off+x] = row[3*x+0]
+			im.G[off+x] = row[3*x+1]
+			im.B[off+x] = row[3*x+2]
+		}
+	}
+	return im, nil
+}
+
+// WritePGM serialises the depth map as an 8-bit binary PGM (P5) using the
+// paper's grayscale "darkness = nearness" convention: near pixels are dark.
+func (d *DepthMap) WritePGM(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "P5\n%d %d\n255\n", d.W, d.H); err != nil {
+		return err
+	}
+	row := make([]byte, d.W)
+	for y := 0; y < d.H; y++ {
+		off := y * d.Stride
+		for x := 0; x < d.W; x++ {
+			z := d.Z[off+x]
+			if z < 0 {
+				z = 0
+			} else if z > 1 {
+				z = 1
+			}
+			row[x] = uint8(z*254 + 0.5)
+		}
+		if _, err := bw.Write(row); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// SavePGM writes the depth map to a PGM file at path.
+func (d *DepthMap) SavePGM(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := d.WritePGM(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// WriteGrayPGM writes an arbitrary float64 plane (such as a spatially
+// weighted depth map) as a normalised 8-bit PGM for inspection.
+func WriteGrayPGM(w io.Writer, plane []float64, width, height int) error {
+	if len(plane) != width*height {
+		return fmt.Errorf("frame: plane length %d != %dx%d", len(plane), width, height)
+	}
+	lo, hi := plane[0], plane[0]
+	for _, v := range plane {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	scale := 0.0
+	if hi > lo {
+		scale = 255 / (hi - lo)
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "P5\n%d %d\n255\n", width, height); err != nil {
+		return err
+	}
+	row := make([]byte, width)
+	for y := 0; y < height; y++ {
+		for x := 0; x < width; x++ {
+			row[x] = uint8((plane[y*width+x] - lo) * scale)
+		}
+		if _, err := bw.Write(row); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// readToken reads the next whitespace-delimited header token, skipping
+// '#' comments as the PNM spec allows.
+func readToken(br *bufio.Reader) (string, error) {
+	var tok []byte
+	for {
+		b, err := br.ReadByte()
+		if err != nil {
+			if err == io.EOF && len(tok) > 0 {
+				return string(tok), nil
+			}
+			return "", err
+		}
+		switch {
+		case b == '#':
+			if _, err := br.ReadString('\n'); err != nil {
+				return "", err
+			}
+		case b == ' ' || b == '\t' || b == '\n' || b == '\r':
+			if len(tok) > 0 {
+				return string(tok), nil
+			}
+		default:
+			tok = append(tok, b)
+		}
+	}
+}

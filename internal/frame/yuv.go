@@ -1,0 +1,103 @@
+package frame
+
+import "fmt"
+
+// YUV420 is a planar YCbCr image with 4:2:0 chroma subsampling — the pixel
+// format every production video codec actually codes. The block codec in
+// this repository codes RGB planes for transparency, but real bitstreams
+// and the hardware decoders the paper's client relies on speak 4:2:0; this
+// type and the conversions exist so downstream users can bridge to real
+// codec data, and so the bandwidth arithmetic of chroma subsampling (half
+// the samples of RGB) is available to experiments.
+type YUV420 struct {
+	W, H int
+	// Y is the full-resolution luma plane.
+	Y []uint8
+	// Cb and Cr are the quarter-resolution chroma planes
+	// (⌈W/2⌉ × ⌈H/2⌉).
+	Cb, Cr []uint8
+}
+
+// ChromaW and ChromaH return the chroma plane dimensions.
+func (y *YUV420) ChromaW() int { return (y.W + 1) / 2 }
+
+// ChromaH returns the chroma plane height.
+func (y *YUV420) ChromaH() int { return (y.H + 1) / 2 }
+
+// Bytes returns the total sample count (the 1.5 bytes-per-pixel of 4:2:0).
+func (y *YUV420) Bytes() int { return len(y.Y) + len(y.Cb) + len(y.Cr) }
+
+// ToYUV420 converts an RGB image to BT.601 limited-range-free (full-range)
+// YCbCr with 2×2 box-averaged chroma.
+func ToYUV420(im *Image) *YUV420 {
+	im = im.Compact()
+	w, h := im.W, im.H
+	cw, ch := (w+1)/2, (h+1)/2
+	out := &YUV420{
+		W: w, H: h,
+		Y:  make([]uint8, w*h),
+		Cb: make([]uint8, cw*ch),
+		Cr: make([]uint8, cw*ch),
+	}
+	// Luma per pixel; chroma accumulated per 2x2 tile.
+	cbSum := make([]int, cw*ch)
+	crSum := make([]int, cw*ch)
+	cnt := make([]int, cw*ch)
+	for yy := 0; yy < h; yy++ {
+		for xx := 0; xx < w; xx++ {
+			i := yy*w + xx
+			r := float64(im.R[i])
+			g := float64(im.G[i])
+			b := float64(im.B[i])
+			Y := 0.299*r + 0.587*g + 0.114*b
+			cb := 128 - 0.168736*r - 0.331264*g + 0.5*b
+			cr := 128 + 0.5*r - 0.418688*g - 0.081312*b
+			out.Y[i] = clampU8(Y)
+			ci := (yy/2)*cw + xx/2
+			cbSum[ci] += int(clampU8(cb))
+			crSum[ci] += int(clampU8(cr))
+			cnt[ci]++
+		}
+	}
+	for i := range cnt {
+		out.Cb[i] = uint8((cbSum[i] + cnt[i]/2) / cnt[i])
+		out.Cr[i] = uint8((crSum[i] + cnt[i]/2) / cnt[i])
+	}
+	return out
+}
+
+// ToRGB converts back to RGB with nearest-neighbour chroma upsampling (the
+// cheapest — and a common hardware — chroma reconstruction).
+func (y *YUV420) ToRGB() (*Image, error) {
+	if y.W <= 0 || y.H <= 0 {
+		return nil, fmt.Errorf("frame: empty YUV image %dx%d", y.W, y.H)
+	}
+	if len(y.Y) != y.W*y.H || len(y.Cb) != y.ChromaW()*y.ChromaH() || len(y.Cr) != len(y.Cb) {
+		return nil, fmt.Errorf("frame: inconsistent YUV plane sizes")
+	}
+	im := NewImage(y.W, y.H)
+	cw := y.ChromaW()
+	for yy := 0; yy < y.H; yy++ {
+		for xx := 0; xx < y.W; xx++ {
+			i := yy*y.W + xx
+			ci := (yy/2)*cw + xx/2
+			Y := float64(y.Y[i])
+			cb := float64(y.Cb[ci]) - 128
+			cr := float64(y.Cr[ci]) - 128
+			im.R[i] = clampU8(Y + 1.402*cr)
+			im.G[i] = clampU8(Y - 0.344136*cb - 0.714136*cr)
+			im.B[i] = clampU8(Y + 1.772*cb)
+		}
+	}
+	return im, nil
+}
+
+func clampU8(v float64) uint8 {
+	if v <= 0 {
+		return 0
+	}
+	if v >= 255 {
+		return 255
+	}
+	return uint8(v + 0.5)
+}

@@ -1,0 +1,141 @@
+package frame
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestYUVGeometry(t *testing.T) {
+	im := NewImage(7, 5) // odd dimensions exercise chroma rounding
+	y := ToYUV420(im)
+	if y.W != 7 || y.H != 5 {
+		t.Fatalf("geometry %dx%d", y.W, y.H)
+	}
+	if y.ChromaW() != 4 || y.ChromaH() != 3 {
+		t.Fatalf("chroma %dx%d, want 4x3", y.ChromaW(), y.ChromaH())
+	}
+	if y.Bytes() != 7*5+2*4*3 {
+		t.Errorf("bytes = %d", y.Bytes())
+	}
+}
+
+func TestYUVBandwidthRatio(t *testing.T) {
+	// 4:2:0 carries ~half the samples of RGB — the subsampling argument
+	// real codecs rest on.
+	im := NewImage(64, 64)
+	y := ToYUV420(im)
+	rgbBytes := 3 * 64 * 64
+	ratio := float64(y.Bytes()) / float64(rgbBytes)
+	if math.Abs(ratio-0.5) > 0.01 {
+		t.Errorf("4:2:0/RGB ratio = %.3f, want 0.5", ratio)
+	}
+}
+
+func TestYUVGrayRoundTripExact(t *testing.T) {
+	// Grayscale has no chroma: the round trip must be near-exact.
+	im := NewImage(16, 16)
+	for i := range im.R {
+		v := uint8(i)
+		im.R[i], im.G[i], im.B[i] = v, v, v
+	}
+	back, err := ToYUV420(im).ToRGB()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range im.R {
+		if absDiff(im.R[i], back.R[i]) > 1 || absDiff(im.G[i], back.G[i]) > 1 || absDiff(im.B[i], back.B[i]) > 1 {
+			t.Fatalf("gray pixel %d drifted: (%d,%d,%d) -> (%d,%d,%d)",
+				i, im.R[i], im.G[i], im.B[i], back.R[i], back.G[i], back.B[i])
+		}
+	}
+}
+
+func TestYUVColorRoundTripBounded(t *testing.T) {
+	// Smooth color content: subsampling loss stays small.
+	im := NewImage(32, 32)
+	for y := 0; y < 32; y++ {
+		for x := 0; x < 32; x++ {
+			im.Set(x, y, uint8(x*8), uint8(y*8), uint8((x+y)*4))
+		}
+	}
+	back, err := ToYUV420(im).ToRGB()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var worst int
+	for i := range im.R {
+		for _, d := range []int{absDiffI(im.R[i], back.R[i]), absDiffI(im.G[i], back.G[i]), absDiffI(im.B[i], back.B[i])} {
+			if d > worst {
+				worst = d
+			}
+		}
+	}
+	if worst > 12 {
+		t.Errorf("smooth-content round trip worst error %d levels", worst)
+	}
+}
+
+func TestYUVPrimaries(t *testing.T) {
+	// Pure primaries land at their textbook YCbCr values.
+	cases := []struct {
+		r, g, b uint8
+		y       float64
+	}{
+		{255, 255, 255, 255},
+		{0, 0, 0, 0},
+		{255, 0, 0, 76},
+		{0, 255, 0, 150},
+		{0, 0, 255, 29},
+	}
+	for _, c := range cases {
+		im := NewImage(2, 2)
+		im.Fill(c.r, c.g, c.b)
+		y := ToYUV420(im)
+		if math.Abs(float64(y.Y[0])-c.y) > 1 {
+			t.Errorf("(%d,%d,%d): Y = %d, want ≈%.0f", c.r, c.g, c.b, y.Y[0], c.y)
+		}
+	}
+}
+
+func TestYUVToRGBValidation(t *testing.T) {
+	bad := &YUV420{W: 4, H: 4, Y: make([]uint8, 3)}
+	if _, err := bad.ToRGB(); err == nil {
+		t.Error("inconsistent planes should fail")
+	}
+	empty := &YUV420{}
+	if _, err := empty.ToRGB(); err == nil {
+		t.Error("empty image should fail")
+	}
+}
+
+func TestYUVRandomImagesStayInRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		w := rng.Intn(20) + 1
+		h := rng.Intn(20) + 1
+		im := NewImage(w, h)
+		for i := range im.R {
+			im.R[i] = uint8(rng.Intn(256))
+			im.G[i] = uint8(rng.Intn(256))
+			im.B[i] = uint8(rng.Intn(256))
+		}
+		y := ToYUV420(im)
+		if len(y.Y) != w*h {
+			t.Fatal("luma plane size")
+		}
+		if _, err := y.ToRGB(); err != nil {
+			t.Fatalf("%dx%d: %v", w, h, err)
+		}
+	}
+}
+
+func absDiff(a, b uint8) int { return absDiffI(a, b) }
+
+func absDiffI(a, b uint8) int {
+	d := int(a) - int(b)
+	if d < 0 {
+		return -d
+	}
+	return d
+}

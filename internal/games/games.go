@@ -1,0 +1,469 @@
+// Package games provides the ten gaming workloads of the paper's Table I as
+// procedural scenes for the software renderer. Each workload pairs a static
+// scene composition in the spirit of its genre (corridor shooter, open-world
+// RPG, racing circuit, …) with a deterministic camera/object motion script,
+// so any frame of any game can be regenerated bit-exactly from (game, frame
+// index) alone.
+//
+// What matters for the reproduction is not art direction but the signal
+// structure the paper's mechanisms key on: near, textured foreground
+// geometry around the screen center (the RoI candidates), smoother distant
+// background (the mip/LOD effect), and frame-to-frame motion that the block
+// codec's motion search can track.
+package games
+
+import (
+	"fmt"
+	"math"
+
+	"gamestreamsr/internal/geom"
+	"gamestreamsr/internal/render"
+)
+
+// FPS is the nominal game frame rate; motion scripts are parameterised in
+// seconds and sampled at this rate.
+const FPS = 60
+
+// Workload is one game benchmark.
+type Workload struct {
+	// ID is the paper's identifier, "G1" … "G10".
+	ID string
+	// Name of the commercial game the workload stands in for.
+	Name string
+	// Genre from Table I.
+	Genre string
+	// build returns the scene and camera for time t (seconds).
+	build func(t float64) (*render.Scene, geom.Camera)
+	// aspect of the target stream (width/height).
+	aspect float64
+}
+
+// New builds a custom workload from a scene script: build receives the
+// scene time in seconds and returns the world and camera for that instant.
+// Everything that works on the built-in G1–G10 workloads — RoI detection,
+// the streaming pipelines, the experiment harness — works on custom ones.
+func New(id, name, genre string, build func(t float64) (*render.Scene, geom.Camera)) *Workload {
+	return &Workload{ID: id, Name: name, Genre: genre, build: build, aspect: 16.0 / 9}
+}
+
+// Frame returns the scene and camera for the given frame index.
+func (w *Workload) Frame(i int) (*render.Scene, geom.Camera) {
+	if i < 0 {
+		i = 0
+	}
+	return w.build(float64(i) / FPS)
+}
+
+// Render renders frame i of the workload at the given resolution.
+func (w *Workload) Render(rd *render.Renderer, i, width, height int) render.Output {
+	sc, cam := w.Frame(i)
+	return rd.Render(sc, cam, width, height)
+}
+
+func (w *Workload) String() string { return fmt.Sprintf("%s (%s, %s)", w.ID, w.Name, w.Genre) }
+
+// All returns the ten workloads G1–G10 in Table I order.
+func All() []*Workload {
+	return []*Workload{
+		g1MetroExodus(),
+		g2FarCry5(),
+		g3Witcher3(),
+		g4RedDead2(),
+		g5GTAV(),
+		g6GodOfWar(),
+		g7TombRaider(),
+		g8PlagueTale(),
+		g9FarmingSim(),
+		g10Forza(),
+	}
+}
+
+// ByID returns the workload with the given paper ID ("G3") or an error.
+func ByID(id string) (*Workload, error) {
+	for _, w := range All() {
+		if w.ID == id {
+			return w, nil
+		}
+	}
+	return nil, fmt.Errorf("games: unknown workload %q (want G1..G10)", id)
+}
+
+// --- shared scene vocabulary -------------------------------------------------
+
+func vec(x, y, z float64) geom.Vec3 { return geom.Vec3{X: x, Y: y, Z: z} }
+
+func mat(r, g, b, scale, amp float64, seed int64) render.Material {
+	return render.Material{
+		Color:    vec(r, g, b),
+		TexScale: scale,
+		TexAmp:   amp,
+		Octaves:  5,
+		Seed:     seed,
+	}
+}
+
+func box(min, max geom.Vec3, m render.Material) render.Object {
+	return render.Object{Shape: geom.AABB{Min: min, Max: max}, Mat: m}
+}
+
+func sphere(c geom.Vec3, r float64, m render.Material) render.Object {
+	return render.Object{Shape: geom.Sphere{C: c, R: r}, Mat: m}
+}
+
+func ground(r, g, b, scale, amp float64, seed int64) *render.Object {
+	o := render.Object{Shape: geom.Plane{Y: 0}, Mat: mat(r, g, b, scale, amp, seed)}
+	return &o
+}
+
+func baseScene(objs []render.Object, gr *render.Object, far float64) *render.Scene {
+	return &render.Scene{
+		Objects:   objs,
+		Ground:    gr,
+		Light:     vec(0.45, 0.8, -0.3).Normalize(),
+		Ambient:   0.3,
+		SkyTop:    vec(0.25, 0.45, 0.85),
+		SkyBottom: vec(0.75, 0.82, 0.92),
+		Near:      0.1,
+		Far:       far,
+	}
+}
+
+// hash1 gives deterministic pseudo-random values for object placement.
+func hash1(i int64) float64 {
+	h := uint64(i) * 0x9E3779B97F4A7C15
+	h ^= h >> 31
+	h *= 0xBF58476D1CE4E5B9
+	h ^= h >> 29
+	return float64(h&0xFFFFFF) / float64(1<<24)
+}
+
+// --- the ten workloads -------------------------------------------------------
+
+// g1MetroExodus: first-person shooter in a tunnel. The camera advances
+// through a corridor of pillars with a weapon-like emissive block in the
+// lower-center foreground.
+func g1MetroExodus() *Workload {
+	return &Workload{
+		ID: "G1", Name: "Metro Exodus", Genre: "First Person Shooter",
+		aspect: 16.0 / 9,
+		build: func(t float64) (*render.Scene, geom.Camera) {
+			speed := 3.0
+			z := t * speed
+			var objs []render.Object
+			// Tunnel pillars on both sides, repeating every 6 units.
+			for i := 0; i < 14; i++ {
+				pz := math.Floor(z/6)*6 + float64(i)*6
+				h := 3 + 2*hash1(int64(i)+101)
+				objs = append(objs,
+					box(vec(-4.5, 0, pz), vec(-3.5, h, pz+1), mat(0.45, 0.4, 0.35, 1.4, 0.7, 11+int64(i))),
+					box(vec(3.5, 0, pz+3), vec(4.5, h, pz+4), mat(0.4, 0.42, 0.38, 1.4, 0.7, 57+int64(i))),
+				)
+			}
+			// Ceiling slab.
+			objs = append(objs, box(vec(-5, 6, z-2), vec(5, 7, z+90), mat(0.3, 0.3, 0.32, 0.8, 0.5, 77)))
+			// Enemy target ahead: near-center foreground sphere.
+			objs = append(objs, sphere(vec(0.6*math.Sin(t*1.3), 1.4, z+7+1.5*math.Sin(t*0.7)), 1.0, mat(0.75, 0.25, 0.2, 3.5, 0.8, 5)))
+			sc := baseScene(objs, ground(0.35, 0.33, 0.3, 1.2, 0.8, 21), 120)
+			sc.Ambient = 0.45 // tunnel bounce light
+			eye := vec(0.2*math.Sin(t*2.1), 1.7, z)
+			cam := geom.NewCamera(eye, vec(0, 1.5, z+10), 58, 16.0/9)
+			return sc, cam
+		},
+	}
+}
+
+// g2FarCry5: third-person shooter in open country — the player character is
+// a capsule-ish pair of spheres just below screen center with scattered
+// pines behind.
+func g2FarCry5() *Workload {
+	return &Workload{
+		ID: "G2", Name: "Far Cry 5", Genre: "Third Person Shooter",
+		aspect: 16.0 / 9,
+		build: func(t float64) (*render.Scene, geom.Camera) {
+			z := t * 2.2
+			var objs []render.Object
+			// Player character (two stacked spheres) ahead of the camera.
+			px := 0.4 * math.Sin(t*1.1)
+			objs = append(objs,
+				sphere(vec(px, 0.9, z+4.5), 0.75, mat(0.2, 0.45, 0.7, 4, 0.85, 31)),
+				sphere(vec(px, 1.95, z+4.5), 0.45, mat(0.85, 0.7, 0.55, 5, 0.7, 32)),
+			)
+			// Pine stand: trunk boxes + canopy spheres at varied depths.
+			for i := 0; i < 16; i++ {
+				fx := (hash1(int64(i)*7+1) - 0.5) * 40
+				fz := z + 12 + hash1(int64(i)*7+2)*60
+				th := 2 + 3*hash1(int64(i)*7+3)
+				objs = append(objs,
+					box(vec(fx-0.3, 0, fz-0.3), vec(fx+0.3, th, fz+0.3), mat(0.4, 0.3, 0.2, 2, 0.6, 40+int64(i))),
+					sphere(vec(fx, th+1.2, fz), 1.6, mat(0.15, 0.4, 0.18, 1.5, 0.75, 60+int64(i))),
+				)
+			}
+			sc := baseScene(objs, ground(0.35, 0.5, 0.25, 0.9, 0.85, 91), 150)
+			eye := vec(0, 2.6, z)
+			cam := geom.NewCamera(eye, vec(px*0.5, 1.4, z+8), 55, 16.0/9)
+			return sc, cam
+		},
+	}
+}
+
+// g3Witcher3: role-playing game — rider (sphere pair) crossing a rocky
+// moor; the paper's drill-down game, so the scene has a pronounced
+// foreground/background depth split.
+func g3Witcher3() *Workload {
+	return &Workload{
+		ID: "G3", Name: "Witcher 3", Genre: "Role playing",
+		aspect: 16.0 / 9,
+		build: func(t float64) (*render.Scene, geom.Camera) {
+			z := t * 2.5
+			var objs []render.Object
+			// Rider: horse body + rider head, slightly left of center.
+			rx := -0.5 + 0.3*math.Sin(t*0.9)
+			objs = append(objs,
+				sphere(vec(rx, 1.0, z+5), 0.95, mat(0.5, 0.33, 0.2, 4.5, 0.85, 71)),
+				sphere(vec(rx, 2.2, z+5), 0.5, mat(0.8, 0.75, 0.65, 5, 0.75, 72)),
+			)
+			// Rock field, mid-distance.
+			for i := 0; i < 12; i++ {
+				fx := (hash1(int64(i)*13+5) - 0.5) * 30
+				fz := z + 10 + hash1(int64(i)*13+6)*50
+				r := 0.8 + 1.6*hash1(int64(i)*13+7)
+				objs = append(objs, sphere(vec(fx, r*0.5, fz), r, mat(0.45, 0.43, 0.4, 2, 0.8, 80+int64(i))))
+			}
+			// Distant keep on the horizon.
+			objs = append(objs,
+				box(vec(-8, 0, z+90), vec(4, 14, z+102), mat(0.5, 0.48, 0.45, 0.5, 0.5, 95)),
+				box(vec(-2, 14, z+94), vec(1, 20, z+97), mat(0.52, 0.5, 0.46, 0.5, 0.5, 96)),
+			)
+			sc := baseScene(objs, ground(0.4, 0.45, 0.28, 1.0, 0.9, 70), 160)
+			eye := vec(0.3*math.Sin(t*0.6), 2.8, z)
+			cam := geom.NewCamera(eye, vec(rx*0.6, 1.5, z+9), 55, 16.0/9)
+			return sc, cam
+		},
+	}
+}
+
+// g4RedDead2: action — a western main street; buildings flank a rider moving
+// down the center.
+func g4RedDead2() *Workload {
+	return &Workload{
+		ID: "G4", Name: "Red Dead Redemption 2", Genre: "Action",
+		aspect: 16.0 / 9,
+		build: func(t float64) (*render.Scene, geom.Camera) {
+			z := t * 2.0
+			var objs []render.Object
+			for i := 0; i < 10; i++ {
+				bz := math.Floor(z/9)*9 + float64(i)*9
+				hl := 3 + 2.5*hash1(int64(i)+301)
+				hr := 3 + 2.5*hash1(int64(i)+302)
+				objs = append(objs,
+					box(vec(-10, 0, bz), vec(-4, hl, bz+7), mat(0.55, 0.42, 0.3, 0.9, 0.75, 300+int64(i))),
+					box(vec(4, 0, bz+4), vec(10, hr, bz+11), mat(0.5, 0.4, 0.32, 0.9, 0.75, 330+int64(i))),
+				)
+			}
+			// Rider in the street.
+			rx := 0.5 * math.Sin(t*0.8)
+			objs = append(objs,
+				sphere(vec(rx, 1.1, z+6), 1.0, mat(0.35, 0.25, 0.18, 4, 0.85, 351)),
+				sphere(vec(rx, 2.4, z+6), 0.5, mat(0.75, 0.6, 0.5, 5, 0.7, 352)),
+			)
+			sc := baseScene(objs, ground(0.55, 0.48, 0.35, 1.1, 0.85, 360), 140)
+			cam := geom.NewCamera(vec(0, 2.4, z), vec(rx*0.5, 1.6, z+9), 58, 16.0/9)
+			return sc, cam
+		},
+	}
+}
+
+// g5GTAV: adventure — driving through a city grid; camera low behind a car
+// (box) with tall towers on both sides.
+func g5GTAV() *Workload {
+	return &Workload{
+		ID: "G5", Name: "Grand Theft Auto V", Genre: "Adventure",
+		aspect: 16.0 / 9,
+		build: func(t float64) (*render.Scene, geom.Camera) {
+			z := t * 8.0 // driving speed
+			var objs []render.Object
+			for i := 0; i < 12; i++ {
+				bz := math.Floor(z/14)*14 + float64(i)*14
+				hl := 8 + 14*hash1(int64(i)+401)
+				hr := 8 + 14*hash1(int64(i)+402)
+				objs = append(objs,
+					box(vec(-16, 0, bz), vec(-6, hl, bz+10), mat(0.45, 0.48, 0.55, 0.6, 0.65, 400+int64(i))),
+					box(vec(6, 0, bz+7), vec(16, hr, bz+17), mat(0.5, 0.5, 0.52, 0.6, 0.65, 430+int64(i))),
+				)
+			}
+			// Player car.
+			cx := 1.2 * math.Sin(t*0.5)
+			objs = append(objs, box(vec(cx-1, 0.3, z+5), vec(cx+1, 1.5, z+8.5), mat(0.8, 0.15, 0.1, 3, 0.6, 451)))
+			sc := baseScene(objs, ground(0.32, 0.32, 0.34, 1.3, 0.7, 460), 200)
+			cam := geom.NewCamera(vec(cx*0.6, 2.2, z), vec(cx, 1.2, z+10), 62, 16.0/9)
+			return sc, cam
+		},
+	}
+}
+
+// g6GodOfWar: action-adventure — a mountain pass with a large monolith and
+// the protagonist in the near field.
+func g6GodOfWar() *Workload {
+	return &Workload{
+		ID: "G6", Name: "God of War", Genre: "Action-adventure",
+		aspect: 16.0 / 9,
+		build: func(t float64) (*render.Scene, geom.Camera) {
+			z := t * 1.8
+			var objs []render.Object
+			px := 0.3 * math.Sin(t*1.4)
+			objs = append(objs,
+				sphere(vec(px, 1.0, z+4), 0.85, mat(0.65, 0.55, 0.45, 4.5, 0.9, 501)),
+				sphere(vec(px+0.9, 0.8, z+4.4), 0.55, mat(0.45, 0.3, 0.25, 5, 0.8, 502)), // the boy
+			)
+			// Canyon walls converging ahead.
+			for i := 0; i < 8; i++ {
+				wz := z + float64(i)*12
+				objs = append(objs,
+					box(vec(-20+float64(i), 0, wz), vec(-5+float64(i)*0.5, 16, wz+12), mat(0.42, 0.4, 0.42, 0.7, 0.8, 510+int64(i))),
+					box(vec(5-float64(i)*0.5, 0, wz+6), vec(20-float64(i), 18, wz+18), mat(0.4, 0.42, 0.44, 0.7, 0.8, 530+int64(i))),
+				)
+			}
+			// Monolith gate far ahead.
+			objs = append(objs, box(vec(-3, 0, z+95), vec(3, 25, z+100), mat(0.35, 0.38, 0.45, 0.4, 0.5, 550)))
+			sc := baseScene(objs, ground(0.5, 0.5, 0.52, 1.0, 0.85, 560), 170)
+			sc.SkyTop = vec(0.4, 0.42, 0.5) // overcast
+			cam := geom.NewCamera(vec(0, 2.3, z), vec(px*0.7, 1.3, z+8), 55, 16.0/9)
+			return sc, cam
+		},
+	}
+}
+
+// g7TombRaider: survival — dense jungle ruin; obstacles at many depths with
+// a climber just off-center.
+func g7TombRaider() *Workload {
+	return &Workload{
+		ID: "G7", Name: "Shadow of the Tomb Raider", Genre: "Survival",
+		aspect: 16.0 / 9,
+		build: func(t float64) (*render.Scene, geom.Camera) {
+			z := t * 1.5
+			var objs []render.Object
+			px := 0.4*math.Sin(t*1.2) + 0.3
+			objs = append(objs,
+				sphere(vec(px, 1.2+0.3*math.Abs(math.Sin(t*2.5)), z+4), 0.7, mat(0.5, 0.55, 0.45, 5, 0.9, 601)),
+			)
+			// Ruin blocks and foliage spheres.
+			for i := 0; i < 18; i++ {
+				fx := (hash1(int64(i)*17+9) - 0.5) * 24
+				fz := z + 7 + hash1(int64(i)*17+10)*45
+				s := 0.8 + 2.2*hash1(int64(i)*17+11)
+				if i%2 == 0 {
+					objs = append(objs, box(vec(fx-s/2, 0, fz-s/2), vec(fx+s/2, s*1.4, fz+s/2), mat(0.48, 0.46, 0.4, 1.6, 0.85, 610+int64(i))))
+				} else {
+					objs = append(objs, sphere(vec(fx, s, fz), s, mat(0.18, 0.42, 0.2, 1.8, 0.85, 640+int64(i))))
+				}
+			}
+			sc := baseScene(objs, ground(0.3, 0.4, 0.22, 1.2, 0.9, 660), 130)
+			sc.Ambient = 0.35
+			cam := geom.NewCamera(vec(0, 2.0, z), vec(px*0.5, 1.4, z+7), 58, 16.0/9)
+			return sc, cam
+		},
+	}
+}
+
+// g8PlagueTale: stealth — a narrow medieval alley at dusk; tight walls, a
+// crouched figure, low ambient light.
+func g8PlagueTale() *Workload {
+	return &Workload{
+		ID: "G8", Name: "A Plague Tale: Requiem", Genre: "Stealth",
+		aspect: 16.0 / 9,
+		build: func(t float64) (*render.Scene, geom.Camera) {
+			z := t * 1.2
+			var objs []render.Object
+			for i := 0; i < 9; i++ {
+				bz := math.Floor(z/8)*8 + float64(i)*8
+				objs = append(objs,
+					box(vec(-6, 0, bz), vec(-2.5, 7+2*hash1(int64(i)+701), bz+7), mat(0.4, 0.36, 0.32, 1.1, 0.8, 700+int64(i))),
+					box(vec(2.5, 0, bz+3), vec(6, 6+3*hash1(int64(i)+702), bz+10), mat(0.38, 0.35, 0.33, 1.1, 0.8, 720+int64(i))),
+				)
+			}
+			// Crouched protagonist: low sphere slightly right of center.
+			px := 0.6 + 0.2*math.Sin(t*0.9)
+			objs = append(objs, sphere(vec(px, 0.7, z+3.5), 0.65, mat(0.55, 0.42, 0.35, 5, 0.85, 741)))
+			// A lantern: emissive marker mid-alley.
+			objs = append(objs, render.Object{
+				Shape:    geom.Sphere{C: vec(-1.8, 2.6, z+14), R: 0.3},
+				Mat:      mat(1.0, 0.85, 0.5, 0, 0, 0),
+				Emissive: true,
+			})
+			sc := baseScene(objs, ground(0.33, 0.3, 0.28, 1.4, 0.8, 750), 110)
+			sc.Ambient = 0.5
+			sc.SkyTop = vec(0.2, 0.18, 0.3)
+			sc.SkyBottom = vec(0.5, 0.35, 0.3) // dusk
+			cam := geom.NewCamera(vec(0, 1.5, z), vec(px*0.6, 1.0, z+6), 60, 16.0/9)
+			return sc, cam
+		},
+	}
+}
+
+// g9FarmingSim: simulation — a tractor (boxes) working straight crop rows;
+// wide flat vistas, slow motion.
+func g9FarmingSim() *Workload {
+	return &Workload{
+		ID: "G9", Name: "Farming Simulator 22", Genre: "Simulation",
+		aspect: 16.0 / 9,
+		build: func(t float64) (*render.Scene, geom.Camera) {
+			z := t * 1.6
+			var objs []render.Object
+			// Tractor: cab + body ahead of the camera.
+			objs = append(objs,
+				box(vec(-1.2, 0.4, z+5), vec(1.2, 1.8, z+8), mat(0.2, 0.6, 0.2, 2.5, 0.6, 801)),
+				box(vec(-0.8, 1.8, z+6.4), vec(0.8, 2.9, z+7.8), mat(0.25, 0.55, 0.25, 3, 0.5, 802)),
+			)
+			// Crop rows: long thin boxes parallel to travel.
+			for i := -6; i <= 6; i++ {
+				if i == 0 {
+					continue
+				}
+				x := float64(i) * 2.2
+				objs = append(objs, box(vec(x-0.5, 0, z-5), vec(x+0.5, 0.8, z+120), mat(0.65, 0.6, 0.25, 2.2, 0.85, 810+int64(i))))
+			}
+			// Distant barn.
+			objs = append(objs, box(vec(14, 0, z+80), vec(26, 9, z+92), mat(0.6, 0.3, 0.25, 0.6, 0.6, 830)))
+			sc := baseScene(objs, ground(0.5, 0.42, 0.28, 1.0, 0.85, 840), 180)
+			cam := geom.NewCamera(vec(0, 3.2, z), vec(0, 1.6, z+10), 52, 16.0/9)
+			return sc, cam
+		},
+	}
+}
+
+// g10Forza: racing — high-speed straight with barriers, trackside signs and
+// the player car in the lower center.
+func g10Forza() *Workload {
+	return &Workload{
+		ID: "G10", Name: "Forza Horizon 5", Genre: "Racing",
+		aspect: 16.0 / 9,
+		build: func(t float64) (*render.Scene, geom.Camera) {
+			z := t * 16.0 // fast
+			var objs []render.Object
+			// Barriers every 10 units.
+			for i := 0; i < 14; i++ {
+				bz := math.Floor(z/10)*10 + float64(i)*10
+				objs = append(objs,
+					box(vec(-7, 0, bz), vec(-6.4, 1.1, bz+8), mat(0.8, 0.1, 0.1, 2.5, 0.5, 900+int64(i))),
+					box(vec(6.4, 0, bz+5), vec(7, 1.1, bz+13), mat(0.9, 0.9, 0.9, 2.5, 0.5, 920+int64(i))),
+				)
+			}
+			// Overhead gantry sign, periodic.
+			gz := math.Floor(z/80)*80 + 70
+			objs = append(objs,
+				box(vec(-7, 0, gz), vec(-6.3, 6, gz+0.7), mat(0.4, 0.4, 0.45, 1, 0.4, 941)),
+				box(vec(6.3, 0, gz), vec(7, 6, gz+0.7), mat(0.4, 0.4, 0.45, 1, 0.4, 942)),
+				box(vec(-7, 5, gz), vec(7, 6.2, gz+0.7), mat(0.2, 0.5, 0.8, 2, 0.6, 943)),
+			)
+			// Player car: lower center, slight lateral motion through traffic.
+			cx := 2.0 * math.Sin(t*0.7)
+			objs = append(objs, box(vec(cx-0.9, 0.25, z+4.5), vec(cx+0.9, 1.1, z+7.5), mat(0.95, 0.55, 0.1, 3.5, 0.55, 951)))
+			// Rival car ahead.
+			rx := -2.0 * math.Sin(t*0.5)
+			objs = append(objs, box(vec(rx-0.9, 0.25, z+16), vec(rx+0.9, 1.1, z+19), mat(0.1, 0.3, 0.8, 3.5, 0.55, 952)))
+			sc := baseScene(objs, ground(0.36, 0.36, 0.38, 1.5, 0.75, 960), 220)
+			cam := geom.NewCamera(vec(cx*0.7, 1.8, z), vec(cx, 0.9, z+11), 64, 16.0/9)
+			return sc, cam
+		},
+	}
+}

@@ -1,0 +1,268 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+const eps = 1e-9
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-6 }
+
+func TestVecOps(t *testing.T) {
+	a := Vec3{1, 2, 3}
+	b := Vec3{4, 5, 6}
+	if a.Add(b) != (Vec3{5, 7, 9}) {
+		t.Error("add")
+	}
+	if b.Sub(a) != (Vec3{3, 3, 3}) {
+		t.Error("sub")
+	}
+	if a.Mul(2) != (Vec3{2, 4, 6}) {
+		t.Error("mul")
+	}
+	if a.Dot(b) != 32 {
+		t.Error("dot")
+	}
+	if a.Cross(b) != (Vec3{-3, 6, -3}) {
+		t.Error("cross")
+	}
+	if !almost((Vec3{3, 4, 0}).Len(), 5) {
+		t.Error("len")
+	}
+	if !almost(a.Lerp(b, 0.5).X, 2.5) {
+		t.Error("lerp")
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	v := Vec3{10, 0, 0}.Normalize()
+	if !almost(v.Len(), 1) || !almost(v.X, 1) {
+		t.Errorf("normalize = %v", v)
+	}
+	if (Vec3{}).Normalize() != (Vec3{}) {
+		t.Error("zero vector should normalize to zero")
+	}
+}
+
+func TestCrossOrthogonality(t *testing.T) {
+	f := func(ax, ay, az, bx, by, bz float64) bool {
+		a := Vec3{clampf(ax), clampf(ay), clampf(az)}
+		b := Vec3{clampf(bx), clampf(by), clampf(bz)}
+		c := a.Cross(b)
+		return math.Abs(c.Dot(a)) < 1e-6 && math.Abs(c.Dot(b)) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func clampf(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 1
+	}
+	return math.Mod(v, 100)
+}
+
+func TestSphereIntersect(t *testing.T) {
+	s := Sphere{C: Vec3{0, 0, 10}, R: 2}
+	r := Ray{O: Vec3{}, D: Vec3{0, 0, 1}}
+	h := s.Intersect(r, eps, 1e9)
+	if !h.OK || !almost(h.T, 8) {
+		t.Fatalf("hit = %+v, want t=8", h)
+	}
+	if !almost(h.Normal.Z, -1) {
+		t.Errorf("normal = %v, want -Z", h.Normal)
+	}
+	// Miss.
+	if s.Intersect(Ray{O: Vec3{5, 0, 0}, D: Vec3{0, 0, 1}}, eps, 1e9).OK {
+		t.Error("offset ray should miss")
+	}
+	// Inside the sphere: nearest root is behind tMin, second root valid.
+	h = s.Intersect(Ray{O: Vec3{0, 0, 10}, D: Vec3{0, 0, 1}}, eps, 1e9)
+	if !h.OK || !almost(h.T, 2) {
+		t.Errorf("inside hit = %+v, want t=2", h)
+	}
+	// Range-limited.
+	if s.Intersect(r, eps, 5).OK {
+		t.Error("tMax should cull the hit")
+	}
+}
+
+func TestAABBIntersect(t *testing.T) {
+	b := AABB{Min: Vec3{-1, -1, 4}, Max: Vec3{1, 1, 6}}
+	h := b.Intersect(Ray{O: Vec3{}, D: Vec3{0, 0, 1}}, eps, 1e9)
+	if !h.OK || !almost(h.T, 4) {
+		t.Fatalf("hit = %+v, want t=4", h)
+	}
+	if !almost(h.Normal.Z, -1) {
+		t.Errorf("normal = %v, want -Z", h.Normal)
+	}
+	// Side hit has ±X normal.
+	h = b.Intersect(Ray{O: Vec3{5, 0, 5}, D: Vec3{-1, 0, 0}}, eps, 1e9)
+	if !h.OK || !almost(h.T, 4) || !almost(h.Normal.X, 1) {
+		t.Fatalf("side hit = %+v", h)
+	}
+	// Parallel ray outside the slab misses.
+	if b.Intersect(Ray{O: Vec3{3, 0, 0}, D: Vec3{0, 0, 1}}, eps, 1e9).OK {
+		t.Error("parallel outside should miss")
+	}
+	// Parallel ray inside slab but crossing the box hits.
+	h = b.Intersect(Ray{O: Vec3{0.5, 0, 0}, D: Vec3{0, 0, 1}}, eps, 1e9)
+	if !h.OK {
+		t.Error("parallel inside slab should hit")
+	}
+	// Ray starting inside is not shaded.
+	if b.Intersect(Ray{O: Vec3{0, 0, 5}, D: Vec3{0, 0, 1}}, eps, 1e9).OK {
+		t.Error("origin inside box should not hit")
+	}
+}
+
+func TestAABBRandomRaysConsistent(t *testing.T) {
+	// Property: if Intersect reports a hit, the hit point is on the box
+	// boundary (within tolerance) and T is within range.
+	b := AABB{Min: Vec3{-2, 0, -2}, Max: Vec3{2, 3, 2}}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 500; i++ {
+		o := Vec3{rng.Float64()*20 - 10, rng.Float64()*20 - 10, rng.Float64()*20 - 10}
+		d := Vec3{rng.Float64()*2 - 1, rng.Float64()*2 - 1, rng.Float64()*2 - 1}.Normalize()
+		if d == (Vec3{}) {
+			continue
+		}
+		h := b.Intersect(Ray{O: o, D: d}, 1e-9, 1e9)
+		if !h.OK {
+			continue
+		}
+		p := h.Point
+		onX := almost(p.X, b.Min.X) || almost(p.X, b.Max.X)
+		onY := almost(p.Y, b.Min.Y) || almost(p.Y, b.Max.Y)
+		onZ := almost(p.Z, b.Min.Z) || almost(p.Z, b.Max.Z)
+		if !onX && !onY && !onZ {
+			t.Fatalf("hit point %v not on boundary (ray %v→%v)", p, o, d)
+		}
+		inside := p.X >= b.Min.X-1e-6 && p.X <= b.Max.X+1e-6 &&
+			p.Y >= b.Min.Y-1e-6 && p.Y <= b.Max.Y+1e-6 &&
+			p.Z >= b.Min.Z-1e-6 && p.Z <= b.Max.Z+1e-6
+		if !inside {
+			t.Fatalf("hit point %v outside box", p)
+		}
+	}
+}
+
+func TestPlaneIntersect(t *testing.T) {
+	p := Plane{Y: 0}
+	h := p.Intersect(Ray{O: Vec3{0, 5, 0}, D: Vec3{0, -1, 0}}, eps, 1e9)
+	if !h.OK || !almost(h.T, 5) || !almost(h.Normal.Y, 1) {
+		t.Fatalf("hit = %+v", h)
+	}
+	// From below, the normal faces down.
+	h = p.Intersect(Ray{O: Vec3{0, -5, 0}, D: Vec3{0, 1, 0}}, eps, 1e9)
+	if !h.OK || !almost(h.Normal.Y, -1) {
+		t.Fatalf("below hit = %+v", h)
+	}
+	// Parallel ray misses.
+	if p.Intersect(Ray{O: Vec3{0, 5, 0}, D: Vec3{1, 0, 0}}, eps, 1e9).OK {
+		t.Error("parallel should miss")
+	}
+}
+
+func TestCameraRays(t *testing.T) {
+	c := NewCamera(Vec3{0, 0, 0}, Vec3{0, 0, 10}, 90, 1)
+	center := c.RayThrough(0.5, 0.5)
+	if !almost(center.D.Z, 1) || !almost(center.D.X, 0) || !almost(center.D.Y, 0) {
+		t.Fatalf("center ray = %v", center.D)
+	}
+	// Top-left NDC should point up-left in camera space.
+	tl := c.RayThrough(0, 0)
+	if tl.D.Y <= 0 {
+		t.Errorf("top ray should have +Y: %v", tl.D)
+	}
+	// Looking down −Z (right-handed), screen-right is world +X.
+	cz := NewCamera(Vec3{0, 0, 0}, Vec3{0, 0, -10}, 90, 1)
+	right := cz.RayThrough(1, 0.5)
+	left := cz.RayThrough(0, 0.5)
+	if right.D.X <= left.D.X {
+		t.Error("u should increase toward screen right")
+	}
+	// Unit direction.
+	if !almost(tl.D.Len(), 1) {
+		t.Errorf("|d| = %f", tl.D.Len())
+	}
+	if !almost(c.Forward().Z, 1) {
+		t.Errorf("forward = %v", c.Forward())
+	}
+}
+
+func TestCameraStraightUp(t *testing.T) {
+	// Degenerate forward ≈ worldUp must still produce an orthonormal basis.
+	c := NewCamera(Vec3{}, Vec3{0, 10, 0}, 60, 16.0/9)
+	r := c.RayThrough(0.5, 0.5)
+	if !almost(r.D.Y, 1) {
+		t.Fatalf("center ray = %v, want +Y", r.D)
+	}
+}
+
+func TestRayAt(t *testing.T) {
+	r := Ray{O: Vec3{1, 2, 3}, D: Vec3{0, 0, 1}}
+	if r.At(4) != (Vec3{1, 2, 7}) {
+		t.Error("ray.At")
+	}
+}
+
+func TestTriangleIntersect(t *testing.T) {
+	tr := Triangle{A: Vec3{-1, -1, 5}, B: Vec3{1, -1, 5}, C: Vec3{0, 1, 5}}
+	// Center hit.
+	h := tr.Intersect(Ray{O: Vec3{}, D: Vec3{0, 0, 1}}, eps, 1e9)
+	if !h.OK || !almost(h.T, 5) {
+		t.Fatalf("center hit = %+v", h)
+	}
+	// Normal faces the viewer (−Z here).
+	if !almost(h.Normal.Z, -1) {
+		t.Errorf("normal = %v, want -Z", h.Normal)
+	}
+	// From behind: the normal flips.
+	h = tr.Intersect(Ray{O: Vec3{0, 0, 10}, D: Vec3{0, 0, -1}}, eps, 1e9)
+	if !h.OK || !almost(h.Normal.Z, 1) {
+		t.Errorf("back hit = %+v", h)
+	}
+	// Miss outside an edge.
+	if tr.Intersect(Ray{O: Vec3{2, 0, 0}, D: Vec3{0, 0, 1}}, eps, 1e9).OK {
+		t.Error("ray outside the triangle should miss")
+	}
+	// Miss past a vertex.
+	if tr.Intersect(Ray{O: Vec3{0, 1.5, 0}, D: Vec3{0, 0, 1}}, eps, 1e9).OK {
+		t.Error("ray above the apex should miss")
+	}
+	// Parallel ray misses.
+	if tr.Intersect(Ray{O: Vec3{0, 0, 0}, D: Vec3{1, 0, 0}}, eps, 1e9).OK {
+		t.Error("parallel ray should miss")
+	}
+	// Range culling.
+	if tr.Intersect(Ray{O: Vec3{}, D: Vec3{0, 0, 1}}, eps, 4).OK {
+		t.Error("tMax should cull")
+	}
+}
+
+func TestTriangleBarycentricCoverage(t *testing.T) {
+	// Rays through random points inside the triangle hit; points reflected
+	// outside miss.
+	tr := Triangle{A: Vec3{0, 0, 3}, B: Vec3{2, 0, 3}, C: Vec3{0, 2, 3}}
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 300; i++ {
+		u := rng.Float64()
+		v := rng.Float64() * (1 - u)
+		// Interior point.
+		p := tr.A.Add(tr.B.Sub(tr.A).Mul(u)).Add(tr.C.Sub(tr.A).Mul(v))
+		in := tr.Intersect(Ray{O: Vec3{p.X, p.Y, 0}, D: Vec3{0, 0, 1}}, eps, 1e9)
+		if u+v < 0.99 && u > 0.01 && v > 0.01 && !in.OK {
+			t.Fatalf("interior point (%f,%f) missed", u, v)
+		}
+		// A point clearly outside (negative u).
+		q := tr.A.Add(tr.B.Sub(tr.A).Mul(-0.2 - u))
+		if tr.Intersect(Ray{O: Vec3{q.X, q.Y, 0}, D: Vec3{0, 0, 1}}, eps, 1e9).OK {
+			t.Fatalf("exterior point hit at u=%f", u)
+		}
+	}
+}

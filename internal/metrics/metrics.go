@@ -1,0 +1,236 @@
+// Package metrics implements the video-quality metrics of the paper's
+// evaluation: PSNR (the objective pixel-wise metric of Fig. 13/14a), SSIM
+// (used for cross-checks), and a perceptual metric standing in for LPIPS
+// (Fig. 14b).
+//
+// LPIPS proper compares deep features from a pretrained CNN. Shipping
+// pretrained weights is impossible offline, so LPIPSProxy computes
+// normalised distances between multi-scale filter-bank responses
+// (luma, horizontal/vertical derivative and Laplacian channels across a
+// Gaussian pyramid). Like LPIPS it is a full-reference distance in [0, 1]
+// where lower means more perceptually similar, and it is monotone in the
+// structural/texture damage that bilinear error accumulation causes — the
+// property the paper's Fig. 14b argument rests on. The substitution is
+// recorded in DESIGN.md.
+package metrics
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"gamestreamsr/internal/frame"
+)
+
+// ErrSizeMismatch is returned when the two images differ in geometry.
+var ErrSizeMismatch = errors.New("metrics: image sizes differ")
+
+// MSE returns the mean squared error between the luma planes of a and b.
+func MSE(a, b *frame.Image) (float64, error) {
+	if a.W != b.W || a.H != b.H {
+		return 0, fmt.Errorf("%w: %dx%d vs %dx%d", ErrSizeMismatch, a.W, a.H, b.W, b.H)
+	}
+	if a.W == 0 || a.H == 0 {
+		return 0, errors.New("metrics: empty image")
+	}
+	la := a.Luma()
+	lb := b.Luma()
+	var sum float64
+	for i := range la {
+		d := la[i] - lb[i]
+		sum += d * d
+	}
+	return sum / float64(len(la)), nil
+}
+
+// PSNR returns the peak signal-to-noise ratio in dB between the luma planes
+// of a and b. Identical images return +Inf.
+func PSNR(a, b *frame.Image) (float64, error) {
+	mse, err := MSE(a, b)
+	if err != nil {
+		return 0, err
+	}
+	if mse == 0 {
+		return math.Inf(1), nil
+	}
+	return 10 * math.Log10(255*255/mse), nil
+}
+
+// PSNRRegion computes PSNR restricted to the given rectangle.
+func PSNRRegion(a, b *frame.Image, r frame.Rect) (float64, error) {
+	if !r.In(a.W, a.H) || !r.In(b.W, b.H) {
+		return 0, fmt.Errorf("metrics: region %v outside images", r)
+	}
+	if r.Empty() {
+		return 0, frame.ErrEmptyRect
+	}
+	sa, err := a.SubImage(r.X, r.Y, r.W, r.H)
+	if err != nil {
+		return 0, err
+	}
+	sb, err := b.SubImage(r.X, r.Y, r.W, r.H)
+	if err != nil {
+		return 0, err
+	}
+	return PSNR(sa, sb)
+}
+
+// SSIM returns the mean structural similarity index between the luma planes
+// of a and b, computed over 8×8 windows with the standard constants.
+func SSIM(a, b *frame.Image) (float64, error) {
+	if a.W != b.W || a.H != b.H {
+		return 0, fmt.Errorf("%w: %dx%d vs %dx%d", ErrSizeMismatch, a.W, a.H, b.W, b.H)
+	}
+	const win = 8
+	if a.W < win || a.H < win {
+		return 0, fmt.Errorf("metrics: image %dx%d smaller than SSIM window %d", a.W, a.H, win)
+	}
+	la := a.Luma()
+	lb := b.Luma()
+	const (
+		c1 = 6.5025  // (0.01*255)^2
+		c2 = 58.5225 // (0.03*255)^2
+	)
+	var total float64
+	var count int
+	for y := 0; y+win <= a.H; y += win {
+		for x := 0; x+win <= a.W; x += win {
+			var ma, mb float64
+			for j := 0; j < win; j++ {
+				row := (y + j) * a.W
+				for i := 0; i < win; i++ {
+					ma += la[row+x+i]
+					mb += lb[row+x+i]
+				}
+			}
+			n := float64(win * win)
+			ma /= n
+			mb /= n
+			var va, vb, cov float64
+			for j := 0; j < win; j++ {
+				row := (y + j) * a.W
+				for i := 0; i < win; i++ {
+					da := la[row+x+i] - ma
+					db := lb[row+x+i] - mb
+					va += da * da
+					vb += db * db
+					cov += da * db
+				}
+			}
+			va /= n - 1
+			vb /= n - 1
+			cov /= n - 1
+			s := ((2*ma*mb + c1) * (2*cov + c2)) / ((ma*ma + mb*mb + c1) * (va + vb + c2))
+			total += s
+			count++
+		}
+	}
+	return total / float64(count), nil
+}
+
+// TemporalStability measures quality flicker over a sequence: the mean
+// absolute frame-to-frame change of a per-frame quality series (e.g. PSNR
+// in dB). Viewers are sensitive to quality *oscillation* as much as to
+// level — the sawtooth the SOTA produces across a GOP (Fig. 13) is visible
+// as pumping even when the mean PSNR looks acceptable. Lower is steadier.
+func TemporalStability(series []float64) (float64, error) {
+	if len(series) < 2 {
+		return 0, errors.New("metrics: stability needs at least two samples")
+	}
+	var sum float64
+	for i := 1; i < len(series); i++ {
+		sum += math.Abs(series[i] - series[i-1])
+	}
+	return sum / float64(len(series)-1), nil
+}
+
+// LPIPSProxy returns a perceptual distance in [0, 1]; 0 means perceptually
+// identical. See the package comment for how it relates to LPIPS.
+func LPIPSProxy(a, b *frame.Image) (float64, error) {
+	if a.W != b.W || a.H != b.H {
+		return 0, fmt.Errorf("%w: %dx%d vs %dx%d", ErrSizeMismatch, a.W, a.H, b.W, b.H)
+	}
+	if a.W < 4 || a.H < 4 {
+		return 0, fmt.Errorf("metrics: image %dx%d too small for perceptual metric", a.W, a.H)
+	}
+	la := a.Luma()
+	lb := b.Luma()
+	w, h := a.W, a.H
+	var dist float64
+	levels := 0
+	// Three pyramid levels, four feature channels per level.
+	for level := 0; level < 3 && w >= 4 && h >= 4; level++ {
+		fa := featureChannels(la, w, h)
+		fb := featureChannels(lb, w, h)
+		for c := range fa {
+			dist += normalisedDistance(fa[c], fb[c])
+		}
+		levels++
+		la, lb = downsample2(la, w, h), downsample2(lb, w, h)
+		w, h = w/2, h/2
+	}
+	// Average over channels and levels; squash into [0, 1].
+	d := dist / float64(levels*4)
+	return 1 - math.Exp(-3*d), nil
+}
+
+// featureChannels extracts the four per-pixel feature maps at one scale:
+// local contrast, |∂x|, |∂y| and |Laplacian|.
+func featureChannels(l []float64, w, h int) [4][]float64 {
+	var out [4][]float64
+	for i := range out {
+		out[i] = make([]float64, w*h)
+	}
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			i := y*w + x
+			c := l[i]
+			left, right := c, c
+			up, down := c, c
+			if x > 0 {
+				left = l[i-1]
+			}
+			if x < w-1 {
+				right = l[i+1]
+			}
+			if y > 0 {
+				up = l[i-w]
+			}
+			if y < h-1 {
+				down = l[i+w]
+			}
+			out[0][i] = c
+			out[1][i] = math.Abs(right - left)
+			out[2][i] = math.Abs(down - up)
+			out[3][i] = math.Abs(left + right + up + down - 4*c)
+		}
+	}
+	return out
+}
+
+// normalisedDistance is the mean absolute difference of two feature maps
+// normalised by their pooled energy, as LPIPS normalises channel activations.
+func normalisedDistance(a, b []float64) float64 {
+	var diff, energy float64
+	for i := range a {
+		diff += math.Abs(a[i] - b[i])
+		energy += math.Abs(a[i]) + math.Abs(b[i])
+	}
+	if energy < 1e-9 {
+		return 0
+	}
+	return diff / (energy/2 + 1e-9)
+}
+
+// downsample2 halves a luma plane with 2×2 box averaging.
+func downsample2(l []float64, w, h int) []float64 {
+	nw, nh := w/2, h/2
+	out := make([]float64, nw*nh)
+	for y := 0; y < nh; y++ {
+		for x := 0; x < nw; x++ {
+			i := 2*y*w + 2*x
+			out[y*nw+x] = (l[i] + l[i+1] + l[i+w] + l[i+w+1]) / 4
+		}
+	}
+	return out
+}

@@ -1,0 +1,133 @@
+package pipeline
+
+import (
+	"testing"
+
+	"gamestreamsr/internal/games"
+	"gamestreamsr/internal/network"
+)
+
+func lossyConfig(t testing.TB, rate float64, seed int64) Config {
+	t.Helper()
+	g, err := games.ByID("G3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Config{
+		Game:    g,
+		SimDiv:  8,
+		GOPSize: 6,
+		Net:     network.Config{LossRate: rate, Seed: seed},
+	}
+}
+
+func TestLossInjectionDropsFrames(t *testing.T) {
+	gs, err := NewGameStream(lossyConfig(t, 0.4, 11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := gs.Run(18)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drops := res.DropCount()
+	if drops == 0 {
+		t.Fatal("40% loss produced no drops")
+	}
+	if drops == 18 {
+		t.Fatal("everything dropped")
+	}
+	// Dropped frames carry no client-side energy and no stages.
+	for _, f := range res.Frames {
+		if f.Dropped {
+			if f.EnergyTotal() != 0 {
+				t.Errorf("dropped frame %d billed energy", f.Index)
+			}
+			if f.Stages.Upscale != 0 {
+				t.Errorf("dropped frame %d has an upscale stage", f.Index)
+			}
+		}
+	}
+	// Stage means must still compute over delivered frames only.
+	if _, err := res.MeanUpscale(0); err != nil {
+		t.Errorf("stage means over delivered frames failed: %v", err)
+	}
+}
+
+func TestLossDegradesQuality(t *testing.T) {
+	clean, err := NewGameStream(lossyConfig(t, 0, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cleanRes, err := clean.Run(18)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lossy, err := NewGameStream(lossyConfig(t, 0.44, 7)) // the paper's 5G measurement
+	if err != nil {
+		t.Fatal(err)
+	}
+	lossyRes, err := lossy.Run(18)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, err := cleanRes.MeanPSNR()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lp, err := lossyRes.MeanPSNR()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lp >= cp {
+		t.Errorf("44%% loss should degrade PSNR: clean %.2f vs lossy %.2f dB", cp, lp)
+	}
+	t.Logf("clean %.2f dB, 44%%-loss %.2f dB (%d drops)", cp, lp, lossyRes.DropCount())
+}
+
+func TestFirstKeyframeLostRecovers(t *testing.T) {
+	// Losing the opening keyframe must not crash the pipeline: frames
+	// freeze (black) until the next keyframe arrives.
+	g, _ := games.ByID("G1")
+	cfg := Config{
+		Game:    g,
+		SimDiv:  8,
+		GOPSize: 4,
+		// Seed chosen so the very first Dropped() call returns true.
+		Net: network.Config{LossRate: 0.5, Seed: findFirstDropSeed(t, 0.5)},
+	}
+	gs, err := NewGameStream(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := gs.Run(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Frames[0].Dropped {
+		t.Skip("seed did not drop the first frame")
+	}
+	// Some later frame must have been delivered and measured.
+	delivered := 0
+	for _, f := range res.Frames {
+		if !f.Dropped {
+			delivered++
+		}
+	}
+	if delivered == 0 {
+		t.Fatal("no frame ever recovered")
+	}
+}
+
+// findFirstDropSeed finds a seed whose first Dropped() call fires.
+func findFirstDropSeed(t *testing.T, rate float64) int64 {
+	t.Helper()
+	for seed := int64(1); seed < 200; seed++ {
+		m := network.New(network.Config{LossRate: rate, Seed: seed})
+		if m.Dropped() {
+			return seed
+		}
+	}
+	t.Fatal("no seed drops the first frame")
+	return 0
+}

@@ -1,0 +1,452 @@
+// Package pipeline is the end-to-end game-streaming simulator: it drives a
+// game workload through the server (render → depth-guided RoI detection →
+// encode → transmit) and the client (decode → RoI SR ∥ bilinear → merge →
+// display) exactly as the paper's Fig. 6 describes, measuring real pixels
+// for quality and the calibrated device clock for latency and energy.
+//
+// Pixel processing can be scaled down by Config.SimDiv for tractability on
+// a CPU: the frames, codec and upscalers then run at (LR/SimDiv) resolution
+// while every latency and energy figure is still computed from the nominal
+// stream geometry, so reduced-size runs reproduce full-size timing exactly
+// and quality in a band-limited proxy of the full-size content.
+package pipeline
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"gamestreamsr/internal/codec"
+	"gamestreamsr/internal/device"
+	"gamestreamsr/internal/frame"
+	"gamestreamsr/internal/games"
+	"gamestreamsr/internal/metrics"
+	"gamestreamsr/internal/network"
+	"gamestreamsr/internal/render"
+	"gamestreamsr/internal/roi"
+	"gamestreamsr/internal/sr"
+	"gamestreamsr/internal/upscale"
+)
+
+// Config parameterises a pipeline run. The zero value of most fields picks
+// the paper's evaluation setup (720p → 1440p, GOP 60, Tab S8).
+type Config struct {
+	// Device is the client profile (default Tab S8).
+	Device *device.Profile
+	// Server is the host model (default device.DefaultServer()).
+	Server *device.Server
+	// Net is the link model (default WiFi-class network.New).
+	Net network.Config
+	// Game is the workload (default G3, Witcher 3 — the paper's drill-down
+	// game).
+	Game *games.Workload
+
+	// LRWidth × LRHeight is the nominal streamed resolution (default
+	// 1280×720) and Scale the upscale factor (default 2).
+	LRWidth, LRHeight int
+	Scale             int
+
+	// RoIWindow is the square RoI side in nominal LR pixels; 0 probes the
+	// device for the largest real-time window (§IV-B1 step ❶).
+	RoIWindow int
+
+	// SimDiv divides the pixel simulation resolution (default 4): the
+	// simulator renders, codes and upscales at (LR/SimDiv) while billing
+	// latency/energy at nominal geometry.
+	SimDiv int
+
+	// GOPSize is the keyframe interval of the simulated stream (default
+	// 60 nominal; tests use smaller streams and extrapolate energy with
+	// Result.GOPEnergy).
+	GOPSize int
+
+	// QStep is the codec quantizer (default 6).
+	QStep int
+
+	// HalfPel enables the codec's half-pixel motion compensation.
+	HalfPel bool
+
+	// Engine performs the DNN upscaling (RoI for ours, full frame for
+	// NEMO). Default: sr.NewFast with default config.
+	Engine sr.Engine
+
+	// StartFrame offsets the workload's motion script.
+	StartFrame int
+
+	// FrameStride samples every k-th frame of the motion script. It
+	// defaults to SimDiv: simulating at 1/k spatial resolution with k×
+	// time steps keeps the *pixels per frame* of scene motion equal to the
+	// nominal stream, which is what the codec's motion compensation — and
+	// therefore NEMO's reuse error — actually responds to.
+	FrameStride int
+
+	// RoITrack, when non-nil, enables temporal RoI stabilisation
+	// (hysteresis + motion clamp; see roi.TrackConfig). Off by default,
+	// matching the paper's per-frame independent detection.
+	RoITrack *roi.TrackConfig
+
+	// KeepFrames retains upscaled frames in the results (memory-heavy).
+	KeepFrames bool
+
+	// Renderer controls render parallelism; nil uses defaults.
+	Renderer *render.Renderer
+}
+
+// WithDefaults returns the effective configuration.
+func (c Config) WithDefaults() Config {
+	if c.Device == nil {
+		c.Device = device.TabS8()
+	}
+	if c.Server == nil {
+		c.Server = device.DefaultServer()
+	}
+	if c.Game == nil {
+		c.Game, _ = games.ByID("G3")
+	}
+	if c.LRWidth <= 0 {
+		c.LRWidth = 1280
+	}
+	if c.LRHeight <= 0 {
+		c.LRHeight = 720
+	}
+	if c.Scale <= 0 {
+		c.Scale = 2
+	}
+	if c.RoIWindow <= 0 {
+		// Reserve the RoI merge cost out of the frame budget so the whole
+		// upscale stage — not just the NPU pass — meets the deadline.
+		c.RoIWindow = c.Device.MaxRoIWindow(device.RealTimeDeadline - c.Device.MergeLatency())
+	}
+	if c.SimDiv <= 0 {
+		c.SimDiv = 4
+	}
+	if c.GOPSize <= 0 {
+		c.GOPSize = 60
+	}
+	if c.QStep <= 0 {
+		c.QStep = 6
+	}
+	if c.Engine == nil {
+		c.Engine = sr.NewFast(sr.FastConfig{})
+	}
+	if c.FrameStride <= 0 {
+		c.FrameStride = c.SimDiv
+	}
+	if c.Renderer == nil {
+		c.Renderer = &render.Renderer{}
+	}
+	return c
+}
+
+// simGeometry resolves the simulation-resolution geometry.
+func (c Config) simGeometry() (lrW, lrH, roiWin int, err error) {
+	lrW = c.LRWidth / c.SimDiv
+	lrH = c.LRHeight / c.SimDiv
+	if lrW < 16 || lrH < 16 {
+		return 0, 0, 0, fmt.Errorf("pipeline: SimDiv %d leaves a %dx%d frame, too small", c.SimDiv, lrW, lrH)
+	}
+	roiWin = c.RoIWindow / c.SimDiv
+	roiWin &^= 1 // even, so the scaled RoI aligns
+	if roiWin < 8 {
+		roiWin = 8
+	}
+	if roiWin > lrW {
+		roiWin = lrW &^ 1
+	}
+	if roiWin > lrH {
+		roiWin = lrH &^ 1
+	}
+	return lrW, lrH, roiWin, nil
+}
+
+// GameStream runs the GameStreamSR pipeline (ours).
+type GameStream struct {
+	cfg                Config
+	det                *roi.Detector
+	net                *network.Model
+	simW, simH, simRoI int
+}
+
+// NewGameStream validates the configuration and builds the runner.
+func NewGameStream(cfg Config) (*GameStream, error) {
+	cfg = cfg.WithDefaults()
+	simW, simH, simRoI, err := cfg.simGeometry()
+	if err != nil {
+		return nil, err
+	}
+	det, err := roi.New(roi.Config{WindowW: simRoI, WindowH: simRoI})
+	if err != nil {
+		return nil, err
+	}
+	return &GameStream{
+		cfg:  cfg,
+		det:  det,
+		net:  network.New(cfg.Net),
+		simW: simW, simH: simH, simRoI: simRoI,
+	}, nil
+}
+
+// Config returns the effective configuration.
+func (g *GameStream) Config() Config { return g.cfg }
+
+// SimSize returns the simulation LR resolution and RoI window.
+func (g *GameStream) SimSize() (w, h, roiWin int) { return g.simW, g.simH, g.simRoI }
+
+// Run streams nFrames frames and returns the measurements.
+func (g *GameStream) Run(nFrames int) (*Result, error) {
+	if nFrames <= 0 {
+		return nil, fmt.Errorf("pipeline: invalid frame count %d", nFrames)
+	}
+	cfg := g.cfg
+	enc, err := codec.NewEncoder(codec.Config{
+		Width: g.simW, Height: g.simH,
+		GOPSize: cfg.GOPSize, QStep: cfg.QStep, HalfPel: cfg.HalfPel,
+	})
+	if err != nil {
+		return nil, err
+	}
+	dec := codec.NewDecoder()
+	res := &Result{Pipeline: "gamestreamsr", Device: cfg.Device}
+
+	// Each run gets fresh temporal state for RoI tracking.
+	var tracker *roi.Tracker
+	if cfg.RoITrack != nil {
+		tracker, err = roi.NewTracker(g.det, *cfg.RoITrack)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	lrPx := cfg.LRWidth * cfg.LRHeight
+	byteScale := cfg.SimDiv * cfg.SimDiv
+
+	// lastUp is the most recent delivered frame; a dropped frame freezes
+	// the display on it. hadDrop tracks whether the decoder's reference
+	// state may be missing entirely (keyframe lost at stream start).
+	var lastUp *frame.Image
+	hadDrop := false
+
+	for i := 0; i < nFrames; i++ {
+		// --- server -----------------------------------------------------
+		sc, cam := cfg.Game.Frame(cfg.StartFrame + i*cfg.FrameStride)
+		lr := cfg.Renderer.Render(sc, cam, g.simW, g.simH)
+		gt := cfg.Renderer.Render(sc, cam, g.simW*cfg.Scale, g.simH*cfg.Scale)
+
+		var roiRect frame.Rect
+		if tracker != nil {
+			roiRect, err = tracker.Detect(lr.Depth)
+		} else {
+			roiRect, err = g.det.Detect(lr.Depth)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("pipeline: frame %d RoI: %w", i, err)
+		}
+		data, ftype, err := enc.Encode(lr.Color)
+		if err != nil {
+			return nil, fmt.Errorf("pipeline: frame %d encode: %w", i, err)
+		}
+		codedBytes := len(data) * byteScale
+		nominalBytes := ModelFrameBytes(lrPx, cfg.GOPSize, ftype)
+
+		// --- network + client ---------------------------------------------
+		// A frame lost in transit — or one that arrives after its reference
+		// was lost and therefore cannot be decoded — freezes the display on
+		// the last delivered frame while the scene moves on, exactly as
+		// with a real codec awaiting the next keyframe.
+		frozen := g.net.Dropped()
+		var up *frame.Image
+		if !frozen {
+			df, derr := dec.Decode(data)
+			switch {
+			case derr == nil:
+				up, err = g.upscaleFrame(df.Image, roiRect)
+				if err != nil {
+					return nil, fmt.Errorf("pipeline: frame %d upscale: %w", i, err)
+				}
+				lastUp = up
+			case hadDrop:
+				frozen = true
+			default:
+				return nil, fmt.Errorf("pipeline: frame %d decode: %w", i, derr)
+			}
+		}
+		if frozen {
+			hadDrop = true
+			fr, err := g.frozenFrame(i, ftype, gt.Color, lastUp, nominalBytes)
+			if err != nil {
+				return nil, err
+			}
+			res.Frames = append(res.Frames, fr)
+			continue
+		}
+
+		fr, err := g.measureFrame(i, ftype, roiRect, gt.Color, up, nominalBytes, codedBytes)
+		if err != nil {
+			return nil, err
+		}
+		res.Frames = append(res.Frames, fr)
+	}
+	return res, nil
+}
+
+// measureFrame computes the quality, latency and energy record of one
+// delivered frame.
+func (g *GameStream) measureFrame(i int, ftype codec.FrameType, roiRect frame.Rect, gt, up *frame.Image, nominalBytes, codedBytes int) (FrameResult, error) {
+	cfg := g.cfg
+	psnr, err := metrics.PSNR(gt, up)
+	if err != nil {
+		return FrameResult{}, err
+	}
+	ssim, err := metrics.SSIM(gt, up)
+	if err != nil {
+		return FrameResult{}, err
+	}
+	lpips, err := metrics.LPIPSProxy(gt, up)
+	if err != nil {
+		return FrameResult{}, err
+	}
+
+	lrPx := cfg.LRWidth * cfg.LRHeight
+	hrPx := lrPx * cfg.Scale * cfg.Scale
+	roiPx := cfg.RoIWindow * cfg.RoIWindow
+	roiHRPx := roiPx * cfg.Scale * cfg.Scale
+	dev := cfg.Device
+	srLat := dev.SRLatency(roiPx)
+	gpuLat := dev.GPUBilinearLatency(hrPx - roiHRPx)
+	st := Stages{
+		Input:     g.net.UplinkLatency(),
+		Render:    cfg.Server.RenderLatency(lrPx),
+		RoIDetect: cfg.Server.RoIDetectLatency(lrPx),
+		Encode:    cfg.Server.EncodeLatency(lrPx),
+		Transmit:  g.net.TransmitLatency(nominalBytes),
+		Decode:    dev.HWDecodeLatency(lrPx),
+		Upscale:   maxDur(srLat, gpuLat) + dev.MergeLatency(),
+		Display:   dev.DisplayLatency(),
+	}
+
+	em := device.NewEnergyMeter(dev)
+	em.AddActive(device.RailHWDecoder, st.Decode)
+	em.AddActive(device.RailNPU, srLat)
+	em.AddActive(device.RailGPU, gpuLat+dev.MergeLatency())
+	em.AddActive(device.RailDisplay, dev.DisplayActive())
+	em.AddNetworkBytes(nominalBytes)
+
+	fr := FrameResult{
+		Index:  i,
+		Type:   ftype,
+		Stages: st,
+		RoI:    roiRect,
+		PSNR:   psnr, SSIM: ssim, LPIPS: lpips,
+		Bytes:      nominalBytes,
+		CodedBytes: codedBytes,
+		Energy:     railMap(em),
+	}
+	if cfg.KeepFrames {
+		fr.Upscaled = up
+	}
+	return fr, nil
+}
+
+// frozenFrame records a lost frame: the client shows lastUp while the scene
+// has moved to gt.
+func (g *GameStream) frozenFrame(i int, ftype codec.FrameType, gt, lastUp *frame.Image, nominalBytes int) (FrameResult, error) {
+	fr := FrameResult{
+		Index:   i,
+		Type:    ftype,
+		Dropped: true,
+		Bytes:   nominalBytes,
+		Energy:  map[device.Rail]float64{},
+	}
+	if lastUp == nil {
+		return fr, nil // nothing on screen yet
+	}
+	var err error
+	if fr.PSNR, err = metrics.PSNR(gt, lastUp); err != nil {
+		return fr, err
+	}
+	if fr.SSIM, err = metrics.SSIM(gt, lastUp); err != nil {
+		return fr, err
+	}
+	if fr.LPIPS, err = metrics.LPIPSProxy(gt, lastUp); err != nil {
+		return fr, err
+	}
+	if g.cfg.KeepFrames {
+		fr.Upscaled = lastUp
+	}
+	return fr, nil
+}
+
+// upscaleFrame performs the client-side RoI-assisted upscale: DNN SR on the
+// RoI, bilinear on the full frame, merge (Fig. 9).
+func (g *GameStream) upscaleFrame(lr *frame.Image, roiRect frame.Rect) (*frame.Image, error) {
+	cfg := g.cfg
+	base, err := upscale.Resize(lr, lr.W*cfg.Scale, lr.H*cfg.Scale, upscale.Bilinear)
+	if err != nil {
+		return nil, err
+	}
+	roiImg, err := lr.SubImage(roiRect.X, roiRect.Y, roiRect.W, roiRect.H)
+	if err != nil {
+		return nil, err
+	}
+	roiHR, err := cfg.Engine.Upscale(roiImg.Compact(), cfg.Scale)
+	if err != nil {
+		return nil, err
+	}
+	if err := upscale.Merge(base, roiHR, roiRect, cfg.Scale); err != nil {
+		return nil, err
+	}
+	return base, nil
+}
+
+// BitrateMbps models the bitrate of a production H.264/H.265-class encoder
+// for a 60 FPS stream of px pixels per frame, calibrated to streaming-
+// platform recommendations (≈7.5 Mbps at 720p60, ≈24 Mbps at 1440p60).
+// Our transparent block codec is deliberately simple and cannot approach
+// hardware-codec entropy coding, so transmission and radio energy are
+// billed from this model while the codec's real byte counts stay available
+// as FrameResult.CodedBytes (substitution recorded in DESIGN.md). The
+// model also reproduces §IV-B2's observation: 1 − 7.5/24 ≈ 66% bandwidth
+// saving for 720p versus 2K.
+func BitrateMbps(px int) float64 {
+	if px <= 0 {
+		return 0
+	}
+	return 8.2 * math.Pow(float64(px)/1e6, 0.78)
+}
+
+// intraBytesFactor is how much larger a reference frame is than a
+// non-reference frame in the modelled stream.
+const intraBytesFactor = 4.0
+
+// ModelFrameBytes returns the modelled wire size of one coded frame of type
+// t in a 60 FPS stream of px-pixel frames with the given GOP size, such
+// that the GOP-average bitrate matches BitrateMbps.
+func ModelFrameBytes(px, gopSize int, t codec.FrameType) int {
+	if gopSize < 1 {
+		gopSize = 1
+	}
+	avg := BitrateMbps(px) * 1e6 / 8 / 60 // bytes per frame
+	g := float64(gopSize)
+	inter := avg * g / (g - 1 + intraBytesFactor)
+	if t == codec.Intra {
+		return int(inter * intraBytesFactor)
+	}
+	return int(inter)
+}
+
+func railMap(em *device.EnergyMeter) map[device.Rail]float64 {
+	out := map[device.Rail]float64{}
+	for _, r := range device.Rails() {
+		if j := em.Joules(r); j != 0 {
+			out[r] = j
+		}
+	}
+	return out
+}
+
+func maxDur(a, b time.Duration) time.Duration {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,84 @@
+package render
+
+import "math"
+
+// Value-noise texture synthesis. The renderer needs deterministic
+// high-frequency surface detail so that (a) super-resolution quality
+// comparisons are measured on content that actually loses information under
+// bilinear interpolation and (b) the mipmapping/LOD analogue has octaves to
+// attenuate with distance. A hash-based value noise with smooth interpolation
+// gives both without any asset files.
+
+// hash2 maps an integer lattice point (and a per-texture seed) to [0, 1).
+func hash2(x, y, seed int64) float64 {
+	h := uint64(x)*0x9E3779B97F4A7C15 ^ uint64(y)*0xC2B2AE3D27D4EB4F ^ uint64(seed)*0x165667B19E3779F9
+	h ^= h >> 29
+	h *= 0xBF58476D1CE4E5B9
+	h ^= h >> 32
+	return float64(h&0xFFFFFFFF) / float64(1<<32)
+}
+
+// smooth is the quintic fade used by Perlin-style noise.
+func smooth(t float64) float64 { return t * t * t * (t*(t*6-15) + 10) }
+
+// valueNoise samples smooth value noise at (x, y) for the given seed.
+// The result is in [0, 1).
+func valueNoise(x, y float64, seed int64) float64 {
+	x0 := math.Floor(x)
+	y0 := math.Floor(y)
+	fx := smooth(x - x0)
+	fy := smooth(y - y0)
+	ix, iy := int64(x0), int64(y0)
+	v00 := hash2(ix, iy, seed)
+	v10 := hash2(ix+1, iy, seed)
+	v01 := hash2(ix, iy+1, seed)
+	v11 := hash2(ix+1, iy+1, seed)
+	top := v00 + (v10-v00)*fx
+	bot := v01 + (v11-v01)*fx
+	return top + (bot-top)*fy
+}
+
+// fbm sums octaves of value noise with persistence 0.5, band-limited to
+// maxFreq (in texture-space cycles per unit). Octaves whose frequency
+// approaches maxFreq fade out linearly and octaves beyond it are dropped —
+// exactly what mip selection does in a hardware texture unit. This realises
+// the paper's §III-B observation that far objects are rendered with fewer
+// graphics details: the pixel footprint of distant surfaces is large, so
+// their texture is band-limited to low frequencies and the recoverable
+// high-frequency energy concentrates on nearby (foreground) geometry.
+func fbm(x, y float64, octaves int, seed int64, maxFreq float64) float64 {
+	sum, amp, norm := 0.0, 1.0, 0.0
+	freq := 1.0
+	for o := 0; o < octaves; o++ {
+		w := octaveWeight(freq, maxFreq)
+		// A fully attenuated octave contributes its mean (0.5) rather than
+		// vanishing, so band-limiting never shifts overall brightness —
+		// exactly like sampling a coarser mip level.
+		v := 0.5
+		if w > 0 {
+			v = w*valueNoise(x*freq, y*freq, seed+int64(o)*1013) + (1-w)*0.5
+		}
+		sum += amp * v
+		norm += amp
+		amp *= 0.5
+		freq *= 2.1
+	}
+	return sum / norm
+}
+
+// octaveWeight fades an octave of frequency f as it approaches the band
+// limit: full weight below maxFreq/2, zero at or above maxFreq.
+func octaveWeight(f, maxFreq float64) float64 {
+	if maxFreq <= 0 {
+		return 0
+	}
+	half := maxFreq / 2
+	switch {
+	case f <= half:
+		return 1
+	case f >= maxFreq:
+		return 0
+	default:
+		return (maxFreq - f) / half
+	}
+}

@@ -1,0 +1,307 @@
+// Package render is the server-side game-frame generator of the
+// reproduction: a deterministic software raycast renderer that produces the
+// two artifacts the GameStreamSR pipeline consumes — a color framebuffer and
+// the depth buffer (Z-buffer) of the same resolution (paper §III-B, Fig. 4/5).
+//
+// The paper captures these from commercial games via ReShade; here the
+// renderer hands them over natively. Scenes are built from spheres,
+// axis-aligned boxes, triangles and a ground plane, shaded with Lambertian
+// lighting and procedural value-noise textures whose high-frequency octaves
+// attenuate with distance (the mipmapping/LOD analogue that motivates
+// depth-guided RoI detection). A median-split BVH accelerates primary-ray
+// intersection (provably hit-identical to the linear scan), and optional
+// N×N supersampling (Renderer.SSAA) provides anti-aliased reference
+// renders.
+package render
+
+import (
+	"math"
+	"runtime"
+	"sync"
+
+	"gamestreamsr/internal/frame"
+	"gamestreamsr/internal/geom"
+)
+
+// Material describes how an object is shaded.
+type Material struct {
+	// Base color in [0,1].
+	Color geom.Vec3
+	// TexScale is the spatial frequency of the procedural texture; 0
+	// disables texturing.
+	TexScale float64
+	// TexAmp is the amplitude of the texture modulation in [0,1].
+	TexAmp float64
+	// Octaves of value noise (≥1 when TexScale > 0).
+	Octaves int
+	// Seed decorrelates textures between objects.
+	Seed int64
+}
+
+// Object is anything the raycaster can hit.
+type Object struct {
+	Shape    Shape
+	Mat      Material
+	Emissive bool // emissive objects ignore lighting (sky billboards, lamps)
+}
+
+// Shape is the intersection interface implemented by geom primitives.
+type Shape interface {
+	Intersect(r geom.Ray, tMin, tMax float64) geom.Hit
+}
+
+// Scene is a renderable world.
+type Scene struct {
+	Objects []Object
+	// Ground, if non-nil, is an infinite textured ground plane.
+	Ground *Object
+	// Light is the unit direction *toward* the light source.
+	Light geom.Vec3
+	// Ambient lighting floor in [0,1].
+	Ambient float64
+	// SkyTop and SkyBottom define the vertical sky gradient.
+	SkyTop, SkyBottom geom.Vec3
+	// Near and Far are the depth-buffer clip planes (view-space distances).
+	Near, Far float64
+	// LODBias scales the per-pixel texture band limit; 1 is the Nyquist
+	// limit, larger values keep more detail (sharper, slightly aliased),
+	// smaller values blur earlier. 0 defaults to 1.
+	LODBias float64
+}
+
+// Output bundles the two render targets.
+type Output struct {
+	Color *frame.Image
+	Depth *frame.DepthMap
+}
+
+// Renderer renders a Scene through a Camera. A Renderer is safe for
+// sequential reuse across frames; Render itself parallelises internally.
+type Renderer struct {
+	// Workers bounds render parallelism; 0 means GOMAXPROCS.
+	Workers int
+	// SSAA supersamples by N×N per output pixel (1 or 0 = off). Color is
+	// box-filtered; depth keeps the per-tile minimum (nearest surviving
+	// surface), matching how a resolved Z-buffer is consumed downstream.
+	SSAA int
+}
+
+// Render rasterises the scene into a w×h color frame and depth map.
+func (rd *Renderer) Render(sc *Scene, cam geom.Camera, w, h int) Output {
+	if rd.SSAA > 1 {
+		hi := rd.renderDirect(sc, cam, w*rd.SSAA, h*rd.SSAA)
+		return resolveSSAA(hi, w, h, rd.SSAA)
+	}
+	return rd.renderDirect(sc, cam, w, h)
+}
+
+// resolveSSAA box-filters color and min-reduces depth from an N× render.
+func resolveSSAA(hi Output, w, h, n int) Output {
+	out := Output{Color: frame.NewImage(w, h), Depth: frame.NewDepthMap(w, h)}
+	n2 := n * n
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			var r, g, b int
+			minZ := float32(1)
+			for dy := 0; dy < n; dy++ {
+				for dx := 0; dx < n; dx++ {
+					pr, pg, pb := hi.Color.At(x*n+dx, y*n+dy)
+					r += int(pr)
+					g += int(pg)
+					b += int(pb)
+					if z := hi.Depth.At(x*n+dx, y*n+dy); z < minZ {
+						minZ = z
+					}
+				}
+			}
+			out.Color.Set(x, y, uint8((r+n2/2)/n2), uint8((g+n2/2)/n2), uint8((b+n2/2)/n2))
+			out.Depth.Set(x, y, minZ)
+		}
+	}
+	return out
+}
+
+// renderDirect rasterises without supersampling.
+func (rd *Renderer) renderDirect(sc *Scene, cam geom.Camera, w, h int) Output {
+	out := Output{
+		Color: frame.NewImage(w, h),
+		Depth: frame.NewDepthMap(w, h),
+	}
+	near, far := sc.Near, sc.Far
+	if near <= 0 {
+		near = 0.1
+	}
+	if far <= near {
+		far = near + 1000
+	}
+	lodBias := sc.LODBias
+	if lodBias <= 0 {
+		lodBias = 1
+	}
+	// World-space extent of one pixel at unit view depth.
+	pixScale := cam.PixelScale(h)
+	accel := buildAccel(sc)
+	workers := rd.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > h {
+		workers = h
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	rows := make(chan int, h)
+	for y := 0; y < h; y++ {
+		rows <- y
+	}
+	close(rows)
+	fwd := cam.Forward()
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for y := range rows {
+				renderRow(sc, accel, cam, fwd, out, y, w, h, near, far, pixScale*lodBias)
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+func renderRow(sc *Scene, accel *sceneAccel, cam geom.Camera, fwd geom.Vec3, out Output, y, w, h int, near, far, pixScale float64) {
+	v := (float64(y) + 0.5) / float64(h)
+	for x := 0; x < w; x++ {
+		u := (float64(x) + 0.5) / float64(w)
+		ray := cam.RayThrough(u, v)
+		col, viewZ := shade(sc, accel, ray, fwd, near, far, pixScale)
+		out.Color.Set(x, y, toByte(col.X), toByte(col.Y), toByte(col.Z))
+		out.Depth.Set(x, y, normDepth(viewZ, near, far))
+	}
+}
+
+// sceneAccel holds the per-render acceleration structures: a BVH over the
+// bounded objects and a residual list of unbounded (custom) shapes.
+type sceneAccel struct {
+	tree      *bvh
+	unbounded []int
+}
+
+// buildAccel partitions the scene's objects and builds the BVH.
+func buildAccel(sc *Scene) *sceneAccel {
+	a := &sceneAccel{}
+	var items []buildItem
+	for i := range sc.Objects {
+		if bd, ok := sc.Objects[i].Shape.(geom.Bounded); ok {
+			bounds := bd.Bounds()
+			items = append(items, buildItem{idx: i, bounds: bounds, center: bounds.Center()})
+		} else {
+			a.unbounded = append(a.unbounded, i)
+		}
+	}
+	a.tree = newBVH(items)
+	return a
+}
+
+// shade traces the primary ray and returns the shaded color (components in
+// [0,1]) plus the view-space depth of the hit (far when the ray escapes).
+func shade(sc *Scene, accel *sceneAccel, ray geom.Ray, fwd geom.Vec3, near, far, pixScale float64) (geom.Vec3, float64) {
+	best := geom.Hit{T: far}
+	bestObj := -2 // -2 none, -1 ground, ≥0 object index
+	best, bestObj = accel.tree.nearest(sc.Objects, ray, near, best, bestObj)
+	for _, i := range accel.unbounded {
+		if h := sc.Objects[i].Shape.Intersect(ray, near, best.T); h.OK {
+			best = h
+			bestObj = i
+		}
+	}
+	if sc.Ground != nil {
+		if h := sc.Ground.Shape.Intersect(ray, near, best.T); h.OK {
+			best = h
+			bestObj = -1
+		}
+	}
+	if bestObj == -2 {
+		// Sky gradient keyed off the ray's vertical component.
+		t := 0.5 * (ray.D.Y + 1)
+		return sc.SkyBottom.Lerp(sc.SkyTop, t), far
+	}
+	var obj *Object
+	if bestObj == -1 {
+		obj = sc.Ground
+	} else {
+		obj = &sc.Objects[bestObj]
+	}
+	viewZ := best.Point.Sub(ray.O).Dot(fwd)
+	if viewZ < near {
+		viewZ = near
+	}
+	col := obj.Mat.Color
+	if obj.Mat.TexScale > 0 && obj.Mat.TexAmp > 0 {
+		p := best.Point
+		// Project onto the dominant plane of the surface normal so textures
+		// do not smear along the projection axis.
+		var tu, tv float64
+		n := best.Normal
+		ax, ay, az := math.Abs(n.X), math.Abs(n.Y), math.Abs(n.Z)
+		switch {
+		case ay >= ax && ay >= az:
+			tu, tv = p.X, p.Z
+		case ax >= az:
+			tu, tv = p.Y, p.Z
+		default:
+			tu, tv = p.X, p.Y
+		}
+		oct := obj.Mat.Octaves
+		if oct < 1 {
+			oct = 1
+		}
+		// Mip selection: band-limit the texture to the Nyquist frequency of
+		// this pixel's footprint on the surface. Grazing incidence stretches
+		// the footprint, so divide by the cosine (bounded away from zero).
+		cosI := math.Abs(best.Normal.Dot(ray.D))
+		if cosI < 0.02 {
+			cosI = 0.02
+		}
+		footprint := viewZ * pixScale / cosI * obj.Mat.TexScale
+		maxFreq := math.Inf(1)
+		if footprint > 0 {
+			maxFreq = 1 / (2 * footprint)
+		}
+		tex := fbm(tu*obj.Mat.TexScale, tv*obj.Mat.TexScale, oct, obj.Mat.Seed, maxFreq)
+		m := 1 - obj.Mat.TexAmp/2 + obj.Mat.TexAmp*tex
+		col = geom.Vec3{X: col.X * m, Y: col.Y * m, Z: col.Z * m}
+	}
+	if !obj.Emissive {
+		diff := best.Normal.Dot(sc.Light)
+		if diff < 0 {
+			diff = 0
+		}
+		l := sc.Ambient + (1-sc.Ambient)*diff
+		col = col.Mul(l)
+	}
+	return col, viewZ
+}
+
+// normDepth maps a view-space distance onto the [0,1] depth-buffer range.
+func normDepth(z, near, far float64) float32 {
+	d := (z - near) / (far - near)
+	if d < 0 {
+		d = 0
+	} else if d > 1 {
+		d = 1
+	}
+	return float32(d)
+}
+
+func toByte(v float64) uint8 {
+	if v <= 0 {
+		return 0
+	}
+	if v >= 1 {
+		return 255
+	}
+	return uint8(v*255 + 0.5)
+}

@@ -1,0 +1,111 @@
+package roi
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"gamestreamsr/internal/frame"
+)
+
+// GazeConfig models the camera-based eye-tracking alternative the paper
+// considers and rejects in §III-A: a front-camera gaze estimator that
+// follows the player's attention with lag and noise, and draws continuous
+// camera power (2.8 W measured on the Pixel 7 Pro). It exists so the
+// trade-off can be *measured* rather than asserted — see the exteye
+// experiment.
+type GazeConfig struct {
+	// Lag is the per-frame tracking coefficient in (0, 1]: the estimate
+	// moves Lag of the way to the true attention point each frame
+	// (default 0.4, ≈50 ms settling at 60 FPS — optimistic for
+	// camera-based gaze estimation).
+	Lag float64
+	// NoisePx is the standard deviation of the gaze-estimate noise in
+	// pixels on the low-resolution frame (default 6; phone gaze trackers
+	// are typically ≈1° ≈ dozens of display pixels).
+	NoisePx float64
+	// Seed makes the noise reproducible (default 1).
+	Seed int64
+}
+
+func (c GazeConfig) withDefaults() GazeConfig {
+	if c.Lag <= 0 || c.Lag > 1 {
+		c.Lag = 0.4
+	}
+	if c.NoisePx < 0 {
+		c.NoisePx = 0
+	} else if c.NoisePx == 0 {
+		c.NoisePx = 6
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// GazeTracker produces RoI windows from a simulated camera gaze estimate.
+// The "true" attention point is taken to be the depth-guided RoI center
+// (the best available proxy for where the player looks); the gaze estimate
+// chases it with lag and noise.
+type GazeTracker struct {
+	det    *Detector
+	cfg    GazeConfig
+	rng    *rand.Rand
+	gx, gy float64
+	init   bool
+}
+
+// NewGazeTracker builds the alternative tracker around a detector that
+// supplies the ground-truth attention point.
+func NewGazeTracker(det *Detector, cfg GazeConfig) (*GazeTracker, error) {
+	if det == nil {
+		return nil, fmt.Errorf("roi: gaze tracker needs a detector")
+	}
+	cfg = cfg.withDefaults()
+	return &GazeTracker{det: det, cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}, nil
+}
+
+// Detect returns the gaze-based RoI for the next frame along with the
+// depth-guided reference RoI it was chasing.
+func (g *GazeTracker) Detect(depth *frame.DepthMap) (gaze, reference frame.Rect, err error) {
+	ref, err := g.det.Detect(depth)
+	if err != nil {
+		return frame.Rect{}, frame.Rect{}, err
+	}
+	// True attention point: the reference RoI center.
+	tx := float64(ref.X) + float64(ref.W)/2
+	ty := float64(ref.Y) + float64(ref.H)/2
+	if !g.init {
+		// Before the tracker locks on, the gaze estimate sits at the
+		// screen center (where phone gaze estimators initialise).
+		g.gx = float64(depth.W) / 2
+		g.gy = float64(depth.H) / 2
+		g.init = true
+	}
+	// First-order lag toward the attention point...
+	g.gx += g.cfg.Lag * (tx - g.gx)
+	g.gy += g.cfg.Lag * (ty - g.gy)
+	// ...plus estimation noise.
+	nx := g.gx + g.rng.NormFloat64()*g.cfg.NoisePx
+	ny := g.gy + g.rng.NormFloat64()*g.cfg.NoisePx
+	r := frame.Rect{
+		X: int(nx - float64(ref.W)/2),
+		Y: int(ny - float64(ref.H)/2),
+		W: ref.W, H: ref.H,
+	}.Clamp(depth.W, depth.H)
+	return r, ref, nil
+}
+
+// Reset clears the tracking state.
+func (g *GazeTracker) Reset() {
+	g.init = false
+	g.rng = rand.New(rand.NewSource(g.cfg.Seed))
+}
+
+// CenterError returns the Euclidean distance between the centers of two
+// equally-sized RoI rectangles, in pixels.
+func CenterError(a, b frame.Rect) float64 {
+	dx := float64(2*a.X+a.W-2*b.X-b.W) / 2
+	dy := float64(2*a.Y+a.H-2*b.Y-b.H) / 2
+	return math.Hypot(dx, dy)
+}

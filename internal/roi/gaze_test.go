@@ -1,0 +1,138 @@
+package roi
+
+import (
+	"testing"
+
+	"gamestreamsr/internal/frame"
+	"gamestreamsr/internal/games"
+	"gamestreamsr/internal/render"
+)
+
+func TestGazeTrackerValidation(t *testing.T) {
+	if _, err := NewGazeTracker(nil, GazeConfig{}); err == nil {
+		t.Error("nil detector should fail")
+	}
+}
+
+func TestGazeTrackerConvergesToAttention(t *testing.T) {
+	det, _ := New(Config{WindowW: 16, WindowH: 16})
+	gt, err := NewGazeTracker(det, GazeConfig{NoisePx: 0.0001, Lag: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := blobMap(128, 96, 90, 20, 14, 14) // attention far from center
+	var lastErr float64
+	for i := 0; i < 20; i++ {
+		gaze, ref, err := gt.Detect(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lastErr = CenterError(gaze, ref)
+	}
+	if lastErr > 3 {
+		t.Errorf("gaze did not converge: final center error %.1f px", lastErr)
+	}
+}
+
+func TestGazeTrackerLagsBehindMotion(t *testing.T) {
+	// A moving target: the gaze estimate must trail the depth-guided RoI —
+	// this is the structural accuracy penalty of the camera alternative.
+	det, _ := New(Config{WindowW: 16, WindowH: 16})
+	gt, _ := NewGazeTracker(det, GazeConfig{NoisePx: 0.0001, Lag: 0.3})
+	var sumErr float64
+	n := 0
+	for i := 0; i < 15; i++ {
+		d := blobMap(128, 96, 20+i*5, 30, 14, 14)
+		gaze, ref, err := gt.Detect(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i >= 5 { // after lock-on
+			sumErr += CenterError(gaze, ref)
+			n++
+		}
+	}
+	mean := sumErr / float64(n)
+	if mean < 2 {
+		t.Errorf("moving target should induce lag error, got %.1f px", mean)
+	}
+}
+
+func TestGazeTrackerDeterministic(t *testing.T) {
+	det, _ := New(Config{WindowW: 16, WindowH: 16})
+	run := func() []frame.Rect {
+		gt, _ := NewGazeTracker(det, GazeConfig{Seed: 9})
+		var out []frame.Rect
+		for i := 0; i < 5; i++ {
+			d := blobMap(96, 72, 30+i*4, 30, 12, 12)
+			g, _, err := gt.Detect(d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, g)
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("gaze runs differ at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestGazeTrackerResetRestoresState(t *testing.T) {
+	det, _ := New(Config{WindowW: 16, WindowH: 16})
+	gt, _ := NewGazeTracker(det, GazeConfig{Seed: 3})
+	d := blobMap(96, 72, 60, 40, 12, 12)
+	first, _, err := gt.Detect(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		gt.Detect(d)
+	}
+	gt.Reset()
+	again, _, err := gt.Detect(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != again {
+		t.Errorf("reset did not restore initial behaviour: %v vs %v", first, again)
+	}
+}
+
+func TestGazeOnGameContent(t *testing.T) {
+	// On a real game stream the gaze RoI must stay within the frame and
+	// carry nonzero mean error relative to the depth-guided RoI.
+	rd := &render.Renderer{}
+	g, _ := games.ByID("G10")
+	det, _ := New(Config{WindowW: 40, WindowH: 40})
+	gt, _ := NewGazeTracker(det, GazeConfig{})
+	var sum float64
+	for i := 0; i < 8; i++ {
+		out := g.Render(rd, i*8, 160, 90)
+		gaze, ref, err := gt.Detect(out.Depth)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !gaze.In(160, 90) {
+			t.Fatalf("gaze RoI %v out of bounds", gaze)
+		}
+		sum += CenterError(gaze, ref)
+	}
+	if sum == 0 {
+		t.Error("gaze tracking with noise should not be pixel-perfect")
+	}
+}
+
+func TestCenterError(t *testing.T) {
+	a := frame.Rect{X: 10, Y: 10, W: 20, H: 20}
+	if e := CenterError(a, a); e != 0 {
+		t.Errorf("self error = %f", e)
+	}
+	b := frame.Rect{X: 13, Y: 14, W: 20, H: 20}
+	if e := CenterError(a, b); e < 4.9 || e > 5.1 {
+		t.Errorf("3-4-5 error = %f", e)
+	}
+}

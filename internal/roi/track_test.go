@@ -1,0 +1,176 @@
+package roi
+
+import (
+	"testing"
+
+	"gamestreamsr/internal/frame"
+	"gamestreamsr/internal/games"
+	"gamestreamsr/internal/render"
+)
+
+// twoBlobMap places two near blobs whose relative strength alternates
+// slightly with phase — the flicker scenario tracking exists for.
+func twoBlobMap(w, h int, phase int) *frame.DepthMap {
+	d := frame.NewDepthMap(w, h)
+	d.Fill(0.9)
+	// Blob A left-center, blob B right-center; the stronger one (slightly
+	// nearer) alternates with phase.
+	za, zb := float32(0.10), float32(0.12)
+	if phase%2 == 1 {
+		za, zb = 0.12, 0.10
+	}
+	for y := h/2 - 8; y < h/2+8; y++ {
+		for x := w/2 - 24; x < w/2-8; x++ {
+			d.Set(x, y, za)
+		}
+		for x := w/2 + 8; x < w/2+24; x++ {
+			d.Set(x, y, zb)
+		}
+	}
+	return d
+}
+
+func TestTrackerSuppressesFlicker(t *testing.T) {
+	det, err := New(Config{WindowW: 20, WindowH: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Untracked: the RoI follows the alternating winner, flipping sides.
+	var rawPositions []int
+	for i := 0; i < 6; i++ {
+		r, err := det.Detect(twoBlobMap(128, 72, i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rawPositions = append(rawPositions, r.X)
+	}
+	flips := 0
+	for i := 1; i < len(rawPositions); i++ {
+		if absInt(rawPositions[i]-rawPositions[i-1]) > 10 {
+			flips++
+		}
+	}
+	if flips == 0 {
+		t.Skip("scene did not flicker without tracking; scenario invalid")
+	}
+
+	// Tracked: hysteresis holds the incumbent.
+	tr, err := NewTracker(det, TrackConfig{Hysteresis: 0.15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tracked []int
+	for i := 0; i < 6; i++ {
+		r, err := tr.Detect(twoBlobMap(128, 72, i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		tracked = append(tracked, r.X)
+	}
+	for i := 1; i < len(tracked); i++ {
+		if absInt(tracked[i]-tracked[i-1]) > 10 {
+			t.Fatalf("tracked RoI still flips: %v", tracked)
+		}
+	}
+}
+
+func TestTrackerFollowsRealMotion(t *testing.T) {
+	// A genuinely moving object must not be held forever: once its new
+	// position clearly dominates, the tracker follows (within MaxStep).
+	det, _ := New(Config{WindowW: 16, WindowH: 16})
+	tr, _ := NewTracker(det, TrackConfig{Hysteresis: 0.1, MaxStep: 6})
+	var lastX int
+	for i := 0; i < 20; i++ {
+		d := blobMap(128, 72, 20+i*3, 30, 14, 14) // blob marches right
+		r, err := tr.Detect(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i > 0 && absInt(r.X-lastX) > 6 {
+			t.Fatalf("step %d exceeded MaxStep: %d -> %d", i, lastX, r.X)
+		}
+		lastX = r.X
+	}
+	// After 20 frames the blob is at x≈77; the tracker must have moved
+	// substantially from its start.
+	if lastX < 50 {
+		t.Errorf("tracker failed to follow motion: final x=%d", lastX)
+	}
+}
+
+func TestDetectTrackedFirstFrame(t *testing.T) {
+	det, _ := New(Config{WindowW: 16, WindowH: 16})
+	d := blobMap(96, 72, 40, 30, 12, 12)
+	r, err := det.DetectTracked(d, frame.Rect{}, TrackConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, _ := det.Detect(d)
+	if r != plain {
+		t.Errorf("first tracked frame %v should equal plain detection %v", r, plain)
+	}
+}
+
+func TestDetectTrackedMismatchedPrev(t *testing.T) {
+	det, _ := New(Config{WindowW: 16, WindowH: 16})
+	d := blobMap(96, 72, 40, 30, 12, 12)
+	// Wrong size or out-of-bounds prev is ignored.
+	for _, prev := range []frame.Rect{
+		{X: 0, Y: 0, W: 8, H: 16},
+		{X: 90, Y: 0, W: 16, H: 16},
+	} {
+		r, err := det.DetectTracked(d, prev, TrackConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !r.In(96, 72) {
+			t.Errorf("tracked rect %v out of bounds", r)
+		}
+	}
+}
+
+func TestTrackerOnGameStream(t *testing.T) {
+	// Across consecutive game frames the tracked RoI's total travel must
+	// not exceed the untracked one (stability is the point).
+	rd := &render.Renderer{}
+	g, _ := games.ByID("G7") // dense scene with competing foreground blobs
+	det, _ := New(Config{WindowW: 40, WindowH: 40})
+	tr, _ := NewTracker(det, TrackConfig{Hysteresis: 0.15, MaxStep: 8})
+	travel := func(useTracker bool) int {
+		tr.Reset()
+		total := 0
+		var prev *frame.Rect
+		for i := 0; i < 8; i++ {
+			out := g.Render(rd, i*8, 160, 90)
+			var r frame.Rect
+			var err error
+			if useTracker {
+				r, err = tr.Detect(out.Depth)
+			} else {
+				r, err = det.Detect(out.Depth)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if prev != nil {
+				total += absInt(r.X-prev.X) + absInt(r.Y-prev.Y)
+			}
+			c := r
+			prev = &c
+		}
+		return total
+	}
+	raw := travel(false)
+	smooth := travel(true)
+	if smooth > raw {
+		t.Errorf("tracked travel %d exceeds raw travel %d", smooth, raw)
+	}
+	t.Logf("RoI travel over 8 frames: raw %d px, tracked %d px", raw, smooth)
+}
+
+func TestNewTrackerValidation(t *testing.T) {
+	if _, err := NewTracker(nil, TrackConfig{}); err == nil {
+		t.Error("nil detector should fail")
+	}
+}

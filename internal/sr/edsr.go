@@ -1,0 +1,130 @@
+package sr
+
+import (
+	"fmt"
+
+	"gamestreamsr/internal/frame"
+)
+
+// Spec describes an EDSR-family network. The paper's model is the default:
+// 16 residual blocks, 64 channels, ×2 upscale (§V-A).
+type Spec struct {
+	// Blocks is the residual-block count (default 16).
+	Blocks int
+	// Channels is the feature width (default 64).
+	Channels int
+	// Scale is the upscale factor (default 2).
+	Scale int
+	// K is the kernel size of head/body convolutions (default 3).
+	K int
+	// UpK is the kernel size of the upsampling convolution (default 5,
+	// large enough to hold a 4-tap polyphase interpolator per phase).
+	UpK int
+}
+
+func (s Spec) withDefaults() Spec {
+	if s.Blocks <= 0 {
+		s.Blocks = 16
+	}
+	if s.Channels <= 0 {
+		s.Channels = 64
+	}
+	if s.Scale <= 0 {
+		s.Scale = 2
+	}
+	if s.K <= 0 {
+		s.K = 3
+	}
+	if s.UpK <= 0 {
+		s.UpK = 5
+	}
+	return s
+}
+
+// resBlock is the EDSR residual block: x + conv2(ReLU(conv1(x))).
+type resBlock struct {
+	conv1, conv2 *Conv2D
+}
+
+func (b *resBlock) forward(x *Tensor) *Tensor {
+	return Add(x, b.conv2.ForwardFast(ReLU(b.conv1.ForwardFast(x))))
+}
+
+// Network is an EDSR ×N super-resolution network: head convolution,
+// residual body with global skip, sub-pixel upsampler and reconstruction
+// convolution.
+type Network struct {
+	spec    Spec
+	head    *Conv2D // 3 -> C
+	body    []resBlock
+	bodyEnd *Conv2D // C -> C, followed by global skip
+	up      *Conv2D // C -> C·scale²  (pixel-shuffled to C at HR)
+	tail    *Conv2D // C -> 3 at HR
+}
+
+// NewNetwork allocates an EDSR network with all-zero weights; callers fill
+// the weights (see NewInterpEDSR and NewRandomEDSR).
+func NewNetwork(spec Spec) *Network {
+	spec = spec.withDefaults()
+	n := &Network{
+		spec:    spec,
+		head:    NewConv2D(3, spec.Channels, spec.K),
+		bodyEnd: NewConv2D(spec.Channels, spec.Channels, spec.K),
+		up:      NewConv2D(spec.Channels, spec.Channels*spec.Scale*spec.Scale, spec.UpK),
+		tail:    NewConv2D(spec.Channels, 3, spec.K),
+	}
+	for i := 0; i < spec.Blocks; i++ {
+		n.body = append(n.body, resBlock{
+			conv1: NewConv2D(spec.Channels, spec.Channels, spec.K),
+			conv2: NewConv2D(spec.Channels, spec.Channels, spec.K),
+		})
+	}
+	return n
+}
+
+// Spec returns the network's architecture parameters.
+func (n *Network) Spec() Spec { return n.spec }
+
+// Name implements Engine.
+func (n *Network) Name() string {
+	return fmt.Sprintf("edsr(b%d,c%d,x%d)", n.spec.Blocks, n.spec.Channels, n.spec.Scale)
+}
+
+// Forward runs the network on a 3×H×W input tensor in [0, 1] and returns
+// the 3×(H·scale)×(W·scale) output.
+func (n *Network) Forward(in *Tensor) *Tensor {
+	h := n.head.ForwardFast(in)
+	x := h
+	for i := range n.body {
+		x = n.body[i].forward(x)
+	}
+	x = Add(n.bodyEnd.ForwardFast(x), h) // global residual
+	x = n.up.ForwardFast(x)
+	x = PixelShuffle(x, n.spec.Scale)
+	return n.tail.ForwardFast(x)
+}
+
+// Upscale implements Engine.
+func (n *Network) Upscale(im *frame.Image, scale int) (*frame.Image, error) {
+	if scale != n.spec.Scale {
+		return nil, fmt.Errorf("sr: network is ×%d, requested ×%d", n.spec.Scale, scale)
+	}
+	if im.W == 0 || im.H == 0 {
+		return nil, fmt.Errorf("sr: empty input image")
+	}
+	return ToImage(n.Forward(FromImage(im.Compact()))), nil
+}
+
+// FLOPs returns the total multiply-accumulate count for one inference over
+// an h×w input, the quantity the device latency model consumes.
+func (n *Network) FLOPs(h, w int) int64 {
+	total := n.head.FLOPs(h, w)
+	for i := range n.body {
+		total += n.body[i].conv1.FLOPs(h, w) + n.body[i].conv2.FLOPs(h, w)
+	}
+	total += n.bodyEnd.FLOPs(h, w)
+	total += n.up.FLOPs(h, w)
+	s := n.spec.Scale
+	total += n.tail.FLOPs(h*s, w*s)
+	return total
+}

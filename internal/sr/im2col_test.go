@@ -1,0 +1,135 @@
+package sr
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomConvAndInput builds a dense random conv layer and matching input.
+func randomConvAndInput(seed int64, inC, outC, k, h, w int) (*Conv2D, *Tensor) {
+	rng := rand.New(rand.NewSource(seed))
+	c := NewConv2D(inC, outC, k)
+	for i := range c.Weight {
+		c.Weight[i] = rng.Float32()*2 - 1
+	}
+	for i := range c.Bias {
+		c.Bias[i] = rng.Float32()
+	}
+	in := NewTensor(inC, h, w)
+	for i := range in.Data {
+		in.Data[i] = rng.Float32()*2 - 1
+	}
+	return c, in
+}
+
+func tensorsAlmostEqual(a, b *Tensor, tol float64) bool {
+	if a.C != b.C || a.H != b.H || a.W != b.W {
+		return false
+	}
+	for i := range a.Data {
+		if math.Abs(float64(a.Data[i]-b.Data[i])) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// The load-bearing property: GEMM and direct convolution agree exactly
+// (same arithmetic, same padding) on arbitrary shapes and weights.
+func TestForwardGEMMMatchesDirect(t *testing.T) {
+	f := func(seed int64, inCs, outCs, ks, hs, ws uint8) bool {
+		inC := int(inCs)%4 + 1
+		outC := int(outCs)%4 + 1
+		k := []int{1, 3, 5}[int(ks)%3]
+		h := int(hs)%12 + k
+		w := int(ws)%12 + k
+		c, in := randomConvAndInput(seed, inC, outC, k, h, w)
+		return tensorsAlmostEqual(c.Forward(in), c.ForwardGEMM(in), 1e-4)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestForwardGEMMTinyImages(t *testing.T) {
+	// Images smaller than the kernel stress the replicate padding.
+	c, in := randomConvAndInput(3, 2, 2, 5, 2, 3)
+	if !tensorsAlmostEqual(c.Forward(in), c.ForwardGEMM(in), 1e-4) {
+		t.Error("GEMM diverges on tiny image")
+	}
+	c1, in1 := randomConvAndInput(4, 1, 1, 3, 1, 1)
+	if !tensorsAlmostEqual(c1.Forward(in1), c1.ForwardGEMM(in1), 1e-4) {
+		t.Error("GEMM diverges on 1x1 image")
+	}
+}
+
+func TestForwardFastDispatch(t *testing.T) {
+	// Dense weights: results still agree (GEMM path).
+	c, in := randomConvAndInput(5, 3, 3, 3, 10, 10)
+	if !tensorsAlmostEqual(c.Forward(in), c.ForwardFast(in), 1e-4) {
+		t.Error("fast dispatch diverges on dense conv")
+	}
+	// Sparse weights: direct path, still identical.
+	for i := range c.Weight {
+		if i%10 != 0 {
+			c.Weight[i] = 0
+		}
+	}
+	if !tensorsAlmostEqual(c.Forward(in), c.ForwardFast(in), 1e-4) {
+		t.Error("fast dispatch diverges on sparse conv")
+	}
+}
+
+func TestFillShiftedEdges(t *testing.T) {
+	src := []float32{1, 2, 3, 4, 5, 6} // 3x2
+	dst := make([]float32, 6)
+	fillShifted(dst, src, 3, 2, 1, 0) // shift left-sample → replicate right
+	want := []float32{2, 3, 3, 5, 6, 6}
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Fatalf("dx=1: got %v, want %v", dst, want)
+		}
+	}
+	fillShifted(dst, src, 3, 2, -1, 0)
+	want = []float32{1, 1, 2, 4, 4, 5}
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Fatalf("dx=-1: got %v, want %v", dst, want)
+		}
+	}
+	fillShifted(dst, src, 3, 2, 0, 1)
+	want = []float32{4, 5, 6, 4, 5, 6}
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Fatalf("dy=1: got %v, want %v", dst, want)
+		}
+	}
+	// Shift farther than the width: full replication of the edge column.
+	fillShifted(dst, src, 3, 2, 5, 0)
+	want = []float32{3, 3, 3, 6, 6, 6}
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Fatalf("dx=5: got %v, want %v", dst, want)
+		}
+	}
+}
+
+func BenchmarkConvDirectDense(b *testing.B) {
+	c, in := randomConvAndInput(7, 16, 16, 3, 48, 48)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Forward(in)
+	}
+}
+
+func BenchmarkConvGEMMDense(b *testing.B) {
+	c, in := randomConvAndInput(7, 16, 16, 3, 48, 48)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.ForwardGEMM(in)
+	}
+}

@@ -1,0 +1,162 @@
+package sr
+
+import (
+	"math"
+	"testing"
+
+	"gamestreamsr/internal/frame"
+	"gamestreamsr/internal/games"
+	"gamestreamsr/internal/render"
+	"gamestreamsr/internal/upscale"
+)
+
+func TestQuantizeConvRoundTrip(t *testing.T) {
+	c := NewConv2D(2, 3, 3)
+	for i := range c.Weight {
+		c.Weight[i] = float32(i%7)*0.1 - 0.3
+	}
+	c.Bias[1] = 0.5
+	q := QuantizeConv(c)
+	if q.InC != 2 || q.OutC != 3 || q.K != 3 {
+		t.Fatal("geometry lost")
+	}
+	// Dequantized weights approximate originals within half a scale step.
+	per := c.InC * c.K * c.K
+	for oc := 0; oc < c.OutC; oc++ {
+		for i := oc * per; i < (oc+1)*per; i++ {
+			deq := float32(q.Weight[i]) * q.Scale[oc]
+			if math.Abs(float64(deq-c.Weight[i])) > float64(q.Scale[oc])/2+1e-6 {
+				t.Fatalf("weight %d: %f vs %f (scale %f)", i, deq, c.Weight[i], q.Scale[oc])
+			}
+		}
+	}
+	if q.Bias[1] != 0.5 {
+		t.Error("bias not carried")
+	}
+}
+
+func TestQuantizeConvAllZero(t *testing.T) {
+	c := NewConv2D(1, 1, 3)
+	q := QuantizeConv(c)
+	in := NewTensor(1, 4, 4)
+	in.Data[0] = 1
+	out := q.Forward(in)
+	for _, v := range out.Data {
+		if v != 0 {
+			t.Fatal("zero conv should output zero")
+		}
+	}
+}
+
+func TestQuantConvMatchesFloatConv(t *testing.T) {
+	// A quantized conv over a smooth input must track the float conv
+	// within a few quantization steps.
+	c := NewConv2D(3, 4, 3)
+	for i := range c.Weight {
+		c.Weight[i] = float32(math.Sin(float64(i)) * 0.2)
+	}
+	for i := range c.Bias {
+		c.Bias[i] = float32(i) * 0.1
+	}
+	in := NewTensor(3, 8, 8)
+	for i := range in.Data {
+		in.Data[i] = float32(i%64) / 64
+	}
+	want := c.Forward(in)
+	got := QuantizeConv(c).Forward(in)
+	var maxErr float64
+	for i := range want.Data {
+		if e := math.Abs(float64(want.Data[i] - got.Data[i])); e > maxErr {
+			maxErr = e
+		}
+	}
+	// Error bound: ~1/127 of activation range times accumulated taps.
+	if maxErr > 0.05 {
+		t.Errorf("quantized conv error %.4f too large", maxErr)
+	}
+}
+
+func TestQuantizedEDSRMatchesFloat(t *testing.T) {
+	spec := Spec{Blocks: 3, Channels: 8, Scale: 2}
+	n := NewInterpEDSR(spec, InterpConfig{})
+	q := Quantize(n)
+	if q.Name() != "edsr-int8(b3,c8,x2)" {
+		t.Errorf("name = %q", q.Name())
+	}
+	im := gamePatch(t, "G3", 0, 24, 24)
+	fl, err := n.Upscale(im, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qt, err := q.Upscale(im, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per-pixel difference bounded by a few levels (dynamic int8).
+	var maxDiff, sumDiff int
+	for i := range fl.R {
+		d := absInt(int(fl.R[i]) - int(qt.R[i]))
+		if d > maxDiff {
+			maxDiff = d
+		}
+		sumDiff += d
+	}
+	if maxDiff > 12 {
+		t.Errorf("max quantization deviation %d levels", maxDiff)
+	}
+	if mean := float64(sumDiff) / float64(len(fl.R)); mean > 2.5 {
+		t.Errorf("mean quantization deviation %.2f levels", mean)
+	}
+}
+
+func TestQuantizedEDSRStillBeatsBilinear(t *testing.T) {
+	wl, _ := games.ByID("G3")
+	hi := wl.Render(&render.Renderer{}, 20, 256, 144).Color
+	lo := upscale.MustResize(hi, 128, 72, upscale.Bilinear)
+	bil := upscale.MustResize(lo, 256, 144, upscale.Bilinear)
+	basePSNR := psnr(hi, bil)
+	q := Quantize(NewInterpEDSR(Spec{Blocks: 3, Channels: 8}, InterpConfig{}))
+	up, err := q.Upscale(lo, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qPSNR := psnr(hi, up)
+	if qPSNR <= basePSNR {
+		t.Errorf("int8 EDSR PSNR %.2f should beat bilinear %.2f", qPSNR, basePSNR)
+	}
+	t.Logf("bilinear %.2f dB, int8 EDSR %.2f dB", basePSNR, qPSNR)
+}
+
+func TestQuantizedEDSRValidation(t *testing.T) {
+	q := Quantize(NewInterpEDSR(Spec{Blocks: 1, Channels: 4}, InterpConfig{}))
+	if _, err := q.Upscale(frame.NewImage(4, 4), 3); err == nil {
+		t.Error("scale mismatch should fail")
+	}
+	if _, err := q.Upscale(frame.NewImage(0, 0), 2); err == nil {
+		t.Error("empty image should fail")
+	}
+	if q.Spec().Blocks != 1 {
+		t.Error("spec lost")
+	}
+}
+
+func TestQuantConvPanicsOnChannelMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	QuantizeConv(NewConv2D(2, 1, 3)).Forward(NewTensor(3, 2, 2))
+}
+
+func BenchmarkQuantEDSR32(b *testing.B) {
+	q := Quantize(NewRandomEDSR(Spec{Blocks: 2, Channels: 16}, 7))
+	im := frame.NewImage(32, 32)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := q.Upscale(im, 2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,349 @@
+// Package srdecoder prototypes the paper's future-work design (§VI,
+// Fig. 15): an RoI-guided SR-integrated video decoder. The reference frame
+// still takes the GameStreamSR RoI-upscale path and is cached in the decoder
+// buffer; non-reference frames *bypass the upscale engine entirely* — a
+// frame dispatcher routes them through the decoder's own motion-compensation
+// and residual path operating directly at high resolution, with RoI-guided
+// interpolation: the residual inside the RoI is upscaled with a
+// quality-preserving kernel (bicubic or Lanczos) while the rest uses
+// bilinear.
+//
+// Latency is billed at fixed-function decoder rates (the SR integration is
+// modelled as a constant-factor widening of the hardware decode pass), so
+// non-reference frames cost neither NPU nor CPU time — which is where the
+// paper's "as high as 50%" additional energy saving comes from.
+package srdecoder
+
+import (
+	"fmt"
+	"time"
+
+	"gamestreamsr/internal/codec"
+	"gamestreamsr/internal/device"
+	"gamestreamsr/internal/frame"
+	"gamestreamsr/internal/metrics"
+	"gamestreamsr/internal/network"
+	"gamestreamsr/internal/pipeline"
+	"gamestreamsr/internal/roi"
+	"gamestreamsr/internal/upscale"
+)
+
+// SRIntegrationFactor widens the hardware decode pass to account for the
+// decoder reconstructing at high resolution with the added interpolation
+// modules (Fig. 15 blue boxes).
+const SRIntegrationFactor = 1.25
+
+// Runner executes the SR-integrated decoder pipeline.
+type Runner struct {
+	cfg    pipeline.Config
+	det    *roi.Detector
+	net    *network.Model
+	kernel upscale.Kind
+
+	simW, simH, simRoI int
+}
+
+// New builds the runner. roiKernel selects the RoI residual-interpolation
+// kernel (Bicubic or Lanczos3 per §VI; Bilinear degrades to uniform
+// treatment and is allowed for ablations).
+func New(cfg pipeline.Config, roiKernel upscale.Kind) (*Runner, error) {
+	cfg = cfg.WithDefaults()
+	simW := cfg.LRWidth / cfg.SimDiv
+	simH := cfg.LRHeight / cfg.SimDiv
+	if simW < 16 || simH < 16 {
+		return nil, fmt.Errorf("srdecoder: SimDiv %d leaves a %dx%d frame, too small", cfg.SimDiv, simW, simH)
+	}
+	simRoI := cfg.RoIWindow / cfg.SimDiv
+	simRoI &^= 1
+	if simRoI < 8 {
+		simRoI = 8
+	}
+	if simRoI > simW {
+		simRoI = simW &^ 1
+	}
+	if simRoI > simH {
+		simRoI = simH &^ 1
+	}
+	det, err := roi.New(roi.Config{WindowW: simRoI, WindowH: simRoI})
+	if err != nil {
+		return nil, err
+	}
+	return &Runner{
+		cfg: cfg, det: det, net: network.New(cfg.Net), kernel: roiKernel,
+		simW: simW, simH: simH, simRoI: simRoI,
+	}, nil
+}
+
+// Run streams nFrames frames through the SR-integrated decoder pipeline.
+func (r *Runner) Run(nFrames int) (*pipeline.Result, error) {
+	if nFrames <= 0 {
+		return nil, fmt.Errorf("srdecoder: invalid frame count %d", nFrames)
+	}
+	cfg := r.cfg
+	enc, err := codec.NewEncoder(codec.Config{
+		Width: r.simW, Height: r.simH,
+		GOPSize: cfg.GOPSize, QStep: cfg.QStep, HalfPel: cfg.HalfPel,
+	})
+	if err != nil {
+		return nil, err
+	}
+	dec := codec.NewDecoder()
+	res := &pipeline.Result{Pipeline: "srdecoder", Device: cfg.Device}
+
+	lrPx := cfg.LRWidth * cfg.LRHeight
+	hrPx := lrPx * cfg.Scale * cfg.Scale
+	roiPx := cfg.RoIWindow * cfg.RoIWindow
+	roiHRPx := roiPx * cfg.Scale * cfg.Scale
+	byteScale := cfg.SimDiv * cfg.SimDiv
+
+	var hrPrev *frame.Image
+
+	for i := 0; i < nFrames; i++ {
+		sc, cam := cfg.Game.Frame(cfg.StartFrame + i*cfg.FrameStride)
+		lr := cfg.Renderer.Render(sc, cam, r.simW, r.simH)
+		gt := cfg.Renderer.Render(sc, cam, r.simW*cfg.Scale, r.simH*cfg.Scale)
+
+		roiRect, err := r.det.Detect(lr.Depth)
+		if err != nil {
+			return nil, fmt.Errorf("srdecoder: frame %d RoI: %w", i, err)
+		}
+		data, ftype, err := enc.Encode(lr.Color)
+		if err != nil {
+			return nil, fmt.Errorf("srdecoder: frame %d encode: %w", i, err)
+		}
+		codedBytes := len(data) * byteScale
+		nominalBytes := pipeline.ModelFrameBytes(lrPx, cfg.GOPSize, ftype)
+		df, err := dec.Decode(data)
+		if err != nil {
+			return nil, fmt.Errorf("srdecoder: frame %d decode: %w", i, err)
+		}
+
+		dev := cfg.Device
+		em := device.NewEnergyMeter(dev)
+		st := pipeline.Stages{
+			Input:     r.net.UplinkLatency(),
+			Render:    cfg.Server.RenderLatency(lrPx),
+			RoIDetect: cfg.Server.RoIDetectLatency(lrPx),
+			Encode:    cfg.Server.EncodeLatency(lrPx),
+			Transmit:  r.net.TransmitLatency(nominalBytes),
+			Display:   dev.DisplayLatency(),
+		}
+		em.AddActive(device.RailDisplay, dev.DisplayActive())
+		em.AddNetworkBytes(nominalBytes)
+
+		var up *frame.Image
+		switch ftype {
+		case codec.Intra:
+			// Reference: normal HW decode, then the RoI upscale engine
+			// (step ❶ of Fig. 15), cached into the decoder buffer (step ❷).
+			st.Decode = dev.HWDecodeLatency(lrPx)
+			up, err = r.upscaleReference(df.Image, roiRect)
+			if err != nil {
+				return nil, fmt.Errorf("srdecoder: frame %d SR: %w", i, err)
+			}
+			srLat := dev.SRLatency(roiPx)
+			gpuLat := dev.GPUBilinearLatency(hrPx - roiHRPx)
+			st.Upscale = maxDur(srLat, gpuLat) + dev.MergeLatency()
+			em.AddActive(device.RailHWDecoder, st.Decode)
+			em.AddActive(device.RailNPU, srLat)
+			em.AddActive(device.RailGPU, gpuLat+dev.MergeLatency())
+		case codec.Inter:
+			if hrPrev == nil {
+				return nil, fmt.Errorf("srdecoder: frame %d: inter frame without reference", i)
+			}
+			// Non-reference: the SR-integrated decoder reconstructs at HR
+			// directly (steps ❸-❹) and the dispatcher bypasses the upscale
+			// engine (steps ❺-❼). Latency and energy are a widened HW
+			// decode pass at HR; no NPU, GPU or CPU involvement.
+			up, err = ReconstructRoIGuided(hrPrev, df.Side, cfg.Scale, roiRect, r.kernel)
+			if err != nil {
+				return nil, fmt.Errorf("srdecoder: frame %d reconstruct: %w", i, err)
+			}
+			st.Decode = time.Duration(float64(dev.HWDecodeLatency(hrPx)) * SRIntegrationFactor)
+			st.Upscale = 0 // bypassed
+			em.AddActive(device.RailHWDecoder, st.Decode)
+		default:
+			return nil, fmt.Errorf("srdecoder: frame %d: unexpected type %v", i, ftype)
+		}
+		hrPrev = up
+
+		psnr, err := metrics.PSNR(gt.Color, up)
+		if err != nil {
+			return nil, err
+		}
+		ssim, err := metrics.SSIM(gt.Color, up)
+		if err != nil {
+			return nil, err
+		}
+		lpips, err := metrics.LPIPSProxy(gt.Color, up)
+		if err != nil {
+			return nil, err
+		}
+
+		fr := pipeline.FrameResult{
+			Index:  i,
+			Type:   ftype,
+			Stages: st,
+			RoI:    roiRect,
+			PSNR:   psnr, SSIM: ssim, LPIPS: lpips,
+			Bytes:      nominalBytes,
+			CodedBytes: codedBytes,
+			Energy:     energyMap(em),
+		}
+		if cfg.KeepFrames {
+			fr.Upscaled = up
+		}
+		res.Frames = append(res.Frames, fr)
+	}
+	return res, nil
+}
+
+// upscaleReference runs the standard GameStreamSR RoI-assisted upscale.
+func (r *Runner) upscaleReference(lr *frame.Image, roiRect frame.Rect) (*frame.Image, error) {
+	cfg := r.cfg
+	base, err := upscale.Resize(lr, lr.W*cfg.Scale, lr.H*cfg.Scale, upscale.Bilinear)
+	if err != nil {
+		return nil, err
+	}
+	roiImg, err := lr.SubImage(roiRect.X, roiRect.Y, roiRect.W, roiRect.H)
+	if err != nil {
+		return nil, err
+	}
+	roiHR, err := cfg.Engine.Upscale(roiImg.Compact(), cfg.Scale)
+	if err != nil {
+		return nil, err
+	}
+	if err := upscale.Merge(base, roiHR, roiRect, cfg.Scale); err != nil {
+		return nil, err
+	}
+	return base, nil
+}
+
+// ReconstructRoIGuided is the §VI step-❸ reconstruction: like NEMO's HR
+// reuse, but the residual plane inside the (scaled) RoI is upscaled with
+// the quality-preserving kernel while the rest uses bilinear.
+func ReconstructRoIGuided(hrPrev *frame.Image, side *codec.SideInfo, scale int, roiLR frame.Rect, kernel upscale.Kind) (*frame.Image, error) {
+	if side == nil {
+		return nil, fmt.Errorf("srdecoder: missing side information")
+	}
+	if scale < 1 {
+		return nil, fmt.Errorf("srdecoder: invalid scale %d", scale)
+	}
+	hrPrev = hrPrev.Compact()
+	W, H := hrPrev.W, hrPrev.H
+	lrW := W / scale
+	lrH := H / scale
+	if lrW*scale != W || lrH*scale != H {
+		return nil, fmt.Errorf("srdecoder: HR %dx%d not a ×%d multiple", W, H, scale)
+	}
+	if len(side.Residual[0]) != lrW*lrH {
+		return nil, fmt.Errorf("srdecoder: residual plane has %d samples, want %d", len(side.Residual[0]), lrW*lrH)
+	}
+	roiHR := roiLR.Scale(scale).Clamp(W, H)
+	out := frame.NewImage(W, H)
+	bs := side.BlockSize * scale
+
+	var resHR [3][]float64
+	for p := 0; p < 3; p++ {
+		lrPlane := make([]float64, lrW*lrH)
+		for i := range lrPlane {
+			lrPlane[i] = float64(side.Residual[p][i])
+		}
+		// Bilinear everywhere...
+		base, err := upscale.ResizePlane(lrPlane, lrW, lrH, W, H, upscale.Bilinear)
+		if err != nil {
+			return nil, err
+		}
+		// ...then overwrite the RoI with the quality-preserving kernel,
+		// resampled from the full plane so RoI-boundary taps see real
+		// neighbours.
+		if kernel != upscale.Bilinear && !roiHR.Empty() {
+			sharp, err := upscale.ResizePlane(lrPlane, lrW, lrH, W, H, kernel)
+			if err != nil {
+				return nil, err
+			}
+			for y := roiHR.Y; y < roiHR.Y+roiHR.H; y++ {
+				copy(base[y*W+roiHR.X:y*W+roiHR.X+roiHR.W], sharp[y*W+roiHR.X:y*W+roiHR.X+roiHR.W])
+			}
+		}
+		resHR[p] = base
+	}
+
+	planesPrev := [3][]uint8{hrPrev.R, hrPrev.G, hrPrev.B}
+	planesOut := [3][]uint8{out.R, out.G, out.B}
+	for by := 0; by < side.BlocksY; by++ {
+		for bx := 0; bx < side.BlocksX; bx++ {
+			mv := side.MVs[by*side.BlocksX+bx]
+			x0 := bx * bs
+			y0 := by * bs
+			w := minInt(bs, W-x0)
+			h := minInt(bs, H-y0)
+			if w <= 0 || h <= 0 {
+				continue
+			}
+			dx := int(mv.DX) * scale
+			dy := int(mv.DY) * scale
+			if side.HalfPel {
+				// Half-pel LR vectors land on full pixels at even scales
+				// (the paper's ×2); floor like the codec's interpolator.
+				dx >>= 1
+				dy >>= 1
+			}
+			for p := 0; p < 3; p++ {
+				src := planesPrev[p]
+				dst := planesOut[p]
+				res := resHR[p]
+				for j := 0; j < h; j++ {
+					y := y0 + j
+					sy := clampInt(y+dy, 0, H-1)
+					for i := 0; i < w; i++ {
+						x := x0 + i
+						sx := clampInt(x+dx, 0, W-1)
+						v := float64(src[sy*W+sx]) + res[y*W+x]
+						if v < 0 {
+							v = 0
+						} else if v > 255 {
+							v = 255
+						}
+						dst[y*W+x] = uint8(v + 0.5)
+					}
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+func energyMap(em *device.EnergyMeter) map[device.Rail]float64 {
+	out := map[device.Rail]float64{}
+	for _, r := range device.Rails() {
+		if j := em.Joules(r); j != 0 {
+			out[r] = j
+		}
+	}
+	return out
+}
+
+func maxDur(a, b time.Duration) time.Duration {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

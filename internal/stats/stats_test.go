@@ -1,0 +1,64 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMean(t *testing.T) {
+	m, err := Mean([]float64{1, 2, 3, 4})
+	if err != nil || m != 2.5 {
+		t.Errorf("mean = %f, %v", m, err)
+	}
+	if _, err := Mean(nil); err != ErrEmpty {
+		t.Error("empty mean should fail")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	g, err := GeoMean([]float64{1, 4})
+	if err != nil || math.Abs(g-2) > 1e-12 {
+		t.Errorf("geomean = %f, %v", g, err)
+	}
+	if _, err := GeoMean([]float64{1, 0}); err == nil {
+		t.Error("non-positive sample should fail")
+	}
+	if _, err := GeoMean(nil); err != ErrEmpty {
+		t.Error("empty geomean should fail")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{4, 1, 3, 2}
+	for _, c := range []struct{ p, want float64 }{
+		{0, 1}, {100, 4}, {50, 2.5}, {25, 1.75},
+	} {
+		got, err := Percentile(xs, c.p)
+		if err != nil || math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("p%.0f = %f, want %f (%v)", c.p, got, c.want, err)
+		}
+	}
+	if _, err := Percentile(xs, -1); err == nil {
+		t.Error("negative percentile should fail")
+	}
+	if _, err := Percentile(nil, 50); err != ErrEmpty {
+		t.Error("empty percentile should fail")
+	}
+	if got, _ := Percentile([]float64{7}, 50); got != 7 {
+		t.Error("single-sample percentile")
+	}
+	// Input must not be mutated.
+	if xs[0] != 4 {
+		t.Error("percentile sorted the caller's slice")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	lo, hi, err := MinMax([]float64{3, -1, 7, 2})
+	if err != nil || lo != -1 || hi != 7 {
+		t.Errorf("minmax = %f, %f, %v", lo, hi, err)
+	}
+	if _, _, err := MinMax(nil); err != ErrEmpty {
+		t.Error("empty minmax should fail")
+	}
+}

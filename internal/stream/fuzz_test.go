@@ -1,0 +1,50 @@
+package stream
+
+import (
+	"bytes"
+	"testing"
+
+	"gamestreamsr/internal/frame"
+)
+
+// FuzzReadMsg drives the wire-format parser with arbitrary bytes; the
+// invariant is no panic and a well-formed message on success.
+func FuzzReadMsg(f *testing.F) {
+	var hello, accept, fr, input, bye bytes.Buffer
+	WriteHello(&hello, Hello{Device: "seed", RoIWindow: 300, Scale: 2})
+	WriteAccept(&accept, Accept{Width: 1280, Height: 720, GOPSize: 60, QStep: 6})
+	WriteFrame(&fr, FramePacket{Index: 7, Keyenc: true, RoI: frame.Rect{X: 1, Y: 2, W: 3, H: 4}, Payload: []byte("data")})
+	WriteInput(&input, InputPacket{Seq: 9, Payload: []byte("in")})
+	WriteBye(&bye)
+	for _, b := range [][]byte{hello.Bytes(), accept.Bytes(), fr.Bytes(), input.Bytes(), bye.Bytes(), {}, {0xFF}} {
+		f.Add(b)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		msg, err := ReadMsg(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		switch msg.Type {
+		case MsgHello:
+			if msg.Hello == nil || msg.Hello.RoIWindow <= 0 {
+				t.Fatal("malformed hello accepted")
+			}
+		case MsgAccept:
+			if msg.Accept == nil || msg.Accept.Width <= 0 {
+				t.Fatal("malformed accept accepted")
+			}
+		case MsgFrame:
+			if msg.Frame == nil {
+				t.Fatal("frame without body")
+			}
+		case MsgInput:
+			if msg.Input == nil {
+				t.Fatal("input without body")
+			}
+		case MsgBye:
+		default:
+			t.Fatalf("unknown type %v accepted", msg.Type)
+		}
+	})
+}

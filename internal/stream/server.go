@@ -1,0 +1,165 @@
+package stream
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"gamestreamsr/internal/frame"
+)
+
+// SourceFactory creates a fresh FrameSource per session: each client gets
+// its own encoder/detector state (stateful codecs cannot be shared).
+type SourceFactory func(hello Hello) (FrameSource, error)
+
+// MultiServer accepts and serves many concurrent client sessions — the
+// shape a real cloud-gaming host has (the paper's Sunshine hosts one stream
+// per machine, GeForce-Now-class services multiplex many).
+type MultiServer struct {
+	// Accept is the stream geometry announced to every client.
+	Accept Accept
+	// NewSource builds the per-session frame source.
+	NewSource SourceFactory
+	// MaxFrames bounds each session (0 = until source EOF).
+	MaxFrames int
+	// MaxSessions bounds concurrent sessions (default 16); excess
+	// connections are closed immediately.
+	MaxSessions int
+	// OnInput receives input events from any session, tagged by remote
+	// address.
+	OnInput func(remote string, in InputPacket)
+
+	mu       sync.Mutex
+	sessions map[net.Conn]struct{}
+	listener net.Listener
+	closed   bool
+}
+
+// errServerClosed is returned by Serve after Shutdown.
+var errServerClosed = errors.New("stream: server closed")
+
+// Serve accepts connections from l until the listener fails or Shutdown is
+// called. It blocks; run it in a goroutine and use Shutdown to stop.
+func (s *MultiServer) Serve(l net.Listener) error {
+	if s.NewSource == nil {
+		return errors.New("stream: MultiServer needs a source factory")
+	}
+	max := s.MaxSessions
+	if max <= 0 {
+		max = 16
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return errServerClosed
+	}
+	s.listener = l
+	s.mu.Unlock()
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return errServerClosed
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return errServerClosed
+		}
+		if s.sessions == nil {
+			s.sessions = make(map[net.Conn]struct{})
+		}
+		if len(s.sessions) >= max {
+			s.mu.Unlock()
+			conn.Close()
+			continue
+		}
+		s.sessions[conn] = struct{}{}
+		s.mu.Unlock()
+
+		wg.Add(1)
+		go func(conn net.Conn) {
+			defer wg.Done()
+			defer func() {
+				conn.Close()
+				s.mu.Lock()
+				delete(s.sessions, conn)
+				s.mu.Unlock()
+			}()
+			s.serveSession(conn)
+		}(conn)
+	}
+}
+
+func (s *MultiServer) serveSession(conn net.Conn) {
+	remote := conn.RemoteAddr().String()
+	var src FrameSource
+	err := Serve(conn, ServerOptions{
+		Accept:    s.Accept,
+		MaxFrames: s.MaxFrames,
+		Source:    deferredSource{get: func() FrameSource { return src }},
+		OnInput: func(in InputPacket) {
+			if s.OnInput != nil {
+				s.OnInput(remote, in)
+			}
+		},
+		Validate: func(h Hello) error {
+			var err error
+			src, err = s.NewSource(h)
+			return err
+		},
+	})
+	_ = err // per-session errors end that session only
+}
+
+// deferredSource resolves its FrameSource lazily: the real source is only
+// known after the client's Hello has been validated.
+type deferredSource struct {
+	get func() FrameSource
+}
+
+func (d deferredSource) NextFrame(i int) ([]byte, bool, frame.Rect, error) {
+	src := d.get()
+	if src == nil {
+		return nil, false, frame.Rect{}, fmt.Errorf("stream: session has no source")
+	}
+	return src.NextFrame(i)
+}
+
+// Shutdown stops accepting and closes every live session. The Serve call
+// returns once in-flight sessions finish (their connections are closed, so
+// they finish promptly).
+func (s *MultiServer) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.closed = true
+	if s.listener != nil {
+		s.listener.Close()
+	}
+	for conn := range s.sessions {
+		conn.Close()
+	}
+	s.mu.Unlock()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	default:
+		return nil
+	}
+}
+
+// SessionCount returns the number of live sessions.
+func (s *MultiServer) SessionCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.sessions)
+}

@@ -1,0 +1,255 @@
+package stream
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"gamestreamsr/internal/frame"
+)
+
+// countingSource serves n tiny frames.
+type countingSource struct{ n int }
+
+func (c *countingSource) NextFrame(i int) ([]byte, bool, frame.Rect, error) {
+	if i >= c.n {
+		return nil, false, frame.Rect{}, io.EOF
+	}
+	return []byte{byte(i)}, i == 0, frame.Rect{W: 4, H: 4}, nil
+}
+
+func startMulti(t *testing.T, srv *MultiServer) (addr string, done chan error) {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done = make(chan error, 1)
+	go func() { done <- srv.Serve(l) }()
+	return l.Addr().String(), done
+}
+
+func runClient(t *testing.T, addr, name string) int {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	c := NewClient(conn)
+	if _, err := c.Handshake(Hello{Device: name, RoIWindow: 8, Scale: 2}); err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for {
+		_, err := c.RecvFrame()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		n++
+	}
+	return n
+}
+
+func TestMultiServerConcurrentClients(t *testing.T) {
+	srv := &MultiServer{
+		Accept:    Accept{Width: 32, Height: 32, GOPSize: 4, QStep: 6},
+		NewSource: func(Hello) (FrameSource, error) { return &countingSource{n: 5}, nil },
+	}
+	addr, done := startMulti(t, srv)
+
+	var wg sync.WaitGroup
+	counts := make([]int, 4)
+	for i := range counts {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			counts[i] = runClient(t, addr, "client")
+		}(i)
+	}
+	wg.Wait()
+	for i, n := range counts {
+		if n != 5 {
+			t.Errorf("client %d got %d frames, want 5", i, n)
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; !errors.Is(err, errServerClosed) {
+		t.Errorf("Serve returned %v, want server-closed", err)
+	}
+	if srv.SessionCount() != 0 {
+		t.Errorf("%d sessions left after shutdown", srv.SessionCount())
+	}
+}
+
+func TestMultiServerRequiresFactory(t *testing.T) {
+	srv := &MultiServer{Accept: Accept{Width: 8, Height: 8, GOPSize: 1, QStep: 1}}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if err := srv.Serve(l); err == nil {
+		t.Fatal("missing factory should fail")
+	}
+}
+
+func TestMultiServerRejectsBadHello(t *testing.T) {
+	srv := &MultiServer{
+		Accept: Accept{Width: 32, Height: 32, GOPSize: 4, QStep: 6},
+		NewSource: func(h Hello) (FrameSource, error) {
+			if h.RoIWindow < 16 {
+				return nil, errors.New("window too small")
+			}
+			return &countingSource{n: 1}, nil
+		},
+	}
+	addr, done := startMulti(t, srv)
+	defer func() {
+		srv.Shutdown(context.Background())
+		<-done
+	}()
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	c := NewClient(conn)
+	if err := WriteHello(conn, Hello{Device: "tiny", RoIWindow: 8, Scale: 2}); err != nil {
+		t.Fatal(err)
+	}
+	// The server rejects and closes; the client sees EOF or a reset.
+	if _, err := c.RecvFrame(); err == nil {
+		t.Fatal("rejected session should not deliver frames")
+	}
+}
+
+func TestMultiServerInputRouting(t *testing.T) {
+	type tagged struct {
+		remote string
+		seq    uint32
+	}
+	inputs := make(chan tagged, 8)
+	gotInput := make(chan struct{})
+	var once sync.Once
+	srv := &MultiServer{
+		Accept: Accept{Width: 32, Height: 32, GOPSize: 4, QStep: 6},
+		// The session stays open until the input has been routed, so the
+		// client's SendInput cannot race the server's hang-up.
+		NewSource: func(Hello) (FrameSource, error) {
+			return frameFunc(func(i int) ([]byte, bool, frame.Rect, error) {
+				if i == 0 {
+					return []byte{0}, true, frame.Rect{}, nil
+				}
+				<-gotInput
+				return nil, false, frame.Rect{}, io.EOF
+			}), nil
+		},
+		OnInput: func(remote string, in InputPacket) {
+			inputs <- tagged{remote, in.Seq}
+			once.Do(func() { close(gotInput) })
+		},
+	}
+	addr, done := startMulti(t, srv)
+	defer func() {
+		srv.Shutdown(context.Background())
+		<-done
+	}()
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	c := NewClient(conn)
+	if _, err := c.Handshake(Hello{Device: "x", RoIWindow: 8, Scale: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SendInput(InputPacket{Seq: 77}); err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := c.RecvFrame(); err != nil {
+			break
+		}
+	}
+	select {
+	case in := <-inputs:
+		if in.seq != 77 || in.remote == "" {
+			t.Errorf("input = %+v", in)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("input never routed")
+	}
+}
+
+func TestMultiServerSessionCap(t *testing.T) {
+	release := make(chan struct{})
+	srv := &MultiServer{
+		Accept:      Accept{Width: 32, Height: 32, GOPSize: 4, QStep: 6},
+		MaxSessions: 1,
+		NewSource: func(Hello) (FrameSource, error) {
+			return frameFunc(func(i int) ([]byte, bool, frame.Rect, error) {
+				if i == 0 {
+					return []byte{0}, true, frame.Rect{}, nil
+				}
+				<-release // hold the session open
+				return nil, false, frame.Rect{}, io.EOF
+			}), nil
+		},
+	}
+	addr, done := startMulti(t, srv)
+	defer func() {
+		close(release)
+		srv.Shutdown(context.Background())
+		<-done
+	}()
+
+	// First client occupies the only slot.
+	conn1, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn1.Close()
+	c1 := NewClient(conn1)
+	if _, err := c1.Handshake(Hello{Device: "a", RoIWindow: 8, Scale: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c1.RecvFrame(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Second client is turned away (connection closed without handshake).
+	conn2, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn2.Close()
+	c2 := NewClient(conn2)
+	errc := make(chan error, 1)
+	go func() {
+		_, err := c2.Handshake(Hello{Device: "b", RoIWindow: 8, Scale: 2})
+		errc <- err
+	}()
+	select {
+	case err := <-errc:
+		if err == nil {
+			t.Fatal("second session should be rejected at the cap")
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("second client hung instead of being rejected")
+	}
+}

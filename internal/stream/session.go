@@ -1,0 +1,162 @@
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"gamestreamsr/internal/frame"
+)
+
+// FrameSource supplies coded frames to a server session. Implementations
+// typically wrap a renderer + RoI detector + encoder (see cmd/gssr-server).
+type FrameSource interface {
+	// NextFrame returns the coded payload, whether it is a reference
+	// frame, and the RoI rectangle for frame index i. io.EOF ends the
+	// session cleanly.
+	NextFrame(i int) (payload []byte, key bool, roi frame.Rect, err error)
+}
+
+// ServerOptions configures a server session.
+type ServerOptions struct {
+	// Accept is the stream geometry announced to the client.
+	Accept Accept
+	// Source supplies frames until it returns io.EOF or MaxFrames is hit.
+	Source FrameSource
+	// MaxFrames bounds the session length; 0 means until Source EOF.
+	MaxFrames int
+	// OnInput, if non-nil, receives client input events.
+	OnInput func(InputPacket)
+	// Validate, if non-nil, vets the client's Hello before accepting.
+	Validate func(Hello) error
+}
+
+// Serve runs one server session over conn: handshake, then frames until the
+// source is exhausted, then Bye. Client input arriving during the stream is
+// dispatched to OnInput from a separate goroutine. Serve returns when the
+// stream has been fully sent (or on the first error); the caller owns the
+// connection and closes it.
+func Serve(conn io.ReadWriter, opt ServerOptions) error {
+	if opt.Source == nil {
+		return errors.New("stream: server needs a frame source")
+	}
+	msg, err := ReadMsg(conn)
+	if err != nil {
+		return fmt.Errorf("stream: reading hello: %w", err)
+	}
+	if msg.Type != MsgHello {
+		return fmt.Errorf("%w: expected hello, got %v", ErrProtocol, msg.Type)
+	}
+	if opt.Validate != nil {
+		if err := opt.Validate(*msg.Hello); err != nil {
+			return fmt.Errorf("stream: rejecting client: %w", err)
+		}
+	}
+	if err := WriteAccept(conn, opt.Accept); err != nil {
+		return fmt.Errorf("stream: writing accept: %w", err)
+	}
+
+	// Drain client messages (input events, bye) concurrently.
+	var wg sync.WaitGroup
+	stopRead := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			m, err := ReadMsg(conn)
+			if err != nil {
+				return
+			}
+			switch m.Type {
+			case MsgInput:
+				if opt.OnInput != nil {
+					opt.OnInput(*m.Input)
+				}
+			case MsgBye:
+				return
+			default:
+				return // protocol violation: stop reading
+			}
+			select {
+			case <-stopRead:
+				return
+			default:
+			}
+		}
+	}()
+
+	var sendErr error
+	for i := 0; opt.MaxFrames == 0 || i < opt.MaxFrames; i++ {
+		payload, key, roi, err := opt.Source.NextFrame(i)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			sendErr = fmt.Errorf("stream: frame source: %w", err)
+			break
+		}
+		pkt := FramePacket{Index: uint32(i), Keyenc: key, RoI: roi, Payload: payload}
+		if err := WriteFrame(conn, pkt); err != nil {
+			sendErr = fmt.Errorf("stream: writing frame %d: %w", i, err)
+			break
+		}
+	}
+	if sendErr == nil {
+		sendErr = WriteBye(conn)
+	}
+	close(stopRead)
+	// The read goroutine exits when the client sends Bye or the caller
+	// closes the connection; do not block on it here.
+	return sendErr
+}
+
+// Client is the Moonlight-analogue session endpoint.
+type Client struct {
+	conn io.ReadWriter
+	cfg  Accept
+}
+
+// NewClient wraps an established connection.
+func NewClient(conn io.ReadWriter) *Client { return &Client{conn: conn} }
+
+// Handshake sends the Hello (the device's capability probe result) and
+// returns the server's stream geometry.
+func (c *Client) Handshake(h Hello) (Accept, error) {
+	if err := WriteHello(c.conn, h); err != nil {
+		return Accept{}, fmt.Errorf("stream: writing hello: %w", err)
+	}
+	msg, err := ReadMsg(c.conn)
+	if err != nil {
+		return Accept{}, fmt.Errorf("stream: reading accept: %w", err)
+	}
+	if msg.Type != MsgAccept {
+		return Accept{}, fmt.Errorf("%w: expected accept, got %v", ErrProtocol, msg.Type)
+	}
+	c.cfg = *msg.Accept
+	return c.cfg, nil
+}
+
+// Config returns the negotiated stream geometry (zero before Handshake).
+func (c *Client) Config() Accept { return c.cfg }
+
+// RecvFrame returns the next frame packet, or io.EOF after the server's Bye.
+func (c *Client) RecvFrame() (FramePacket, error) {
+	msg, err := ReadMsg(c.conn)
+	if err != nil {
+		return FramePacket{}, err
+	}
+	switch msg.Type {
+	case MsgFrame:
+		return *msg.Frame, nil
+	case MsgBye:
+		return FramePacket{}, io.EOF
+	default:
+		return FramePacket{}, fmt.Errorf("%w: expected frame, got %v", ErrProtocol, msg.Type)
+	}
+}
+
+// SendInput ships a user-input event to the server.
+func (c *Client) SendInput(in InputPacket) error {
+	return WriteInput(c.conn, in)
+}

@@ -1,0 +1,335 @@
+// Package stream implements the wire protocol between the GameStreamSR
+// server and client — the role Sunshine and Moonlight (NVIDIA GameStream
+// protocol) play in the paper's software setup (§V-A). It is a small
+// length-prefixed message protocol over any reliable byte stream:
+//
+//	client → server  Hello   (device name, negotiated RoI window, scale)
+//	server → client  Accept  (stream geometry: resolution, GOP, quantizer)
+//	server → client  Frame   (index, codec frame type, RoI coords, payload)
+//	client → server  Input   (sequence number, opaque input event payload)
+//	either direction Bye     (clean shutdown)
+//
+// The RoI coordinates riding alongside each frame are the paper's Fig. 6
+// step ❺: the depth-guided RoI is computed on the server and shipped with
+// the compressed frame so the client knows which region to route to the NPU.
+package stream
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"gamestreamsr/internal/frame"
+)
+
+// MsgType identifies a protocol message.
+type MsgType uint8
+
+// Message types.
+const (
+	MsgHello MsgType = iota + 1
+	MsgAccept
+	MsgFrame
+	MsgInput
+	MsgBye
+)
+
+func (t MsgType) String() string {
+	switch t {
+	case MsgHello:
+		return "hello"
+	case MsgAccept:
+		return "accept"
+	case MsgFrame:
+		return "frame"
+	case MsgInput:
+		return "input"
+	case MsgBye:
+		return "bye"
+	default:
+		return fmt.Sprintf("MsgType(%d)", uint8(t))
+	}
+}
+
+// MaxBody bounds a message body; anything larger is rejected as corrupt.
+const MaxBody = 16 << 20
+
+// ErrProtocol wraps all wire-format violations.
+var ErrProtocol = errors.New("stream: protocol error")
+
+// Hello is the client's opening message: its identity and the §IV-B1
+// capability probe result (Fig. 6 step ❶).
+type Hello struct {
+	Device    string
+	RoIWindow int
+	Scale     int
+}
+
+// Accept is the server's handshake reply describing the stream.
+type Accept struct {
+	Width, Height int
+	GOPSize       int
+	QStep         int
+}
+
+// FramePacket carries one coded frame plus its RoI coordinates.
+type FramePacket struct {
+	Index   uint32
+	Keyenc  bool // reference (intra) frame
+	RoI     frame.Rect
+	Payload []byte
+}
+
+// InputPacket carries one user-input event.
+type InputPacket struct {
+	Seq     uint32
+	Payload []byte
+}
+
+// writeMsg frames a message body.
+func writeMsg(w io.Writer, t MsgType, body []byte) error {
+	if len(body) > MaxBody {
+		return fmt.Errorf("%w: body %d exceeds limit", ErrProtocol, len(body))
+	}
+	hdr := make([]byte, 1, 1+binary.MaxVarintLen32)
+	hdr[0] = byte(t)
+	hdr = binary.AppendUvarint(hdr, uint64(len(body)))
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	if len(body) == 0 {
+		// Skip empty writes: synchronous transports (net.Pipe) block a
+		// zero-length Write until a matching Read that will never come.
+		return nil
+	}
+	_, err := w.Write(body)
+	return err
+}
+
+// readMsg reads one framed message.
+func readMsg(r io.Reader) (MsgType, []byte, error) {
+	var tb [1]byte
+	if _, err := io.ReadFull(r, tb[:]); err != nil {
+		return 0, nil, err
+	}
+	br := byteReader{r: r}
+	n, err := binary.ReadUvarint(&br)
+	if err != nil {
+		return 0, nil, fmt.Errorf("%w: bad length: %v", ErrProtocol, err)
+	}
+	if n > MaxBody {
+		return 0, nil, fmt.Errorf("%w: body %d exceeds limit", ErrProtocol, n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return 0, nil, fmt.Errorf("%w: short body: %v", ErrProtocol, err)
+	}
+	return MsgType(tb[0]), body, nil
+}
+
+type byteReader struct{ r io.Reader }
+
+func (b *byteReader) ReadByte() (byte, error) {
+	var buf [1]byte
+	_, err := io.ReadFull(b.r, buf[:])
+	return buf[0], err
+}
+
+// --- message bodies -----------------------------------------------------------
+
+// WriteHello sends a Hello message.
+func WriteHello(w io.Writer, h Hello) error {
+	if len(h.Device) > 255 {
+		return fmt.Errorf("%w: device name too long", ErrProtocol)
+	}
+	body := []byte{byte(len(h.Device))}
+	body = append(body, h.Device...)
+	body = binary.AppendUvarint(body, uint64(h.RoIWindow))
+	body = binary.AppendUvarint(body, uint64(h.Scale))
+	return writeMsg(w, MsgHello, body)
+}
+
+func parseHello(body []byte) (Hello, error) {
+	var h Hello
+	if len(body) < 1 {
+		return h, fmt.Errorf("%w: empty hello", ErrProtocol)
+	}
+	n := int(body[0])
+	body = body[1:]
+	if len(body) < n {
+		return h, fmt.Errorf("%w: truncated device name", ErrProtocol)
+	}
+	h.Device = string(body[:n])
+	body = body[n:]
+	vals, err := readUvarints(body, 2)
+	if err != nil {
+		return h, err
+	}
+	h.RoIWindow = int(vals[0])
+	h.Scale = int(vals[1])
+	if h.RoIWindow <= 0 || h.Scale <= 0 {
+		return h, fmt.Errorf("%w: non-positive hello fields", ErrProtocol)
+	}
+	return h, nil
+}
+
+// WriteAccept sends an Accept message.
+func WriteAccept(w io.Writer, a Accept) error {
+	var body []byte
+	for _, v := range []int{a.Width, a.Height, a.GOPSize, a.QStep} {
+		body = binary.AppendUvarint(body, uint64(v))
+	}
+	return writeMsg(w, MsgAccept, body)
+}
+
+func parseAccept(body []byte) (Accept, error) {
+	vals, err := readUvarints(body, 4)
+	if err != nil {
+		return Accept{}, err
+	}
+	a := Accept{Width: int(vals[0]), Height: int(vals[1]), GOPSize: int(vals[2]), QStep: int(vals[3])}
+	if a.Width <= 0 || a.Height <= 0 || a.GOPSize <= 0 || a.QStep <= 0 {
+		return Accept{}, fmt.Errorf("%w: non-positive accept fields", ErrProtocol)
+	}
+	return a, nil
+}
+
+// WriteFrame sends a FramePacket.
+func WriteFrame(w io.Writer, f FramePacket) error {
+	body := binary.AppendUvarint(nil, uint64(f.Index))
+	key := byte(0)
+	if f.Keyenc {
+		key = 1
+	}
+	body = append(body, key)
+	for _, v := range []int{f.RoI.X, f.RoI.Y, f.RoI.W, f.RoI.H} {
+		body = binary.AppendUvarint(body, uint64(v))
+	}
+	body = binary.AppendUvarint(body, uint64(len(f.Payload)))
+	body = append(body, f.Payload...)
+	return writeMsg(w, MsgFrame, body)
+}
+
+func parseFrame(body []byte) (FramePacket, error) {
+	var f FramePacket
+	idx, n := binary.Uvarint(body)
+	if n <= 0 {
+		return f, fmt.Errorf("%w: bad frame index", ErrProtocol)
+	}
+	f.Index = uint32(idx)
+	body = body[n:]
+	if len(body) < 1 {
+		return f, fmt.Errorf("%w: truncated frame flags", ErrProtocol)
+	}
+	f.Keyenc = body[0] == 1
+	body = body[1:]
+	vals, rest, err := readUvarintsRest(body, 5)
+	if err != nil {
+		return f, err
+	}
+	f.RoI = frame.Rect{X: int(vals[0]), Y: int(vals[1]), W: int(vals[2]), H: int(vals[3])}
+	plen := int(vals[4])
+	if plen != len(rest) {
+		return f, fmt.Errorf("%w: payload length %d != %d", ErrProtocol, plen, len(rest))
+	}
+	f.Payload = rest
+	return f, nil
+}
+
+// WriteInput sends an InputPacket.
+func WriteInput(w io.Writer, in InputPacket) error {
+	body := binary.AppendUvarint(nil, uint64(in.Seq))
+	body = binary.AppendUvarint(body, uint64(len(in.Payload)))
+	body = append(body, in.Payload...)
+	return writeMsg(w, MsgInput, body)
+}
+
+func parseInput(body []byte) (InputPacket, error) {
+	var in InputPacket
+	vals, rest, err := readUvarintsRest(body, 2)
+	if err != nil {
+		return in, err
+	}
+	in.Seq = uint32(vals[0])
+	if int(vals[1]) != len(rest) {
+		return in, fmt.Errorf("%w: input payload length mismatch", ErrProtocol)
+	}
+	in.Payload = rest
+	return in, nil
+}
+
+// WriteBye sends a Bye message.
+func WriteBye(w io.Writer) error { return writeMsg(w, MsgBye, nil) }
+
+func readUvarints(body []byte, n int) ([]uint64, error) {
+	vals, rest, err := readUvarintsRest(body, n)
+	if err != nil {
+		return nil, err
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrProtocol, len(rest))
+	}
+	return vals, nil
+}
+
+func readUvarintsRest(body []byte, n int) ([]uint64, []byte, error) {
+	vals := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		v, m := binary.Uvarint(body)
+		if m <= 0 {
+			return nil, nil, fmt.Errorf("%w: truncated varint field %d", ErrProtocol, i)
+		}
+		vals[i] = v
+		body = body[m:]
+	}
+	return vals, body, nil
+}
+
+// Msg is a decoded protocol message; exactly one field is set.
+type Msg struct {
+	Type   MsgType
+	Hello  *Hello
+	Accept *Accept
+	Frame  *FramePacket
+	Input  *InputPacket
+}
+
+// ReadMsg reads and decodes the next message from r.
+func ReadMsg(r io.Reader) (Msg, error) {
+	t, body, err := readMsg(r)
+	if err != nil {
+		return Msg{}, err
+	}
+	out := Msg{Type: t}
+	switch t {
+	case MsgHello:
+		h, err := parseHello(body)
+		if err != nil {
+			return Msg{}, err
+		}
+		out.Hello = &h
+	case MsgAccept:
+		a, err := parseAccept(body)
+		if err != nil {
+			return Msg{}, err
+		}
+		out.Accept = &a
+	case MsgFrame:
+		f, err := parseFrame(body)
+		if err != nil {
+			return Msg{}, err
+		}
+		out.Frame = &f
+	case MsgInput:
+		in, err := parseInput(body)
+		if err != nil {
+			return Msg{}, err
+		}
+		out.Input = &in
+	case MsgBye:
+	default:
+		return Msg{}, fmt.Errorf("%w: unknown message type %d", ErrProtocol, t)
+	}
+	return out, nil
+}

@@ -1,0 +1,142 @@
+// Package trace records execution timelines of pipeline stages so the
+// paper's timeline figures — the SR execution plot across GOPs (Fig. 2) and
+// the motion-to-photon breakdown (Fig. 10c) — can be regenerated as data
+// series and rendered as ASCII Gantt charts.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// Event is one span on a timeline lane.
+type Event struct {
+	Lane  string
+	Name  string
+	Start time.Duration
+	End   time.Duration
+}
+
+// Duration returns the span length.
+func (e Event) Duration() time.Duration { return e.End - e.Start }
+
+// Timeline collects events. The zero value is ready to use.
+type Timeline struct {
+	events []Event
+}
+
+// Add records a span; spans with End < Start are swapped rather than
+// rejected so callers can pass intervals in either order.
+func (t *Timeline) Add(lane, name string, start, end time.Duration) {
+	if end < start {
+		start, end = end, start
+	}
+	t.events = append(t.events, Event{Lane: lane, Name: name, Start: start, End: end})
+}
+
+// Events returns the recorded events in insertion order.
+func (t *Timeline) Events() []Event {
+	return append([]Event(nil), t.events...)
+}
+
+// Lanes returns the distinct lane names in first-appearance order.
+func (t *Timeline) Lanes() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, e := range t.events {
+		if !seen[e.Lane] {
+			seen[e.Lane] = true
+			out = append(out, e.Lane)
+		}
+	}
+	return out
+}
+
+// Span returns the earliest start and latest end across all events.
+func (t *Timeline) Span() (time.Duration, time.Duration) {
+	if len(t.events) == 0 {
+		return 0, 0
+	}
+	lo, hi := t.events[0].Start, t.events[0].End
+	for _, e := range t.events[1:] {
+		if e.Start < lo {
+			lo = e.Start
+		}
+		if e.End > hi {
+			hi = e.End
+		}
+	}
+	return lo, hi
+}
+
+// TotalByName sums event durations grouped by name — the per-stage totals
+// of a latency breakdown.
+func (t *Timeline) TotalByName() map[string]time.Duration {
+	out := map[string]time.Duration{}
+	for _, e := range t.events {
+		out[e.Name] += e.Duration()
+	}
+	return out
+}
+
+// Render writes an ASCII Gantt chart of the timeline, one row per lane,
+// width columns wide. It is what `gssr run fig2` prints.
+func (t *Timeline) Render(w io.Writer, width int) error {
+	if width < 20 {
+		width = 20
+	}
+	lo, hi := t.Span()
+	if hi == lo {
+		_, err := fmt.Fprintln(w, "(empty timeline)")
+		return err
+	}
+	scale := float64(width) / float64(hi-lo)
+	lanes := t.Lanes()
+	labelW := 0
+	for _, l := range lanes {
+		if len(l) > labelW {
+			labelW = len(l)
+		}
+	}
+	for _, lane := range lanes {
+		row := make([]byte, width)
+		for i := range row {
+			row[i] = '.'
+		}
+		var evs []Event
+		for _, e := range t.events {
+			if e.Lane == lane {
+				evs = append(evs, e)
+			}
+		}
+		sort.Slice(evs, func(i, j int) bool { return evs[i].Start < evs[j].Start })
+		for _, e := range evs {
+			s := int(float64(e.Start-lo) * scale)
+			f := int(float64(e.End-lo) * scale)
+			if f >= width {
+				f = width - 1
+			}
+			if s > f {
+				s = f
+			}
+			mark := byte('#')
+			if len(e.Name) > 0 {
+				mark = e.Name[0]
+			}
+			for i := s; i <= f; i++ {
+				row[i] = mark
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%-*s |%s|\n", labelW, lane, string(row)); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "%-*s  %s → %s\n", labelW, "", fmtDur(lo), fmtDur(hi))
+	return err
+}
+
+func fmtDur(d time.Duration) string {
+	return fmt.Sprintf("%.1fms", float64(d)/float64(time.Millisecond))
+}

@@ -1,0 +1,114 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestAddAndEvents(t *testing.T) {
+	var tl Timeline
+	tl.Add("npu", "sr", 0, 16*time.Millisecond)
+	tl.Add("gpu", "bilinear", 2*time.Millisecond, 3*time.Millisecond)
+	evs := tl.Events()
+	if len(evs) != 2 {
+		t.Fatalf("got %d events", len(evs))
+	}
+	if evs[0].Duration() != 16*time.Millisecond {
+		t.Error("duration")
+	}
+	// Returned slice is a copy.
+	evs[0].Name = "mutated"
+	if tl.Events()[0].Name != "sr" {
+		t.Error("Events must return a copy")
+	}
+}
+
+func TestAddSwapsReversedSpan(t *testing.T) {
+	var tl Timeline
+	tl.Add("l", "x", 5*time.Millisecond, 2*time.Millisecond)
+	e := tl.Events()[0]
+	if e.Start != 2*time.Millisecond || e.End != 5*time.Millisecond {
+		t.Errorf("span not normalised: %+v", e)
+	}
+}
+
+func TestLanesOrder(t *testing.T) {
+	var tl Timeline
+	tl.Add("b", "x", 0, 1)
+	tl.Add("a", "y", 0, 1)
+	tl.Add("b", "z", 1, 2)
+	lanes := tl.Lanes()
+	if len(lanes) != 2 || lanes[0] != "b" || lanes[1] != "a" {
+		t.Errorf("lanes = %v", lanes)
+	}
+}
+
+func TestSpan(t *testing.T) {
+	var tl Timeline
+	if lo, hi := tl.Span(); lo != 0 || hi != 0 {
+		t.Error("empty span")
+	}
+	tl.Add("l", "a", 3*time.Millisecond, 9*time.Millisecond)
+	tl.Add("l", "b", time.Millisecond, 5*time.Millisecond)
+	lo, hi := tl.Span()
+	if lo != time.Millisecond || hi != 9*time.Millisecond {
+		t.Errorf("span = %v..%v", lo, hi)
+	}
+}
+
+func TestTotalByName(t *testing.T) {
+	var tl Timeline
+	tl.Add("l", "decode", 0, 2*time.Millisecond)
+	tl.Add("l", "decode", 10*time.Millisecond, 13*time.Millisecond)
+	tl.Add("l", "sr", 0, time.Millisecond)
+	totals := tl.TotalByName()
+	if totals["decode"] != 5*time.Millisecond || totals["sr"] != time.Millisecond {
+		t.Errorf("totals = %v", totals)
+	}
+}
+
+func TestRender(t *testing.T) {
+	var tl Timeline
+	tl.Add("npu", "sr", 0, 10*time.Millisecond)
+	tl.Add("gpu", "bilinear", 0, 2*time.Millisecond)
+	var sb strings.Builder
+	if err := tl.Render(&sb, 40); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "npu") || !strings.Contains(out, "gpu") {
+		t.Errorf("missing lanes:\n%s", out)
+	}
+	if !strings.Contains(out, "s") || !strings.Contains(out, "b") {
+		t.Errorf("missing event marks:\n%s", out)
+	}
+	// The npu bar must be longer than the gpu bar.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if strings.Count(lines[0], "s") <= strings.Count(lines[1], "b") {
+		t.Errorf("bar lengths don't reflect durations:\n%s", out)
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	var tl Timeline
+	var sb strings.Builder
+	if err := tl.Render(&sb, 40); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "empty") {
+		t.Errorf("empty render = %q", sb.String())
+	}
+}
+
+func TestRenderNarrowWidthClamped(t *testing.T) {
+	var tl Timeline
+	tl.Add("l", "a", 0, time.Millisecond)
+	var sb strings.Builder
+	if err := tl.Render(&sb, 1); err != nil {
+		t.Fatal(err)
+	}
+	if len(sb.String()) == 0 {
+		t.Error("render produced nothing")
+	}
+}
