@@ -120,6 +120,62 @@ func BenchmarkPipelineSRDecoder(b *testing.B) {
 	})
 }
 
+// --- staged-engine throughput benches --------------------------------------------
+//
+// End-to-end Run throughput of the three frame-loop runners over a full
+// two-GOP stream: the workload the staged pipeline engine overlaps across
+// server/client/measure stages. Before/after numbers for the engine refactor
+// are recorded in BENCH_pipeline.json.
+
+func benchRun(b *testing.B, mk func() (interface {
+	Run(int) (*pipeline.Result, error)
+}, error)) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r, err := mk()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := r.Run(8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func runBenchConfig(b *testing.B) pipeline.Config {
+	b.Helper()
+	g, err := games.ByID("G3")
+	if err != nil {
+		b.Fatal(err)
+	}
+	return pipeline.Config{Game: g, SimDiv: 8, GOPSize: 4}
+}
+
+func BenchmarkGameStreamRun(b *testing.B) {
+	benchRun(b, func() (interface {
+		Run(int) (*pipeline.Result, error)
+	}, error) {
+		return pipeline.NewGameStream(runBenchConfig(b))
+	})
+}
+
+func BenchmarkNEMORun(b *testing.B) {
+	benchRun(b, func() (interface {
+		Run(int) (*pipeline.Result, error)
+	}, error) {
+		return nemo.New(runBenchConfig(b))
+	})
+}
+
+func BenchmarkSRDecoderRun(b *testing.B) {
+	benchRun(b, func() (interface {
+		Run(int) (*pipeline.Result, error)
+	}, error) {
+		return srdecoder.New(runBenchConfig(b), upscale.Bicubic)
+	})
+}
+
 // --- ablation benches (design choices in DESIGN.md §5) ---------------------------
 
 // RoI window size sweep: the latency/quality knob of §IV-B1.

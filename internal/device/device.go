@@ -410,6 +410,18 @@ func (m *EnergyMeter) Total() float64 {
 	return t
 }
 
+// NonZero returns the per-rail energy in joules with zero rails omitted —
+// the form FrameResult.Energy records.
+func (m *EnergyMeter) NonZero() map[Rail]float64 {
+	out := map[Rail]float64{}
+	for r := Rail(0); r < railCount; r++ {
+		if j := m.joules[r]; j != 0 {
+			out[r] = j
+		}
+	}
+	return out
+}
+
 // Breakdown returns the per-rail energy shares (summing to 1 when total is
 // non-zero) — the quantity of the paper's Fig. 12.
 func (m *EnergyMeter) Breakdown() map[Rail]float64 {

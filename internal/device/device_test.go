@@ -114,7 +114,7 @@ func TestReferenceFrameSpeedup(t *testing.T) {
 		sota := p.SRLatency(1280 * 720)
 		roi := p.SRLatency(300 * 300)
 		gpu := p.GPUBilinearLatency(2560*1440 - 600*600)
-		ours := maxDur(roi, gpu) + p.MergeLatency()
+		ours := max(roi, gpu) + p.MergeLatency()
 		got := float64(sota) / float64(ours)
 		if math.Abs(got-c.want) > 1.2 {
 			t.Errorf("%s: reference speedup %.1f×, want ≈%.0f×", p.Name, got, c.want)
@@ -124,13 +124,6 @@ func TestReferenceFrameSpeedup(t *testing.T) {
 			t.Errorf("%s: our reference path %.2f ms misses 16.66 ms", p.Name, ms(ours))
 		}
 	}
-}
-
-func maxDur(a, b time.Duration) time.Duration {
-	if a > b {
-		return a
-	}
-	return b
 }
 
 func TestMaxRoIWindow(t *testing.T) {

@@ -257,7 +257,7 @@ func ExtGantt(w io.Writer, _ Options) error {
 	gpu := dev.GPUBilinearLatency(hrPx - 600*600)
 	tl.Add("npu", "sr-roi", t1, t1+sr)
 	tl.Add("gpu", "bilinear", t1, t1+gpu)
-	t2 := t1 + maxDur(sr, gpu)
+	t2 := t1 + max(sr, gpu)
 	tl.Add("gpu", "merge", t2, t2+dev.MergeLatency())
 	t3 := t2 + dev.MergeLatency()
 	tl.Add("display", "display", t3, t3+dev.DisplayActive())
@@ -266,15 +266,8 @@ func ExtGantt(w io.Writer, _ Options) error {
 	}
 	totals := tl.TotalByName()
 	fmt.Fprintf(w, "client total: %.2f ms (budget 16.66 ms per stage, pipelined)\n",
-		ms(totals["decode"]+maxDur(totals["sr-roi"], totals["bilinear"])+totals["merge"]+totals["display"]))
+		ms(totals["decode"]+max(totals["sr-roi"], totals["bilinear"])+totals["merge"]+totals["display"]))
 	return nil
-}
-
-func maxDur(a, b time.Duration) time.Duration {
-	if a > b {
-		return a
-	}
-	return b
 }
 
 // ExtRoIQ evaluates RoI-aware *encoding* (related-work §"RoI Detection in

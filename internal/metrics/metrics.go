@@ -20,6 +20,7 @@ import (
 	"math"
 
 	"gamestreamsr/internal/frame"
+	"gamestreamsr/internal/parallel"
 )
 
 // ErrSizeMismatch is returned when the two images differ in geometry.
@@ -35,11 +36,14 @@ func MSE(a, b *frame.Image) (float64, error) {
 	}
 	la := a.Luma()
 	lb := b.Luma()
-	var sum float64
-	for i := range la {
-		d := la[i] - lb[i]
-		sum += d * d
-	}
+	sum := parallel.Sum(len(la), func(lo, hi int) float64 {
+		var s float64
+		for i := lo; i < hi; i++ {
+			d := la[i] - lb[i]
+			s += d * d
+		}
+		return s
+	})
 	return sum / float64(len(la)), nil
 }
 
@@ -91,41 +95,45 @@ func SSIM(a, b *frame.Image) (float64, error) {
 		c1 = 6.5025  // (0.01*255)^2
 		c2 = 58.5225 // (0.03*255)^2
 	)
-	var total float64
-	var count int
-	for y := 0; y+win <= a.H; y += win {
-		for x := 0; x+win <= a.W; x += win {
-			var ma, mb float64
-			for j := 0; j < win; j++ {
-				row := (y + j) * a.W
-				for i := 0; i < win; i++ {
-					ma += la[row+x+i]
-					mb += lb[row+x+i]
+	winRows := a.H / win
+	winCols := a.W / win
+	// One parallel band per row of windows; each window is self-contained.
+	total := parallel.Sum(winRows, func(r0, r1 int) float64 {
+		var band float64
+		for r := r0; r < r1; r++ {
+			y := r * win
+			for x := 0; x+win <= a.W; x += win {
+				var ma, mb float64
+				for j := 0; j < win; j++ {
+					row := (y + j) * a.W
+					for i := 0; i < win; i++ {
+						ma += la[row+x+i]
+						mb += lb[row+x+i]
+					}
 				}
-			}
-			n := float64(win * win)
-			ma /= n
-			mb /= n
-			var va, vb, cov float64
-			for j := 0; j < win; j++ {
-				row := (y + j) * a.W
-				for i := 0; i < win; i++ {
-					da := la[row+x+i] - ma
-					db := lb[row+x+i] - mb
-					va += da * da
-					vb += db * db
-					cov += da * db
+				n := float64(win * win)
+				ma /= n
+				mb /= n
+				var va, vb, cov float64
+				for j := 0; j < win; j++ {
+					row := (y + j) * a.W
+					for i := 0; i < win; i++ {
+						da := la[row+x+i] - ma
+						db := lb[row+x+i] - mb
+						va += da * da
+						vb += db * db
+						cov += da * db
+					}
 				}
+				va /= n - 1
+				vb /= n - 1
+				cov /= n - 1
+				band += ((2*ma*mb + c1) * (2*cov + c2)) / ((ma*ma + mb*mb + c1) * (va + vb + c2))
 			}
-			va /= n - 1
-			vb /= n - 1
-			cov /= n - 1
-			s := ((2*ma*mb + c1) * (2*cov + c2)) / ((ma*ma + mb*mb + c1) * (va + vb + c2))
-			total += s
-			count++
 		}
-	}
-	return total / float64(count), nil
+		return band
+	})
+	return total / float64(winRows*winCols), nil
 }
 
 // TemporalStability measures quality flicker over a sequence: the mean
@@ -181,41 +189,45 @@ func featureChannels(l []float64, w, h int) [4][]float64 {
 	for i := range out {
 		out[i] = make([]float64, w*h)
 	}
-	for y := 0; y < h; y++ {
-		for x := 0; x < w; x++ {
-			i := y*w + x
-			c := l[i]
-			left, right := c, c
-			up, down := c, c
-			if x > 0 {
-				left = l[i-1]
+	parallel.For(h, func(y0, y1 int) {
+		for y := y0; y < y1; y++ {
+			for x := 0; x < w; x++ {
+				i := y*w + x
+				c := l[i]
+				left, right := c, c
+				up, down := c, c
+				if x > 0 {
+					left = l[i-1]
+				}
+				if x < w-1 {
+					right = l[i+1]
+				}
+				if y > 0 {
+					up = l[i-w]
+				}
+				if y < h-1 {
+					down = l[i+w]
+				}
+				out[0][i] = c
+				out[1][i] = math.Abs(right - left)
+				out[2][i] = math.Abs(down - up)
+				out[3][i] = math.Abs(left + right + up + down - 4*c)
 			}
-			if x < w-1 {
-				right = l[i+1]
-			}
-			if y > 0 {
-				up = l[i-w]
-			}
-			if y < h-1 {
-				down = l[i+w]
-			}
-			out[0][i] = c
-			out[1][i] = math.Abs(right - left)
-			out[2][i] = math.Abs(down - up)
-			out[3][i] = math.Abs(left + right + up + down - 4*c)
 		}
-	}
+	})
 	return out
 }
 
 // normalisedDistance is the mean absolute difference of two feature maps
 // normalised by their pooled energy, as LPIPS normalises channel activations.
 func normalisedDistance(a, b []float64) float64 {
-	var diff, energy float64
-	for i := range a {
-		diff += math.Abs(a[i] - b[i])
-		energy += math.Abs(a[i]) + math.Abs(b[i])
-	}
+	acc := parallel.SumVec(len(a), 2, func(lo, hi int, acc []float64) {
+		for i := lo; i < hi; i++ {
+			acc[0] += math.Abs(a[i] - b[i])
+			acc[1] += math.Abs(a[i]) + math.Abs(b[i])
+		}
+	})
+	diff, energy := acc[0], acc[1]
 	if energy < 1e-9 {
 		return 0
 	}
@@ -226,11 +238,13 @@ func normalisedDistance(a, b []float64) float64 {
 func downsample2(l []float64, w, h int) []float64 {
 	nw, nh := w/2, h/2
 	out := make([]float64, nw*nh)
-	for y := 0; y < nh; y++ {
-		for x := 0; x < nw; x++ {
-			i := 2*y*w + 2*x
-			out[y*nw+x] = (l[i] + l[i+1] + l[i+w] + l[i+w+1]) / 4
+	parallel.For(nh, func(y0, y1 int) {
+		for y := y0; y < y1; y++ {
+			for x := 0; x < nw; x++ {
+				i := 2*y*w + 2*x
+				out[y*nw+x] = (l[i] + l[i+1] + l[i+w] + l[i+w+1]) / 4
+			}
 		}
-	}
+	})
 	return out
 }

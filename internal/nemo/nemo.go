@@ -18,9 +18,9 @@ import (
 	"gamestreamsr/internal/codec"
 	"gamestreamsr/internal/device"
 	"gamestreamsr/internal/frame"
-	"gamestreamsr/internal/metrics"
 	"gamestreamsr/internal/network"
 	"gamestreamsr/internal/pipeline"
+	"gamestreamsr/internal/render"
 	"gamestreamsr/internal/upscale"
 )
 
@@ -46,114 +46,94 @@ func New(cfg pipeline.Config) (*Runner, error) {
 // Config returns the effective configuration.
 func (r *Runner) Config() pipeline.Config { return r.cfg }
 
-// Run streams nFrames frames through the NEMO pipeline.
+// Run streams nFrames frames through the NEMO pipeline on the shared
+// staged engine.
 func (r *Runner) Run(nFrames int) (*pipeline.Result, error) {
-	if nFrames <= 0 {
-		return nil, fmt.Errorf("nemo: invalid frame count %d", nFrames)
-	}
-	cfg := r.cfg
-	enc, err := codec.NewEncoder(codec.Config{
-		Width: r.simW, Height: r.simH,
-		GOPSize: cfg.GOPSize, QStep: cfg.QStep, HalfPel: cfg.HalfPel,
-	})
-	if err != nil {
-		return nil, err
-	}
-	dec := codec.NewDecoder()
-	res := &pipeline.Result{Pipeline: "nemo", Device: cfg.Device}
+	return pipeline.RunEngine(r.cfg, pipeline.EngineOptions{
+		Prefix: "nemo",
+		Net:    r.net,
+		SimW:   r.simW, SimH: r.simH,
+	}, &variant{cfg: r.cfg}, nFrames)
+}
 
+// variant supplies the NEMO hooks to the staged engine: no server RoI
+// stage, full-frame DNN SR on reference frames, HR reconstruction from the
+// upscaled reference on non-reference frames, and the modified-software-
+// decoder cost model.
+type variant struct {
+	cfg pipeline.Config
+	// hrPrev is the previous reconstructed HR frame NEMO reuses.
+	// Client-stage state.
+	hrPrev *frame.Image
+}
+
+func (v *variant) Name() string { return "nemo" }
+
+// DetectRoI is a no-op: NEMO has no server-side RoI stage.
+func (v *variant) DetectRoI(render.Output) (frame.Rect, error) { return frame.Rect{}, nil }
+
+// Upscale reconstructs the HR frame: full-frame DNN SR for reference
+// frames, NEMO's motion-vector/residual reuse for non-reference frames.
+func (v *variant) Upscale(df *codec.DecodedFrame, job *pipeline.FrameJob) (*frame.Image, error) {
+	cfg := v.cfg
+	var up *frame.Image
+	var err error
+	switch job.Type {
+	case codec.Intra:
+		// Full-frame DNN SR of the reference frame on the NPU.
+		up, err = cfg.Engine.Upscale(df.Image, cfg.Scale)
+		if err != nil {
+			return nil, fmt.Errorf("nemo: frame %d SR: %w", job.Index, err)
+		}
+	case codec.Inter:
+		if v.hrPrev == nil {
+			return nil, fmt.Errorf("nemo: frame %d: inter frame without reference", job.Index)
+		}
+		up, err = ReconstructHR(v.hrPrev, df.Side, cfg.Scale)
+		if err != nil {
+			return nil, fmt.Errorf("nemo: frame %d reconstruct: %w", job.Index, err)
+		}
+	default:
+		return nil, fmt.Errorf("nemo: frame %d: unexpected type %v", job.Index, job.Type)
+	}
+	v.hrPrev = up
+	return up, nil
+}
+
+// Cost bills one frame: software decode on the CPU (the modified codec
+// cannot use the hardware decoder), NPU SR for reference frames, CPU
+// reconstruction for non-reference frames.
+func (v *variant) Cost(job *pipeline.FrameJob) (pipeline.Stages, map[device.Rail]float64, error) {
+	cfg := v.cfg
 	lrPx := cfg.LRWidth * cfg.LRHeight
 	hrPx := lrPx * cfg.Scale * cfg.Scale
-	byteScale := cfg.SimDiv * cfg.SimDiv
-
-	// hrPrev is the previous reconstructed HR frame NEMO reuses.
-	var hrPrev *frame.Image
-
-	for i := 0; i < nFrames; i++ {
-		sc, cam := cfg.Game.Frame(cfg.StartFrame + i*cfg.FrameStride)
-		lr := cfg.Renderer.Render(sc, cam, r.simW, r.simH)
-		gt := cfg.Renderer.Render(sc, cam, r.simW*cfg.Scale, r.simH*cfg.Scale)
-
-		data, ftype, err := enc.Encode(lr.Color)
-		if err != nil {
-			return nil, fmt.Errorf("nemo: frame %d encode: %w", i, err)
-		}
-		codedBytes := len(data) * byteScale
-		nominalBytes := pipeline.ModelFrameBytes(lrPx, cfg.GOPSize, ftype)
-		df, err := dec.Decode(data)
-		if err != nil {
-			return nil, fmt.Errorf("nemo: frame %d decode: %w", i, err)
-		}
-
-		dev := cfg.Device
-		em := device.NewEnergyMeter(dev)
-		st := pipeline.Stages{
-			Input:    r.net.UplinkLatency(),
-			Render:   cfg.Server.RenderLatency(lrPx),
-			Encode:   cfg.Server.EncodeLatency(lrPx),
-			Transmit: r.net.TransmitLatency(nominalBytes),
-			// Modified codec ⇒ software decoder on the CPU.
-			Decode:  dev.SWDecodeLatency(lrPx),
-			Display: dev.DisplayLatency(),
-		}
-		em.AddActive(device.RailCPU, st.Decode)
-		em.AddActive(device.RailDisplay, dev.DisplayActive())
-		em.AddNetworkBytes(nominalBytes)
-
-		var up *frame.Image
-		switch ftype {
-		case codec.Intra:
-			// Full-frame DNN SR of the reference frame on the NPU.
-			up, err = cfg.Engine.Upscale(df.Image, cfg.Scale)
-			if err != nil {
-				return nil, fmt.Errorf("nemo: frame %d SR: %w", i, err)
-			}
-			st.Upscale = dev.SRLatency(lrPx)
-			em.AddActive(device.RailNPU, st.Upscale)
-		case codec.Inter:
-			if hrPrev == nil {
-				return nil, fmt.Errorf("nemo: frame %d: inter frame without reference", i)
-			}
-			up, err = ReconstructHR(hrPrev, df.Side, cfg.Scale)
-			if err != nil {
-				return nil, fmt.Errorf("nemo: frame %d reconstruct: %w", i, err)
-			}
-			// MV + residual bilinear upscaling and reconstruction on the CPU.
-			st.Upscale = dev.CPUUpscaleLatency(hrPx)
-			em.AddWatts(device.RailCPU, dev.CPUUpscaleWatts, st.Upscale)
-		default:
-			return nil, fmt.Errorf("nemo: frame %d: unexpected type %v", i, ftype)
-		}
-		hrPrev = up
-
-		psnr, err := metrics.PSNR(gt.Color, up)
-		if err != nil {
-			return nil, err
-		}
-		ssim, err := metrics.SSIM(gt.Color, up)
-		if err != nil {
-			return nil, err
-		}
-		lpips, err := metrics.LPIPSProxy(gt.Color, up)
-		if err != nil {
-			return nil, err
-		}
-
-		fr := pipeline.FrameResult{
-			Index:  i,
-			Type:   ftype,
-			Stages: st,
-			PSNR:   psnr, SSIM: ssim, LPIPS: lpips,
-			Bytes:      nominalBytes,
-			CodedBytes: codedBytes,
-			Energy:     energyMap(em),
-		}
-		if cfg.KeepFrames {
-			fr.Upscaled = up
-		}
-		res.Frames = append(res.Frames, fr)
+	dev := cfg.Device
+	em := device.NewEnergyMeter(dev)
+	st := pipeline.Stages{
+		Input:    job.InputLat,
+		Render:   cfg.Server.RenderLatency(lrPx),
+		Encode:   cfg.Server.EncodeLatency(lrPx),
+		Transmit: job.TransmitLat,
+		// Modified codec ⇒ software decoder on the CPU.
+		Decode:  dev.SWDecodeLatency(lrPx),
+		Display: dev.DisplayLatency(),
 	}
-	return res, nil
+	em.AddActive(device.RailCPU, st.Decode)
+	em.AddActive(device.RailDisplay, dev.DisplayActive())
+	em.AddNetworkBytes(job.NominalBytes)
+
+	switch job.Type {
+	case codec.Intra:
+		st.Upscale = dev.SRLatency(lrPx)
+		em.AddActive(device.RailNPU, st.Upscale)
+	case codec.Inter:
+		// MV + residual bilinear upscaling and reconstruction on the CPU.
+		st.Upscale = dev.CPUUpscaleLatency(hrPx)
+		em.AddWatts(device.RailCPU, dev.CPUUpscaleWatts, st.Upscale)
+	default:
+		return pipeline.Stages{}, nil, fmt.Errorf("nemo: frame %d: unexpected type %v", job.Index, job.Type)
+	}
+	return st, em.NonZero(), nil
 }
 
 // ReconstructHR rebuilds a high-resolution non-reference frame from the
@@ -240,16 +220,6 @@ func ReconstructHR(hrPrev *frame.Image, side *codec.SideInfo, scale int) (*frame
 	return out, nil
 }
 
-func energyMap(em *device.EnergyMeter) map[device.Rail]float64 {
-	out := map[device.Rail]float64{}
-	for _, r := range device.Rails() {
-		if j := em.Joules(r); j != 0 {
-			out[r] = j
-		}
-	}
-	return out
-}
-
 func clamp(v, lo, hi int) int {
 	if v < lo {
 		return lo
@@ -258,11 +228,4 @@ func clamp(v, lo, hi int) int {
 		return hi
 	}
 	return v
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

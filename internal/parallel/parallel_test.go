@@ -1,0 +1,127 @@
+package parallel
+
+import (
+	"math/rand"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForCoversRangeExactlyOnce(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 7, 63, 64, 65, 1000, 4096} {
+		hits := make([]int32, n)
+		For(n, func(lo, hi int) {
+			if lo < 0 || hi > n || lo > hi {
+				t.Errorf("n=%d: bad range [%d,%d)", n, lo, hi)
+			}
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&hits[i], 1)
+			}
+		})
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("n=%d: index %d visited %d times", n, i, h)
+			}
+		}
+	}
+}
+
+func TestForNested(t *testing.T) {
+	// Nested For must not deadlock even when the outer level saturates the
+	// pool: callers always execute their own chunks.
+	var total atomic.Int64
+	For(16, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			For(100, func(l, h int) {
+				total.Add(int64(h - l))
+			})
+		}
+	})
+	if got := total.Load(); got != 1600 {
+		t.Fatalf("nested For covered %d elements, want 1600", got)
+	}
+}
+
+func TestSumDeterministicAndOrderFixed(t *testing.T) {
+	// A sum of values spanning many magnitudes is sensitive to association
+	// order; repeated parallel runs must agree bit-for-bit.
+	rng := rand.New(rand.NewSource(7))
+	vals := make([]float64, 10000)
+	for i := range vals {
+		vals[i] = rng.NormFloat64() * float64(int64(1)<<uint(i%40))
+	}
+	sum := func() float64 {
+		return Sum(len(vals), func(lo, hi int) float64 {
+			s := 0.0
+			for i := lo; i < hi; i++ {
+				s += vals[i]
+			}
+			return s
+		})
+	}
+	want := sum()
+	for r := 0; r < 20; r++ {
+		if got := sum(); got != want {
+			t.Fatalf("run %d: sum %v != %v", r, got, want)
+		}
+	}
+	// And the value equals the fixed chunk-grid association computed
+	// sequentially by hand.
+	nc := chunkCount(len(vals))
+	ref := 0.0
+	for c := 0; c < nc; c++ {
+		part := 0.0
+		for i := c * len(vals) / nc; i < (c+1)*len(vals)/nc; i++ {
+			part += vals[i]
+		}
+		ref += part
+	}
+	if want != ref {
+		t.Fatalf("parallel sum %v != sequential chunk-grid sum %v", want, ref)
+	}
+}
+
+func TestSumVec(t *testing.T) {
+	got := SumVec(1000, 2, func(lo, hi int, acc []float64) {
+		for i := lo; i < hi; i++ {
+			acc[0] += float64(i)
+			acc[1] += 1
+		}
+	})
+	if got[0] != 999*1000/2 || got[1] != 1000 {
+		t.Fatalf("SumVec = %v", got)
+	}
+	if got := SumVec(0, 3, nil); len(got) != 3 || got[0] != 0 {
+		t.Fatalf("empty SumVec = %v", got)
+	}
+}
+
+func TestSumAgreesAcrossGOMAXPROCS(t *testing.T) {
+	vals := make([]float64, 5000)
+	rng := rand.New(rand.NewSource(3))
+	for i := range vals {
+		vals[i] = rng.Float64()*2 - 1
+	}
+	sum := func() float64 {
+		return Sum(len(vals), func(lo, hi int) float64 {
+			s := 0.0
+			for i := lo; i < hi; i++ {
+				s += vals[i]
+			}
+			return s
+		})
+	}
+	prev := runtime.GOMAXPROCS(1)
+	one := sum()
+	runtime.GOMAXPROCS(prev)
+	many := sum()
+	if one != many {
+		t.Fatalf("GOMAXPROCS=1 sum %v != GOMAXPROCS=%d sum %v", one, prev, many)
+	}
+}
+
+func TestWorkers(t *testing.T) {
+	if Workers() < 1 {
+		t.Fatalf("Workers() = %d", Workers())
+	}
+}

@@ -1,0 +1,105 @@
+package pipeline_test
+
+// Determinism contract of the staged engine: a Run is a pure function of
+// its Config. The concurrent stages and the tile-worker pool must not leak
+// scheduling into results — the serialized JSON must be byte-identical
+// across repeated runs and across GOMAXPROCS settings. Run these under
+// -race to also prove the stages share no unsynchronised state.
+
+import (
+	"bytes"
+	"runtime"
+	"testing"
+
+	"gamestreamsr/internal/games"
+	"gamestreamsr/internal/nemo"
+	"gamestreamsr/internal/network"
+	"gamestreamsr/internal/pipeline"
+	"gamestreamsr/internal/srdecoder"
+	"gamestreamsr/internal/upscale"
+)
+
+func detConfig(t testing.TB) pipeline.Config {
+	t.Helper()
+	g, err := games.ByID("G3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pipeline.Config{
+		Game:    g,
+		SimDiv:  8,
+		GOPSize: 4,
+		// Nonzero loss exercises the drop/freeze path in the GameStream
+		// runner; the baselines ignore it.
+		Net: network.Config{LossRate: 0.25, Seed: 7},
+	}
+}
+
+// runJSON builds a fresh runner (the network RNG is per-runner state) and
+// returns the serialized result of an 8-frame run.
+func runJSON(t *testing.T, run func() (*pipeline.Result, error)) []byte {
+	t.Helper()
+	res, err := run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func runners(t *testing.T) map[string]func() (*pipeline.Result, error) {
+	t.Helper()
+	cfg := detConfig(t)
+	return map[string]func() (*pipeline.Result, error){
+		"gamestream": func() (*pipeline.Result, error) {
+			gs, err := pipeline.NewGameStream(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return gs.Run(8)
+		},
+		"nemo": func() (*pipeline.Result, error) {
+			r, err := nemo.New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return r.Run(8)
+		},
+		"srdecoder": func() (*pipeline.Result, error) {
+			r, err := srdecoder.New(cfg, upscale.Bicubic)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return r.Run(8)
+		},
+	}
+}
+
+func TestRunDeterministicAcrossRepeats(t *testing.T) {
+	for name, run := range runners(t) {
+		t.Run(name, func(t *testing.T) {
+			first := runJSON(t, run)
+			again := runJSON(t, run)
+			if !bytes.Equal(first, again) {
+				t.Fatalf("%s: two runs of the same Config produced different JSON", name)
+			}
+		})
+	}
+}
+
+func TestRunDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	for name, run := range runners(t) {
+		t.Run(name, func(t *testing.T) {
+			prev := runtime.GOMAXPROCS(1)
+			serial := runJSON(t, run)
+			runtime.GOMAXPROCS(prev)
+			concurrent := runJSON(t, run)
+			if !bytes.Equal(serial, concurrent) {
+				t.Fatalf("%s: GOMAXPROCS=1 and GOMAXPROCS=%d disagree", name, prev)
+			}
+		})
+	}
+}

@@ -1,0 +1,395 @@
+package pipeline
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"gamestreamsr/internal/codec"
+	"gamestreamsr/internal/device"
+	"gamestreamsr/internal/frame"
+	"gamestreamsr/internal/geom"
+	"gamestreamsr/internal/metrics"
+	"gamestreamsr/internal/network"
+	"gamestreamsr/internal/render"
+)
+
+// This file is the staged frame-loop engine shared by the three pipeline
+// runners (GameStreamSR, the NEMO baseline, the §VI SR-integrated decoder).
+// The engine owns everything the loops used to hand-copy — the GOP loop,
+// drop/freeze handling, lazy ground-truth rendering, result assembly and
+// error propagation — while each runner supplies only its variant-specific
+// hooks through the Variant interface.
+//
+// Concurrency model (the paper's Fig. 6 server/client overlap): frames flow
+// through three pipeline stages connected by bounded channels, one goroutine
+// per stage, so frame i+1's server stages (render, RoI detect, encode) run
+// while frame i is being decoded/upscaled and frame i-1 is being measured.
+// Every piece of sequential state is confined to the single stage that owns
+// it — the encoder and RoI tracker to the server stage, the decoder, the
+// network RNG and the freeze/reference frames to the client stage, result
+// ordering to the measure stage — so the output is deterministic and
+// byte-identical to the old sequential loops at any GOMAXPROCS setting
+// (asserted by the determinism tests).
+
+// FrameJob carries one frame through the staged pipeline. The server stage
+// fills the coded-stream fields, the client stage the reconstruction and
+// network draws, and the measure stage consumes it into a FrameResult.
+type FrameJob struct {
+	// Index is the frame number within the run.
+	Index int
+	// Scene and Cam let the measure stage render the ground truth lazily
+	// (a frozen frame with nothing on screen never needs it).
+	Scene *render.Scene
+	Cam   geom.Camera
+	// LR is the server's simulation-resolution render (color + depth).
+	LR render.Output
+	// RoI is the detected region; zero for variants without a RoI stage.
+	RoI frame.Rect
+	// Type is the coded frame type.
+	Type codec.FrameType
+	// CodedBytes is the real bitstream size scaled to nominal resolution;
+	// NominalBytes the modelled wire size (see ModelFrameBytes).
+	CodedBytes   int
+	NominalBytes int
+	// Frozen marks a frame lost in transit (or undecodable after a loss):
+	// the client keeps displaying the previous frame.
+	Frozen bool
+	// Up is the delivered reconstruction (nil when frozen); Display is what
+	// the screen shows — Up, or the freeze frame (nil if nothing yet).
+	Up      *frame.Image
+	Display *frame.Image
+	// InputLat and TransmitLat are the network model's draws for this
+	// frame, taken in frame order on the client stage so the RNG sequence
+	// matches the sequential loops exactly.
+	InputLat    time.Duration
+	TransmitLat time.Duration
+
+	data []byte // coded bitstream, consumed by the client stage
+}
+
+// Variant supplies the runner-specific stages of the frame loop. The engine
+// calls DetectRoI from the server stage, Upscale from the client stage and
+// Cost from the measure stage — each on its own goroutine, so a Variant's
+// mutable state must be touched by exactly one of them (reference frames
+// belong in Upscale, detectors in DetectRoI; Cost must be pure).
+type Variant interface {
+	// Name labels Result.Pipeline.
+	Name() string
+	// DetectRoI runs the server-side RoI detection; variants without a RoI
+	// stage return the zero Rect.
+	DetectRoI(lr render.Output) (frame.Rect, error)
+	// Upscale reconstructs the high-resolution frame from the decoded
+	// frame. It owns the variant's sequential client state (NEMO's
+	// reference frame, the decoder-buffer cache) and wraps its own errors
+	// with the runner's prefix.
+	Upscale(df *codec.DecodedFrame, job *FrameJob) (*frame.Image, error)
+	// Cost models the per-stage latency and per-rail energy of a delivered
+	// frame from the job's geometry, type and network draws.
+	Cost(job *FrameJob) (Stages, map[device.Rail]float64, error)
+}
+
+// EngineOptions configures a RunEngine invocation.
+type EngineOptions struct {
+	// Prefix tags engine-level errors ("pipeline", "nemo", "srdecoder").
+	Prefix string
+	// Net is the session's link model. Its RNG is drawn only on the client
+	// stage, in frame order.
+	Net *network.Model
+	// Drops enables network-loss freeze handling (the GameStreamSR path;
+	// the reference-reuse baselines decode every frame).
+	Drops bool
+	// SimW, SimH is the simulation-resolution geometry.
+	SimW, SimH int
+	// Depth is the capacity of each inter-stage channel; with S stages,
+	// up to S+Depth·(S−1) frames are in flight. Default 2.
+	Depth int
+}
+
+// stage is one concurrent step of the engine: a named in-place transform of
+// a FrameJob. Stages run on their own goroutines connected by bounded
+// channels; the server stage is the generator feeding the first one.
+type stage struct {
+	name string
+	fn   func(*FrameJob) error
+}
+
+// engineRun is the per-Run state of the engine.
+type engineRun struct {
+	cfg Config
+	opt EngineOptions
+	v   Variant
+
+	enc *codec.Encoder
+	dec *codec.Decoder
+
+	lrPx      int
+	byteScale int
+
+	// lastUp is the most recent delivered frame; a dropped frame freezes
+	// the display on it. hadDrop tracks whether the decoder's reference
+	// state may be missing entirely (keyframe lost at stream start).
+	// Client-stage state.
+	lastUp  *frame.Image
+	hadDrop bool
+
+	stop chan struct{}
+	once sync.Once
+	err  error
+}
+
+// RunEngine streams nFrames frames through the staged pipeline for the
+// given variant and returns the assembled measurements.
+func RunEngine(cfg Config, opt EngineOptions, v Variant, nFrames int) (*Result, error) {
+	if nFrames <= 0 {
+		return nil, fmt.Errorf("%s: invalid frame count %d", opt.Prefix, nFrames)
+	}
+	enc, err := codec.NewEncoder(codec.Config{
+		Width: opt.SimW, Height: opt.SimH,
+		GOPSize: cfg.GOPSize, QStep: cfg.QStep, HalfPel: cfg.HalfPel,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if opt.Depth <= 0 {
+		opt.Depth = 2
+	}
+	e := &engineRun{
+		cfg: cfg, opt: opt, v: v,
+		enc: enc, dec: codec.NewDecoder(),
+		lrPx:      cfg.LRWidth * cfg.LRHeight,
+		byteScale: cfg.SimDiv * cfg.SimDiv,
+		stop:      make(chan struct{}),
+	}
+	return e.run(nFrames)
+}
+
+// fail records the first error and releases every blocked stage.
+func (e *engineRun) fail(err error) {
+	e.once.Do(func() {
+		e.err = err
+		close(e.stop)
+	})
+}
+
+// run wires the stage pipeline and drives it to completion.
+func (e *engineRun) run(nFrames int) (*Result, error) {
+	res := &Result{Pipeline: e.v.Name(), Device: e.cfg.Device}
+	stages := []stage{
+		{"client", e.clientFrame},
+		{"measure", func(j *FrameJob) error {
+			fr, err := e.measureFrame(j)
+			if err != nil {
+				return err
+			}
+			res.Frames = append(res.Frames, fr)
+			return nil
+		}},
+	}
+
+	chans := make([]chan *FrameJob, len(stages))
+	for i := range chans {
+		chans[i] = make(chan *FrameJob, e.opt.Depth)
+	}
+	var wg sync.WaitGroup
+
+	// Generator: the server stage produces jobs in frame order.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(chans[0])
+		for i := 0; i < nFrames; i++ {
+			job, err := e.serverFrame(i)
+			if err != nil {
+				e.fail(err)
+				return
+			}
+			select {
+			case chans[0] <- job:
+			case <-e.stop:
+				return
+			}
+		}
+	}()
+
+	// Interior stages: one goroutine each, jobs forwarded in order.
+	for i := 0; i < len(stages)-1; i++ {
+		wg.Add(1)
+		go func(st stage, in <-chan *FrameJob, out chan<- *FrameJob) {
+			defer wg.Done()
+			defer close(out)
+			for job := range in {
+				if err := st.fn(job); err != nil {
+					e.fail(err)
+					return
+				}
+				select {
+				case out <- job:
+				case <-e.stop:
+					return
+				}
+			}
+		}(stages[i], chans[i], chans[i+1])
+	}
+
+	// The last stage runs on the caller's goroutine and assembles results
+	// in arrival order (= frame order, since every channel is FIFO and
+	// every stage is a single goroutine).
+	last := stages[len(stages)-1]
+	for job := range chans[len(chans)-1] {
+		if err := last.fn(job); err != nil {
+			e.fail(err)
+			break
+		}
+	}
+	wg.Wait()
+	if e.err != nil {
+		return nil, e.err
+	}
+	return res, nil
+}
+
+// serverFrame runs the server stages for frame i: game simulation, render
+// at simulation resolution, RoI detection and encoding. Owns the encoder
+// and detector/tracker state.
+func (e *engineRun) serverFrame(i int) (*FrameJob, error) {
+	cfg := e.cfg
+	sc, cam := cfg.Game.Frame(cfg.StartFrame + i*cfg.FrameStride)
+	lr := cfg.Renderer.Render(sc, cam, e.opt.SimW, e.opt.SimH)
+	roiRect, err := e.v.DetectRoI(lr)
+	if err != nil {
+		return nil, fmt.Errorf("%s: frame %d RoI: %w", e.opt.Prefix, i, err)
+	}
+	data, ftype, err := e.enc.Encode(lr.Color)
+	if err != nil {
+		return nil, fmt.Errorf("%s: frame %d encode: %w", e.opt.Prefix, i, err)
+	}
+	return &FrameJob{
+		Index: i,
+		Scene: sc, Cam: cam,
+		LR:           lr,
+		RoI:          roiRect,
+		Type:         ftype,
+		CodedBytes:   len(data) * e.byteScale,
+		NominalBytes: ModelFrameBytes(e.lrPx, cfg.GOPSize, ftype),
+		data:         data,
+	}, nil
+}
+
+// clientFrame runs the client stages for one frame: the network drop draw,
+// decode and the variant's upscale/reconstruction. Owns the decoder, the
+// network RNG and the freeze state, so every sequential draw happens in
+// frame order exactly as in the old single loop.
+func (e *engineRun) clientFrame(job *FrameJob) error {
+	// A frame lost in transit — or one that arrives after its reference
+	// was lost and therefore cannot be decoded — freezes the display on
+	// the last delivered frame while the scene moves on, exactly as with a
+	// real codec awaiting the next keyframe.
+	frozen := e.opt.Drops && e.opt.Net.Dropped()
+	if !frozen {
+		df, derr := e.dec.Decode(job.data)
+		switch {
+		case derr == nil:
+			up, err := e.v.Upscale(df, job)
+			if err != nil {
+				return err
+			}
+			job.Up = up
+			job.Display = up
+			e.lastUp = up
+		case e.hadDrop:
+			frozen = true
+		default:
+			return fmt.Errorf("%s: frame %d decode: %w", e.opt.Prefix, job.Index, derr)
+		}
+	}
+	job.data = nil
+	if frozen {
+		e.hadDrop = true
+		job.Frozen = true
+		job.Display = e.lastUp // may be nil: nothing on screen yet
+		return nil
+	}
+	job.InputLat = e.opt.Net.UplinkLatency()
+	job.TransmitLat = e.opt.Net.TransmitLatency(job.NominalBytes)
+	return nil
+}
+
+// renderGT renders the ground-truth frame at upscaled resolution. It is
+// called lazily from the measure stage: dropped frames with nothing on
+// screen never pay for it.
+func (e *engineRun) renderGT(job *FrameJob) *frame.Image {
+	cfg := e.cfg
+	return cfg.Renderer.Render(job.Scene, job.Cam, e.opt.SimW*cfg.Scale, e.opt.SimH*cfg.Scale).Color
+}
+
+// measureFrame computes the quality, latency and energy record of one
+// frame. Pure per-frame work plus result ordering — the only state it
+// touches is the Result it appends to.
+func (e *engineRun) measureFrame(job *FrameJob) (FrameResult, error) {
+	if job.Frozen {
+		return e.frozenFrame(job)
+	}
+	gt := e.renderGT(job)
+	psnr, err := metrics.PSNR(gt, job.Up)
+	if err != nil {
+		return FrameResult{}, err
+	}
+	ssim, err := metrics.SSIM(gt, job.Up)
+	if err != nil {
+		return FrameResult{}, err
+	}
+	lpips, err := metrics.LPIPSProxy(gt, job.Up)
+	if err != nil {
+		return FrameResult{}, err
+	}
+	st, energy, err := e.v.Cost(job)
+	if err != nil {
+		return FrameResult{}, err
+	}
+	fr := FrameResult{
+		Index:  job.Index,
+		Type:   job.Type,
+		Stages: st,
+		RoI:    job.RoI,
+		PSNR:   psnr, SSIM: ssim, LPIPS: lpips,
+		Bytes:      job.NominalBytes,
+		CodedBytes: job.CodedBytes,
+		Energy:     energy,
+	}
+	if e.cfg.KeepFrames {
+		fr.Upscaled = job.Up
+	}
+	return fr, nil
+}
+
+// frozenFrame records a lost frame: the client shows the freeze frame while
+// the scene has moved on. No client-side stages or energy are billed, and
+// the ground truth is only rendered when there is something to compare.
+func (e *engineRun) frozenFrame(job *FrameJob) (FrameResult, error) {
+	fr := FrameResult{
+		Index:   job.Index,
+		Type:    job.Type,
+		Dropped: true,
+		Bytes:   job.NominalBytes,
+		Energy:  map[device.Rail]float64{},
+	}
+	if job.Display == nil {
+		return fr, nil // nothing on screen yet — skip the GT render entirely
+	}
+	gt := e.renderGT(job)
+	var err error
+	if fr.PSNR, err = metrics.PSNR(gt, job.Display); err != nil {
+		return fr, err
+	}
+	if fr.SSIM, err = metrics.SSIM(gt, job.Display); err != nil {
+		return fr, err
+	}
+	if fr.LPIPS, err = metrics.LPIPSProxy(gt, job.Display); err != nil {
+		return fr, err
+	}
+	if e.cfg.KeepFrames {
+		fr.Upscaled = job.Display
+	}
+	return fr, nil
+}

@@ -14,13 +14,11 @@ package pipeline
 import (
 	"fmt"
 	"math"
-	"time"
 
 	"gamestreamsr/internal/codec"
 	"gamestreamsr/internal/device"
 	"gamestreamsr/internal/frame"
 	"gamestreamsr/internal/games"
-	"gamestreamsr/internal/metrics"
 	"gamestreamsr/internal/network"
 	"gamestreamsr/internal/render"
 	"gamestreamsr/internal/roi"
@@ -192,120 +190,87 @@ func (g *GameStream) Config() Config { return g.cfg }
 // SimSize returns the simulation LR resolution and RoI window.
 func (g *GameStream) SimSize() (w, h, roiWin int) { return g.simW, g.simH, g.simRoI }
 
-// Run streams nFrames frames and returns the measurements.
+// Run streams nFrames frames through the staged engine and returns the
+// measurements.
 func (g *GameStream) Run(nFrames int) (*Result, error) {
-	if nFrames <= 0 {
-		return nil, fmt.Errorf("pipeline: invalid frame count %d", nFrames)
-	}
-	cfg := g.cfg
-	enc, err := codec.NewEncoder(codec.Config{
-		Width: g.simW, Height: g.simH,
-		GOPSize: cfg.GOPSize, QStep: cfg.QStep, HalfPel: cfg.HalfPel,
-	})
-	if err != nil {
-		return nil, err
-	}
-	dec := codec.NewDecoder()
-	res := &Result{Pipeline: "gamestreamsr", Device: cfg.Device}
-
 	// Each run gets fresh temporal state for RoI tracking.
 	var tracker *roi.Tracker
-	if cfg.RoITrack != nil {
-		tracker, err = roi.NewTracker(g.det, *cfg.RoITrack)
+	if g.cfg.RoITrack != nil {
+		var err error
+		tracker, err = roi.NewTracker(g.det, *g.cfg.RoITrack)
 		if err != nil {
 			return nil, err
 		}
 	}
-
-	lrPx := cfg.LRWidth * cfg.LRHeight
-	byteScale := cfg.SimDiv * cfg.SimDiv
-
-	// lastUp is the most recent delivered frame; a dropped frame freezes
-	// the display on it. hadDrop tracks whether the decoder's reference
-	// state may be missing entirely (keyframe lost at stream start).
-	var lastUp *frame.Image
-	hadDrop := false
-
-	for i := 0; i < nFrames; i++ {
-		// --- server -----------------------------------------------------
-		sc, cam := cfg.Game.Frame(cfg.StartFrame + i*cfg.FrameStride)
-		lr := cfg.Renderer.Render(sc, cam, g.simW, g.simH)
-		gt := cfg.Renderer.Render(sc, cam, g.simW*cfg.Scale, g.simH*cfg.Scale)
-
-		var roiRect frame.Rect
-		if tracker != nil {
-			roiRect, err = tracker.Detect(lr.Depth)
-		} else {
-			roiRect, err = g.det.Detect(lr.Depth)
-		}
-		if err != nil {
-			return nil, fmt.Errorf("pipeline: frame %d RoI: %w", i, err)
-		}
-		data, ftype, err := enc.Encode(lr.Color)
-		if err != nil {
-			return nil, fmt.Errorf("pipeline: frame %d encode: %w", i, err)
-		}
-		codedBytes := len(data) * byteScale
-		nominalBytes := ModelFrameBytes(lrPx, cfg.GOPSize, ftype)
-
-		// --- network + client ---------------------------------------------
-		// A frame lost in transit — or one that arrives after its reference
-		// was lost and therefore cannot be decoded — freezes the display on
-		// the last delivered frame while the scene moves on, exactly as
-		// with a real codec awaiting the next keyframe.
-		frozen := g.net.Dropped()
-		var up *frame.Image
-		if !frozen {
-			df, derr := dec.Decode(data)
-			switch {
-			case derr == nil:
-				up, err = g.upscaleFrame(df.Image, roiRect)
-				if err != nil {
-					return nil, fmt.Errorf("pipeline: frame %d upscale: %w", i, err)
-				}
-				lastUp = up
-			case hadDrop:
-				frozen = true
-			default:
-				return nil, fmt.Errorf("pipeline: frame %d decode: %w", i, derr)
-			}
-		}
-		if frozen {
-			hadDrop = true
-			fr, err := g.frozenFrame(i, ftype, gt.Color, lastUp, nominalBytes)
-			if err != nil {
-				return nil, err
-			}
-			res.Frames = append(res.Frames, fr)
-			continue
-		}
-
-		fr, err := g.measureFrame(i, ftype, roiRect, gt.Color, up, nominalBytes, codedBytes)
-		if err != nil {
-			return nil, err
-		}
-		res.Frames = append(res.Frames, fr)
-	}
-	return res, nil
+	v := &gameStreamVariant{cfg: g.cfg, det: g.det, tracker: tracker}
+	return RunEngine(g.cfg, EngineOptions{
+		Prefix: "pipeline",
+		Net:    g.net,
+		Drops:  true,
+		SimW:   g.simW, SimH: g.simH,
+	}, v, nFrames)
 }
 
-// measureFrame computes the quality, latency and energy record of one
-// delivered frame.
-func (g *GameStream) measureFrame(i int, ftype codec.FrameType, roiRect frame.Rect, gt, up *frame.Image, nominalBytes, codedBytes int) (FrameResult, error) {
-	cfg := g.cfg
-	psnr, err := metrics.PSNR(gt, up)
-	if err != nil {
-		return FrameResult{}, err
-	}
-	ssim, err := metrics.SSIM(gt, up)
-	if err != nil {
-		return FrameResult{}, err
-	}
-	lpips, err := metrics.LPIPSProxy(gt, up)
-	if err != nil {
-		return FrameResult{}, err
-	}
+// gameStreamVariant supplies the GameStreamSR hooks to the staged engine:
+// depth-guided RoI detection on the server, the RoI-assisted upscale on the
+// client, and the paper's latency/energy model in the measure stage.
+type gameStreamVariant struct {
+	cfg     Config
+	det     *roi.Detector
+	tracker *roi.Tracker
+}
 
+func (v *gameStreamVariant) Name() string { return "gamestreamsr" }
+
+// DetectRoI runs the Fig. 8 depth pre-processing and Algorithm 1 search
+// (with optional temporal stabilisation) on the server stage.
+func (v *gameStreamVariant) DetectRoI(lr render.Output) (frame.Rect, error) {
+	if v.tracker != nil {
+		return v.tracker.Detect(lr.Depth)
+	}
+	return v.det.Detect(lr.Depth)
+}
+
+// Upscale performs the client-side RoI-assisted upscale — DNN SR on the RoI
+// concurrently with bilinear on the full frame, then merge — the real
+// NPU ∥ GPU overlap of the paper's Fig. 9.
+func (v *gameStreamVariant) Upscale(df *codec.DecodedFrame, job *FrameJob) (*frame.Image, error) {
+	cfg := v.cfg
+	lr := df.Image
+
+	// GPU path: bilinear upscale of the full frame.
+	var base *frame.Image
+	var baseErr error
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		base, baseErr = upscale.Resize(lr, lr.W*cfg.Scale, lr.H*cfg.Scale, upscale.Bilinear)
+	}()
+
+	// NPU path: DNN SR on the RoI, overlapped with the bilinear pass.
+	roiHR, err := func() (*frame.Image, error) {
+		roiImg, err := lr.SubImage(job.RoI.X, job.RoI.Y, job.RoI.W, job.RoI.H)
+		if err != nil {
+			return nil, err
+		}
+		return cfg.Engine.Upscale(roiImg.Compact(), cfg.Scale)
+	}()
+	<-done
+	if err == nil {
+		err = baseErr
+	}
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: frame %d upscale: %w", job.Index, err)
+	}
+	if err := upscale.Merge(base, roiHR, job.RoI, cfg.Scale); err != nil {
+		return nil, fmt.Errorf("pipeline: frame %d upscale: %w", job.Index, err)
+	}
+	return base, nil
+}
+
+// Cost models one delivered frame's per-stage latency and per-rail energy.
+func (v *gameStreamVariant) Cost(job *FrameJob) (Stages, map[device.Rail]float64, error) {
+	cfg := v.cfg
 	lrPx := cfg.LRWidth * cfg.LRHeight
 	hrPx := lrPx * cfg.Scale * cfg.Scale
 	roiPx := cfg.RoIWindow * cfg.RoIWindow
@@ -314,13 +279,13 @@ func (g *GameStream) measureFrame(i int, ftype codec.FrameType, roiRect frame.Re
 	srLat := dev.SRLatency(roiPx)
 	gpuLat := dev.GPUBilinearLatency(hrPx - roiHRPx)
 	st := Stages{
-		Input:     g.net.UplinkLatency(),
+		Input:     job.InputLat,
 		Render:    cfg.Server.RenderLatency(lrPx),
 		RoIDetect: cfg.Server.RoIDetectLatency(lrPx),
 		Encode:    cfg.Server.EncodeLatency(lrPx),
-		Transmit:  g.net.TransmitLatency(nominalBytes),
+		Transmit:  job.TransmitLat,
 		Decode:    dev.HWDecodeLatency(lrPx),
-		Upscale:   maxDur(srLat, gpuLat) + dev.MergeLatency(),
+		Upscale:   max(srLat, gpuLat) + dev.MergeLatency(),
 		Display:   dev.DisplayLatency(),
 	}
 
@@ -329,73 +294,8 @@ func (g *GameStream) measureFrame(i int, ftype codec.FrameType, roiRect frame.Re
 	em.AddActive(device.RailNPU, srLat)
 	em.AddActive(device.RailGPU, gpuLat+dev.MergeLatency())
 	em.AddActive(device.RailDisplay, dev.DisplayActive())
-	em.AddNetworkBytes(nominalBytes)
-
-	fr := FrameResult{
-		Index:  i,
-		Type:   ftype,
-		Stages: st,
-		RoI:    roiRect,
-		PSNR:   psnr, SSIM: ssim, LPIPS: lpips,
-		Bytes:      nominalBytes,
-		CodedBytes: codedBytes,
-		Energy:     railMap(em),
-	}
-	if cfg.KeepFrames {
-		fr.Upscaled = up
-	}
-	return fr, nil
-}
-
-// frozenFrame records a lost frame: the client shows lastUp while the scene
-// has moved to gt.
-func (g *GameStream) frozenFrame(i int, ftype codec.FrameType, gt, lastUp *frame.Image, nominalBytes int) (FrameResult, error) {
-	fr := FrameResult{
-		Index:   i,
-		Type:    ftype,
-		Dropped: true,
-		Bytes:   nominalBytes,
-		Energy:  map[device.Rail]float64{},
-	}
-	if lastUp == nil {
-		return fr, nil // nothing on screen yet
-	}
-	var err error
-	if fr.PSNR, err = metrics.PSNR(gt, lastUp); err != nil {
-		return fr, err
-	}
-	if fr.SSIM, err = metrics.SSIM(gt, lastUp); err != nil {
-		return fr, err
-	}
-	if fr.LPIPS, err = metrics.LPIPSProxy(gt, lastUp); err != nil {
-		return fr, err
-	}
-	if g.cfg.KeepFrames {
-		fr.Upscaled = lastUp
-	}
-	return fr, nil
-}
-
-// upscaleFrame performs the client-side RoI-assisted upscale: DNN SR on the
-// RoI, bilinear on the full frame, merge (Fig. 9).
-func (g *GameStream) upscaleFrame(lr *frame.Image, roiRect frame.Rect) (*frame.Image, error) {
-	cfg := g.cfg
-	base, err := upscale.Resize(lr, lr.W*cfg.Scale, lr.H*cfg.Scale, upscale.Bilinear)
-	if err != nil {
-		return nil, err
-	}
-	roiImg, err := lr.SubImage(roiRect.X, roiRect.Y, roiRect.W, roiRect.H)
-	if err != nil {
-		return nil, err
-	}
-	roiHR, err := cfg.Engine.Upscale(roiImg.Compact(), cfg.Scale)
-	if err != nil {
-		return nil, err
-	}
-	if err := upscale.Merge(base, roiHR, roiRect, cfg.Scale); err != nil {
-		return nil, err
-	}
-	return base, nil
+	em.AddNetworkBytes(job.NominalBytes)
+	return st, em.NonZero(), nil
 }
 
 // BitrateMbps models the bitrate of a production H.264/H.265-class encoder
@@ -432,21 +332,4 @@ func ModelFrameBytes(px, gopSize int, t codec.FrameType) int {
 		return int(inter * intraBytesFactor)
 	}
 	return int(inter)
-}
-
-func railMap(em *device.EnergyMeter) map[device.Rail]float64 {
-	out := map[device.Rail]float64{}
-	for _, r := range device.Rails() {
-		if j := em.Joules(r); j != 0 {
-			out[r] = j
-		}
-	}
-	return out
-}
-
-func maxDur(a, b time.Duration) time.Duration {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -73,8 +73,8 @@ func (b *bvh) build(items []buildItem) int {
 	// Split at the median along the longest axis of the centroid extent.
 	lo, hi := items[0].center, items[0].center
 	for _, it := range items[1:] {
-		lo = geom.Vec3{X: minF(lo.X, it.center.X), Y: minF(lo.Y, it.center.Y), Z: minF(lo.Z, it.center.Z)}
-		hi = geom.Vec3{X: maxF(hi.X, it.center.X), Y: maxF(hi.Y, it.center.Y), Z: maxF(hi.Z, it.center.Z)}
+		lo = geom.Vec3{X: min(lo.X, it.center.X), Y: min(lo.Y, it.center.Y), Z: min(lo.Z, it.center.Z)}
+		hi = geom.Vec3{X: max(hi.X, it.center.X), Y: max(hi.Y, it.center.Y), Z: max(hi.Z, it.center.Z)}
 	}
 	ext := hi.Sub(lo)
 	axis := 0
@@ -103,20 +103,6 @@ func axisOf(v geom.Vec3, axis int) float64 {
 	default:
 		return v.Z
 	}
-}
-
-func minF(a, b float64) float64 {
-	if a < b {
-		return a
-	}
-	return b
-}
-
-func maxF(a, b float64) float64 {
-	if a > b {
-		return a
-	}
-	return b
 }
 
 // nearest traverses the hierarchy and refines (bestHit, bestIdx) with the

@@ -57,16 +57,16 @@ func (c Config) withDefaults() Config {
 		c.SigmaFrac = 0.25
 	}
 	if c.CoarseStride <= 0 {
-		c.CoarseStride = maxInt(c.WindowW, c.WindowH) / 2
+		c.CoarseStride = max(c.WindowW, c.WindowH) / 2
 		if c.CoarseStride < 1 {
 			c.CoarseStride = 1
 		}
 	}
 	if c.FineStride <= 0 {
-		c.FineStride = maxInt(1, c.CoarseStride/8)
+		c.FineStride = max(1, c.CoarseStride/8)
 	}
 	if c.FineStride >= c.CoarseStride && c.CoarseStride > 1 {
-		c.FineStride = maxInt(1, c.CoarseStride/2)
+		c.FineStride = max(1, c.CoarseStride/2)
 	}
 	if c.Boundary <= 0 {
 		c.Boundary = c.CoarseStride
@@ -151,7 +151,7 @@ func (d *Detector) detect(depth *frame.DepthMap, wantDebug bool) (frame.Rect, *D
 	}
 
 	// Step ② — spatial weighting with a center-biased Gaussian.
-	sigma := cfg.SigmaFrac * float64(minInt(W, H))
+	sigma := cfg.SigmaFrac * float64(min(W, H))
 	weighted := make([]float64, len(fg))
 	cx := float64(W-1) / 2
 	cy := float64(H-1) / 2
@@ -478,18 +478,4 @@ func clampInt(v, lo, hi int) int {
 		return hi
 	}
 	return v
-}
-
-func minInt(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -1,6 +1,10 @@
 package sr
 
-import "fmt"
+import (
+	"fmt"
+
+	"gamestreamsr/internal/parallel"
+)
 
 // im2col + GEMM execution of Conv2D — the lowering every production
 // inference engine (TFLite, NNAPI drivers, cuDNN) performs: the input is
@@ -24,21 +28,26 @@ func (c *Conv2D) ForwardGEMM(in *Tensor) *Tensor {
 	out := NewTensor(c.OutC, H, W)
 	n := H * W
 	jTotal := c.InC * k2
-	for oc := 0; oc < c.OutC; oc++ {
-		op := out.Plane(oc)
-		bias := c.Bias[oc]
-		for i := range op {
-			op[i] = bias
-		}
-		wrow := c.Weight[oc*jTotal : (oc+1)*jTotal]
-		for j, w := range wrow {
-			if w == 0 {
-				continue
+	// Output channels are independent; each writes only its own plane, and
+	// the within-channel accumulation order is unchanged, so the result is
+	// bit-identical at any worker count.
+	parallel.For(c.OutC, func(oc0, oc1 int) {
+		for oc := oc0; oc < oc1; oc++ {
+			op := out.Plane(oc)
+			bias := c.Bias[oc]
+			for i := range op {
+				op[i] = bias
 			}
-			col := cols[j*n : (j+1)*n]
-			axpy(op, col, w)
+			wrow := c.Weight[oc*jTotal : (oc+1)*jTotal]
+			for j, w := range wrow {
+				if w == 0 {
+					continue
+				}
+				col := cols[j*n : (j+1)*n]
+				axpy(op, col, w)
+			}
 		}
-	}
+	})
 	return out
 }
 
@@ -64,20 +73,18 @@ func im2col(in *Tensor, k int) []float32 {
 	H, W := in.H, in.W
 	half := k / 2
 	n := H * W
-	out := make([]float32, in.C*k*k*n)
-	row := 0
-	for c := 0; c < in.C; c++ {
-		ip := in.Plane(c)
-		for ky := 0; ky < k; ky++ {
-			dy := ky - half
-			for kx := 0; kx < k; kx++ {
-				dx := kx - half
-				dst := out[row*n : (row+1)*n]
-				fillShifted(dst, ip, W, H, dx, dy)
-				row++
-			}
+	k2 := k * k
+	out := make([]float32, in.C*k2*n)
+	// Each unfold row (channel, ky, kx) fills a disjoint slice of out.
+	parallel.For(in.C*k2, func(r0, r1 int) {
+		for row := r0; row < r1; row++ {
+			c := row / k2
+			ky := (row % k2) / k
+			kx := row % k
+			dst := out[row*n : (row+1)*n]
+			fillShifted(dst, in.Plane(c), W, H, kx-half, ky-half)
 		}
-	}
+	})
 	return out
 }
 

@@ -19,6 +19,7 @@ import (
 	"math"
 
 	"gamestreamsr/internal/frame"
+	"gamestreamsr/internal/parallel"
 )
 
 // Tensor is a CHW float32 tensor.
@@ -84,47 +85,56 @@ func (c *Conv2D) Forward(in *Tensor) *Tensor {
 	out := NewTensor(c.OutC, in.H, in.W)
 	half := c.K / 2
 	H, W := in.H, in.W
-	for oc := 0; oc < c.OutC; oc++ {
-		op := out.Plane(oc)
-		bias := c.Bias[oc]
-		for i := range op {
-			op[i] = bias
+	// Output channels are independent (disjoint planes, unchanged
+	// within-channel order) so they parallelise deterministically.
+	parallel.For(c.OutC, func(oc0, oc1 int) {
+		for oc := oc0; oc < oc1; oc++ {
+			c.forwardChannel(in, out, oc, half, H, W)
 		}
-		for ic := 0; ic < c.InC; ic++ {
-			ip := in.Plane(ic)
-			wbase := (oc*c.InC + ic) * c.K * c.K
-			for ky := 0; ky < c.K; ky++ {
-				dy := ky - half
-				for kx := 0; kx < c.K; kx++ {
-					w := c.Weight[wbase+ky*c.K+kx]
-					if w == 0 {
-						continue
+	})
+	return out
+}
+
+// forwardChannel computes one output plane of the direct convolution.
+func (c *Conv2D) forwardChannel(in, out *Tensor, oc, half, H, W int) {
+	op := out.Plane(oc)
+	bias := c.Bias[oc]
+	for i := range op {
+		op[i] = bias
+	}
+	for ic := 0; ic < c.InC; ic++ {
+		ip := in.Plane(ic)
+		wbase := (oc*c.InC + ic) * c.K * c.K
+		for ky := 0; ky < c.K; ky++ {
+			dy := ky - half
+			for kx := 0; kx < c.K; kx++ {
+				w := c.Weight[wbase+ky*c.K+kx]
+				if w == 0 {
+					continue
+				}
+				dx := kx - half
+				for y := 0; y < H; y++ {
+					sy := y + dy
+					if sy < 0 {
+						sy = 0
+					} else if sy >= H {
+						sy = H - 1
 					}
-					dx := kx - half
-					for y := 0; y < H; y++ {
-						sy := y + dy
-						if sy < 0 {
-							sy = 0
-						} else if sy >= H {
-							sy = H - 1
+					srow := sy * W
+					orow := y * W
+					for x := 0; x < W; x++ {
+						sx := x + dx
+						if sx < 0 {
+							sx = 0
+						} else if sx >= W {
+							sx = W - 1
 						}
-						srow := sy * W
-						orow := y * W
-						for x := 0; x < W; x++ {
-							sx := x + dx
-							if sx < 0 {
-								sx = 0
-							} else if sx >= W {
-								sx = W - 1
-							}
-							op[orow+x] += w * ip[srow+sx]
-						}
+						op[orow+x] += w * ip[srow+sx]
 					}
 				}
 			}
 		}
 	}
-	return out
 }
 
 // ReLU applies max(0, x) in place and returns t.

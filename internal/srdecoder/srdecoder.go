@@ -21,9 +21,9 @@ import (
 	"gamestreamsr/internal/codec"
 	"gamestreamsr/internal/device"
 	"gamestreamsr/internal/frame"
-	"gamestreamsr/internal/metrics"
 	"gamestreamsr/internal/network"
 	"gamestreamsr/internal/pipeline"
+	"gamestreamsr/internal/render"
 	"gamestreamsr/internal/roi"
 	"gamestreamsr/internal/upscale"
 )
@@ -74,128 +74,100 @@ func New(cfg pipeline.Config, roiKernel upscale.Kind) (*Runner, error) {
 	}, nil
 }
 
-// Run streams nFrames frames through the SR-integrated decoder pipeline.
+// Run streams nFrames frames through the SR-integrated decoder pipeline on
+// the shared staged engine.
 func (r *Runner) Run(nFrames int) (*pipeline.Result, error) {
-	if nFrames <= 0 {
-		return nil, fmt.Errorf("srdecoder: invalid frame count %d", nFrames)
-	}
-	cfg := r.cfg
-	enc, err := codec.NewEncoder(codec.Config{
-		Width: r.simW, Height: r.simH,
-		GOPSize: cfg.GOPSize, QStep: cfg.QStep, HalfPel: cfg.HalfPel,
-	})
-	if err != nil {
-		return nil, err
-	}
-	dec := codec.NewDecoder()
-	res := &pipeline.Result{Pipeline: "srdecoder", Device: cfg.Device}
+	return pipeline.RunEngine(r.cfg, pipeline.EngineOptions{
+		Prefix: "srdecoder",
+		Net:    r.net,
+		SimW:   r.simW, SimH: r.simH,
+	}, &variant{r: r}, nFrames)
+}
 
+// variant supplies the SR-integrated-decoder hooks to the staged engine:
+// RoI detection on the server, the reference/non-reference dispatcher on
+// the client, and the fixed-function decoder cost model.
+type variant struct {
+	r *Runner
+	// hrPrev is the decoder-buffer copy of the last reconstructed HR
+	// frame (Fig. 15 step ❷). Client-stage state.
+	hrPrev *frame.Image
+}
+
+func (v *variant) Name() string { return "srdecoder" }
+
+func (v *variant) DetectRoI(lr render.Output) (frame.Rect, error) {
+	return v.r.det.Detect(lr.Depth)
+}
+
+// Upscale dispatches one decoded frame: reference frames take the RoI
+// upscale engine (step ❶), non-reference frames are reconstructed at HR by
+// the SR-integrated decoder with RoI-guided interpolation (steps ❸-❼).
+func (v *variant) Upscale(df *codec.DecodedFrame, job *pipeline.FrameJob) (*frame.Image, error) {
+	cfg := v.r.cfg
+	var up *frame.Image
+	var err error
+	switch job.Type {
+	case codec.Intra:
+		up, err = v.r.upscaleReference(df.Image, job.RoI)
+		if err != nil {
+			return nil, fmt.Errorf("srdecoder: frame %d SR: %w", job.Index, err)
+		}
+	case codec.Inter:
+		if v.hrPrev == nil {
+			return nil, fmt.Errorf("srdecoder: frame %d: inter frame without reference", job.Index)
+		}
+		up, err = ReconstructRoIGuided(v.hrPrev, df.Side, cfg.Scale, job.RoI, v.r.kernel)
+		if err != nil {
+			return nil, fmt.Errorf("srdecoder: frame %d reconstruct: %w", job.Index, err)
+		}
+	default:
+		return nil, fmt.Errorf("srdecoder: frame %d: unexpected type %v", job.Index, job.Type)
+	}
+	v.hrPrev = up
+	return up, nil
+}
+
+// Cost bills one frame. Reference frames pay normal HW decode plus the
+// NPU∥GPU RoI upscale; non-reference frames pay only a widened HW decode
+// pass at HR — no NPU, GPU or CPU involvement, which is where the §VI
+// energy saving comes from.
+func (v *variant) Cost(job *pipeline.FrameJob) (pipeline.Stages, map[device.Rail]float64, error) {
+	cfg := v.r.cfg
 	lrPx := cfg.LRWidth * cfg.LRHeight
 	hrPx := lrPx * cfg.Scale * cfg.Scale
 	roiPx := cfg.RoIWindow * cfg.RoIWindow
 	roiHRPx := roiPx * cfg.Scale * cfg.Scale
-	byteScale := cfg.SimDiv * cfg.SimDiv
-
-	var hrPrev *frame.Image
-
-	for i := 0; i < nFrames; i++ {
-		sc, cam := cfg.Game.Frame(cfg.StartFrame + i*cfg.FrameStride)
-		lr := cfg.Renderer.Render(sc, cam, r.simW, r.simH)
-		gt := cfg.Renderer.Render(sc, cam, r.simW*cfg.Scale, r.simH*cfg.Scale)
-
-		roiRect, err := r.det.Detect(lr.Depth)
-		if err != nil {
-			return nil, fmt.Errorf("srdecoder: frame %d RoI: %w", i, err)
-		}
-		data, ftype, err := enc.Encode(lr.Color)
-		if err != nil {
-			return nil, fmt.Errorf("srdecoder: frame %d encode: %w", i, err)
-		}
-		codedBytes := len(data) * byteScale
-		nominalBytes := pipeline.ModelFrameBytes(lrPx, cfg.GOPSize, ftype)
-		df, err := dec.Decode(data)
-		if err != nil {
-			return nil, fmt.Errorf("srdecoder: frame %d decode: %w", i, err)
-		}
-
-		dev := cfg.Device
-		em := device.NewEnergyMeter(dev)
-		st := pipeline.Stages{
-			Input:     r.net.UplinkLatency(),
-			Render:    cfg.Server.RenderLatency(lrPx),
-			RoIDetect: cfg.Server.RoIDetectLatency(lrPx),
-			Encode:    cfg.Server.EncodeLatency(lrPx),
-			Transmit:  r.net.TransmitLatency(nominalBytes),
-			Display:   dev.DisplayLatency(),
-		}
-		em.AddActive(device.RailDisplay, dev.DisplayActive())
-		em.AddNetworkBytes(nominalBytes)
-
-		var up *frame.Image
-		switch ftype {
-		case codec.Intra:
-			// Reference: normal HW decode, then the RoI upscale engine
-			// (step ❶ of Fig. 15), cached into the decoder buffer (step ❷).
-			st.Decode = dev.HWDecodeLatency(lrPx)
-			up, err = r.upscaleReference(df.Image, roiRect)
-			if err != nil {
-				return nil, fmt.Errorf("srdecoder: frame %d SR: %w", i, err)
-			}
-			srLat := dev.SRLatency(roiPx)
-			gpuLat := dev.GPUBilinearLatency(hrPx - roiHRPx)
-			st.Upscale = maxDur(srLat, gpuLat) + dev.MergeLatency()
-			em.AddActive(device.RailHWDecoder, st.Decode)
-			em.AddActive(device.RailNPU, srLat)
-			em.AddActive(device.RailGPU, gpuLat+dev.MergeLatency())
-		case codec.Inter:
-			if hrPrev == nil {
-				return nil, fmt.Errorf("srdecoder: frame %d: inter frame without reference", i)
-			}
-			// Non-reference: the SR-integrated decoder reconstructs at HR
-			// directly (steps ❸-❹) and the dispatcher bypasses the upscale
-			// engine (steps ❺-❼). Latency and energy are a widened HW
-			// decode pass at HR; no NPU, GPU or CPU involvement.
-			up, err = ReconstructRoIGuided(hrPrev, df.Side, cfg.Scale, roiRect, r.kernel)
-			if err != nil {
-				return nil, fmt.Errorf("srdecoder: frame %d reconstruct: %w", i, err)
-			}
-			st.Decode = time.Duration(float64(dev.HWDecodeLatency(hrPx)) * SRIntegrationFactor)
-			st.Upscale = 0 // bypassed
-			em.AddActive(device.RailHWDecoder, st.Decode)
-		default:
-			return nil, fmt.Errorf("srdecoder: frame %d: unexpected type %v", i, ftype)
-		}
-		hrPrev = up
-
-		psnr, err := metrics.PSNR(gt.Color, up)
-		if err != nil {
-			return nil, err
-		}
-		ssim, err := metrics.SSIM(gt.Color, up)
-		if err != nil {
-			return nil, err
-		}
-		lpips, err := metrics.LPIPSProxy(gt.Color, up)
-		if err != nil {
-			return nil, err
-		}
-
-		fr := pipeline.FrameResult{
-			Index:  i,
-			Type:   ftype,
-			Stages: st,
-			RoI:    roiRect,
-			PSNR:   psnr, SSIM: ssim, LPIPS: lpips,
-			Bytes:      nominalBytes,
-			CodedBytes: codedBytes,
-			Energy:     energyMap(em),
-		}
-		if cfg.KeepFrames {
-			fr.Upscaled = up
-		}
-		res.Frames = append(res.Frames, fr)
+	dev := cfg.Device
+	em := device.NewEnergyMeter(dev)
+	st := pipeline.Stages{
+		Input:     job.InputLat,
+		Render:    cfg.Server.RenderLatency(lrPx),
+		RoIDetect: cfg.Server.RoIDetectLatency(lrPx),
+		Encode:    cfg.Server.EncodeLatency(lrPx),
+		Transmit:  job.TransmitLat,
+		Display:   dev.DisplayLatency(),
 	}
-	return res, nil
+	em.AddActive(device.RailDisplay, dev.DisplayActive())
+	em.AddNetworkBytes(job.NominalBytes)
+
+	switch job.Type {
+	case codec.Intra:
+		st.Decode = dev.HWDecodeLatency(lrPx)
+		srLat := dev.SRLatency(roiPx)
+		gpuLat := dev.GPUBilinearLatency(hrPx - roiHRPx)
+		st.Upscale = max(srLat, gpuLat) + dev.MergeLatency()
+		em.AddActive(device.RailHWDecoder, st.Decode)
+		em.AddActive(device.RailNPU, srLat)
+		em.AddActive(device.RailGPU, gpuLat+dev.MergeLatency())
+	case codec.Inter:
+		st.Decode = time.Duration(float64(dev.HWDecodeLatency(hrPx)) * SRIntegrationFactor)
+		st.Upscale = 0 // bypassed
+		em.AddActive(device.RailHWDecoder, st.Decode)
+	default:
+		return pipeline.Stages{}, nil, fmt.Errorf("srdecoder: frame %d: unexpected type %v", job.Index, job.Type)
+	}
+	return st, em.NonZero(), nil
 }
 
 // upscaleReference runs the standard GameStreamSR RoI-assisted upscale.
@@ -276,8 +248,8 @@ func ReconstructRoIGuided(hrPrev *frame.Image, side *codec.SideInfo, scale int, 
 			mv := side.MVs[by*side.BlocksX+bx]
 			x0 := bx * bs
 			y0 := by * bs
-			w := minInt(bs, W-x0)
-			h := minInt(bs, H-y0)
+			w := min(bs, W-x0)
+			h := min(bs, H-y0)
 			if w <= 0 || h <= 0 {
 				continue
 			}
@@ -314,23 +286,6 @@ func ReconstructRoIGuided(hrPrev *frame.Image, side *codec.SideInfo, scale int, 
 	return out, nil
 }
 
-func energyMap(em *device.EnergyMeter) map[device.Rail]float64 {
-	out := map[device.Rail]float64{}
-	for _, r := range device.Rails() {
-		if j := em.Joules(r); j != 0 {
-			out[r] = j
-		}
-	}
-	return out
-}
-
-func maxDur(a, b time.Duration) time.Duration {
-	if a > b {
-		return a
-	}
-	return b
-}
-
 func clampInt(v, lo, hi int) int {
 	if v < lo {
 		return lo
@@ -339,11 +294,4 @@ func clampInt(v, lo, hi int) int {
 		return hi
 	}
 	return v
-}
-
-func minInt(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

@@ -16,6 +16,7 @@ import (
 	"math"
 
 	"gamestreamsr/internal/frame"
+	"gamestreamsr/internal/parallel"
 )
 
 // Kind selects an interpolation kernel.
@@ -215,44 +216,49 @@ func clampInt(v, lo, hi int) int {
 }
 
 func resampleRows(src, dst *frame.Image, taps []tapSet) {
-	for y := 0; y < src.H; y++ {
-		srow := y * src.Stride
-		drow := y * dst.Stride
-		for x := 0; x < dst.W; x++ {
-			t := &taps[x]
-			var r, g, b float64
-			for i, w := range t.weights {
-				p := srow + t.first + i
-				r += w * float64(src.R[p])
-				g += w * float64(src.G[p])
-				b += w * float64(src.B[p])
+	// Destination rows are disjoint, so row bands parallelise safely.
+	parallel.For(src.H, func(y0, y1 int) {
+		for y := y0; y < y1; y++ {
+			srow := y * src.Stride
+			drow := y * dst.Stride
+			for x := 0; x < dst.W; x++ {
+				t := &taps[x]
+				var r, g, b float64
+				for i, w := range t.weights {
+					p := srow + t.first + i
+					r += w * float64(src.R[p])
+					g += w * float64(src.G[p])
+					b += w * float64(src.B[p])
+				}
+				d := drow + x
+				dst.R[d] = clampByte(r)
+				dst.G[d] = clampByte(g)
+				dst.B[d] = clampByte(b)
 			}
-			d := drow + x
-			dst.R[d] = clampByte(r)
-			dst.G[d] = clampByte(g)
-			dst.B[d] = clampByte(b)
 		}
-	}
+	})
 }
 
 func resampleCols(src, dst *frame.Image, taps []tapSet) {
-	for y := 0; y < dst.H; y++ {
-		t := &taps[y]
-		drow := y * dst.Stride
-		for x := 0; x < dst.W; x++ {
-			var r, g, b float64
-			for i, w := range t.weights {
-				p := (t.first+i)*src.Stride + x
-				r += w * float64(src.R[p])
-				g += w * float64(src.G[p])
-				b += w * float64(src.B[p])
+	parallel.For(dst.H, func(y0, y1 int) {
+		for y := y0; y < y1; y++ {
+			t := &taps[y]
+			drow := y * dst.Stride
+			for x := 0; x < dst.W; x++ {
+				var r, g, b float64
+				for i, w := range t.weights {
+					p := (t.first+i)*src.Stride + x
+					r += w * float64(src.R[p])
+					g += w * float64(src.G[p])
+					b += w * float64(src.B[p])
+				}
+				d := drow + x
+				dst.R[d] = clampByte(r)
+				dst.G[d] = clampByte(g)
+				dst.B[d] = clampByte(b)
 			}
-			d := drow + x
-			dst.R[d] = clampByte(r)
-			dst.G[d] = clampByte(g)
-			dst.B[d] = clampByte(b)
 		}
-	}
+	})
 }
 
 func clampByte(v float64) uint8 {
@@ -302,26 +308,30 @@ func ResizePlane(src []float64, srcW, srcH, dstW, dstH int, k Kind) ([]float64, 
 	hw := buildWeights(srcW, dstW, k)
 	vw := buildWeights(srcH, dstH, k)
 	mid := make([]float64, dstW*srcH)
-	for y := 0; y < srcH; y++ {
-		for x := 0; x < dstW; x++ {
-			t := &hw[x]
-			var v float64
-			for i, w := range t.weights {
-				v += w * src[y*srcW+t.first+i]
+	parallel.For(srcH, func(y0, y1 int) {
+		for y := y0; y < y1; y++ {
+			for x := 0; x < dstW; x++ {
+				t := &hw[x]
+				var v float64
+				for i, w := range t.weights {
+					v += w * src[y*srcW+t.first+i]
+				}
+				mid[y*dstW+x] = v
 			}
-			mid[y*dstW+x] = v
 		}
-	}
+	})
 	dst := make([]float64, dstW*dstH)
-	for y := 0; y < dstH; y++ {
-		t := &vw[y]
-		for x := 0; x < dstW; x++ {
-			var v float64
-			for i, w := range t.weights {
-				v += w * mid[(t.first+i)*dstW+x]
+	parallel.For(dstH, func(y0, y1 int) {
+		for y := y0; y < y1; y++ {
+			t := &vw[y]
+			for x := 0; x < dstW; x++ {
+				var v float64
+				for i, w := range t.weights {
+					v += w * mid[(t.first+i)*dstW+x]
+				}
+				dst[y*dstW+x] = v
 			}
-			dst[y*dstW+x] = v
 		}
-	}
+	})
 	return dst, nil
 }
