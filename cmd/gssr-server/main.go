@@ -5,7 +5,11 @@
 //
 // Usage:
 //
-//	gssr-server [-addr :7007] [-game G3] [-frames 120] [-w 320] [-h 180] [-gop 12]
+//	gssr-server [-addr :7007] [-game G3] [-frames 120] [-w 320] [-h 180] [-gop 12] [-metrics :9090]
+//
+// With -metrics, a telemetry endpoint serves /metrics (Prometheus text),
+// /metrics.json (JSON snapshot with per-histogram quantiles) and the
+// standard /debug/pprof profiles.
 package main
 
 import (
@@ -13,6 +17,7 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"net/http"
 
 	"gamestreamsr/internal/codec"
 	"gamestreamsr/internal/frame"
@@ -20,6 +25,7 @@ import (
 	"gamestreamsr/internal/render"
 	"gamestreamsr/internal/roi"
 	"gamestreamsr/internal/stream"
+	"gamestreamsr/internal/telemetry"
 )
 
 func main() {
@@ -30,17 +36,25 @@ func main() {
 	height := flag.Int("h", 180, "stream height")
 	gop := flag.Int("gop", 12, "keyframe interval")
 	qstep := flag.Int("q", 6, "codec quantizer")
+	metricsAddr := flag.String("metrics", "", "telemetry listen address (e.g. :9090); empty disables")
 	flag.Parse()
 
-	if err := run(*addr, *gameID, *frames, *width, *height, *gop, *qstep); err != nil {
+	if err := run(*addr, *gameID, *frames, *width, *height, *gop, *qstep, *metricsAddr); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(addr, gameID string, frames, width, height, gop, qstep int) error {
+func run(addr, gameID string, frames, width, height, gop, qstep int, metricsAddr string) error {
 	g, err := games.ByID(gameID)
 	if err != nil {
 		return err
+	}
+	var reg *telemetry.Registry
+	if metricsAddr != "" {
+		reg, err = serveMetrics(metricsAddr)
+		if err != nil {
+			return err
+		}
 	}
 	l, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -55,6 +69,7 @@ func run(addr, gameID string, frames, width, height, gop, qstep int) error {
 	srv := &stream.MultiServer{
 		Accept:    stream.Accept{Width: width, Height: height, GOPSize: gop, QStep: qstep},
 		MaxFrames: frames,
+		Metrics:   reg,
 		OnInput: func(remote string, in stream.InputPacket) {
 			log.Printf("input from %s #%d: %q", remote, in.Seq, in.Payload)
 		},
@@ -75,6 +90,23 @@ func run(addr, gameID string, frames, width, height, gop, qstep int) error {
 		},
 	}
 	return srv.Serve(l)
+}
+
+// serveMetrics starts the telemetry endpoint (/metrics, /metrics.json,
+// /debug/pprof) on addr and returns the registry the server should feed.
+func serveMetrics(addr string) (*telemetry.Registry, error) {
+	reg := telemetry.NewRegistry()
+	ml, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("metrics listener: %w", err)
+	}
+	log.Printf("telemetry on http://%s/metrics (JSON at /metrics.json, profiles at /debug/pprof/)", ml.Addr())
+	go func() {
+		if err := http.Serve(ml, telemetry.Handler(reg)); err != nil {
+			log.Printf("telemetry server stopped: %v", err)
+		}
+	}()
+	return reg, nil
 }
 
 // gameSource renders, detects and encodes frames on demand.

@@ -18,11 +18,18 @@
 //	-frames N    frames per pipeline run (default GOP size)
 //	-games LIST  comma-separated game ids (default all ten)
 //	-out DIR     output directory for image dumps (fig8)
+//	-metrics A   serve telemetry on address A (e.g. :9090) while running:
+//	             /metrics (Prometheus text), /metrics.json, /debug/pprof
+//
+// `sim` accepts the same -metrics flag.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"log"
+	"net"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
@@ -30,6 +37,7 @@ import (
 	gssr "gamestreamsr"
 	"gamestreamsr/internal/experiments"
 	"gamestreamsr/internal/frame"
+	"gamestreamsr/internal/telemetry"
 )
 
 func main() {
@@ -69,8 +77,8 @@ func run(args []string) error {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   gssr list
-  gssr run <experiment-id|all> [-simdiv N] [-gop N] [-frames N] [-games G1,G3] [-out DIR]
-  gssr sim [-game G3] [-device s8] [-pipeline ours|nemo|srdec] [-frames N] [-gop N] [-simdiv N] [-json out.json]
+  gssr run <experiment-id|all> [-simdiv N] [-gop N] [-frames N] [-games G1,G3] [-out DIR] [-metrics :9090]
+  gssr sim [-game G3] [-device s8] [-pipeline ours|nemo|srdec] [-frames N] [-gop N] [-simdiv N] [-json out.json] [-metrics :9090]
   gssr report <out.md> [-simdiv N] [-gop N] [-games G1,G3]
   gssr render <game> <frame> <out.ppm>
   gssr roi <game> <frame> <out-dir>`)
@@ -98,6 +106,7 @@ func cmdRun(args []string) error {
 	frames := fs.Int("frames", 0, "frames per run (default GOP size)")
 	gamesFlag := fs.String("games", "", "comma-separated game ids")
 	out := fs.String("out", "", "output directory for image dumps")
+	metricsAddr := fs.String("metrics", "", "telemetry listen address (e.g. :9090); empty disables")
 	if err := fs.Parse(args[1:]); err != nil {
 		return err
 	}
@@ -106,6 +115,13 @@ func cmdRun(args []string) error {
 		GOPSize: *gop,
 		Frames:  *frames,
 		OutDir:  *out,
+	}
+	if *metricsAddr != "" {
+		reg, err := serveMetrics(*metricsAddr)
+		if err != nil {
+			return err
+		}
+		opt.Metrics = reg
 	}
 	if *gamesFlag != "" {
 		opt.GameIDs = strings.Split(*gamesFlag, ",")
@@ -252,6 +268,7 @@ func cmdSim(args []string) error {
 	gop := fs.Int("gop", 12, "GOP size")
 	simdiv := fs.Int("simdiv", 8, "pixel-simulation divisor")
 	jsonPath := fs.String("json", "", "write the full result as JSON to this path")
+	metricsAddr := fs.String("metrics", "", "telemetry listen address (e.g. :9090); empty disables")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -264,6 +281,13 @@ func cmdSim(args []string) error {
 		return err
 	}
 	cfg := gssr.Config{Game: g, Device: dev, SimDiv: *simdiv, GOPSize: *gop}
+	if *metricsAddr != "" {
+		reg, err := serveMetrics(*metricsAddr)
+		if err != nil {
+			return err
+		}
+		cfg.Metrics = reg
+	}
 	var res *gssr.Result
 	switch *pipe {
 	case "ours":
@@ -317,6 +341,24 @@ func cmdSim(args []string) error {
 		fmt.Printf("result archived to %s\n", *jsonPath)
 	}
 	return nil
+}
+
+// serveMetrics starts the telemetry endpoint (/metrics, /metrics.json,
+// /debug/pprof) on addr; it stays up for the life of the process, so long
+// runs can be scraped and profiled while they execute.
+func serveMetrics(addr string) (*telemetry.Registry, error) {
+	reg := telemetry.NewRegistry()
+	ml, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("metrics listener: %w", err)
+	}
+	log.Printf("telemetry on http://%s/metrics (JSON at /metrics.json, profiles at /debug/pprof/)", ml.Addr())
+	go func() {
+		if err := http.Serve(ml, telemetry.Handler(reg)); err != nil {
+			log.Printf("telemetry server stopped: %v", err)
+		}
+	}()
+	return reg, nil
 }
 
 // drawBox burns a 1-px red rectangle outline into im.

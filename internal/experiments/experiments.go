@@ -25,6 +25,7 @@ import (
 	"gamestreamsr/internal/pipeline"
 	"gamestreamsr/internal/render"
 	"gamestreamsr/internal/roi"
+	"gamestreamsr/internal/telemetry"
 	"gamestreamsr/internal/upscale"
 )
 
@@ -43,6 +44,9 @@ type Options struct {
 	GameIDs []string
 	// OutDir, when non-empty, receives PGM image dumps from fig8.
 	OutDir string
+	// Metrics, when non-nil, receives engine telemetry from every pipeline
+	// run an experiment performs (see internal/telemetry). Nil is a no-op.
+	Metrics *telemetry.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -151,6 +155,7 @@ func runPair(opt Options, gameID string, dev *device.Profile) (ours, base *pipel
 		Device:  dev,
 		SimDiv:  opt.SimDiv,
 		GOPSize: opt.GOPSize,
+		Metrics: opt.Metrics,
 	}
 	gs, err := pipeline.NewGameStream(cfg)
 	if err != nil {

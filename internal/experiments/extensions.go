@@ -118,7 +118,7 @@ func ExtGOP(w io.Writer, opt Options) error {
 		if simFrames > gop {
 			simFrames = gop
 		}
-		cfg := pipeline.Config{Game: g, SimDiv: opt.SimDiv, GOPSize: gop}
+		cfg := pipeline.Config{Game: g, SimDiv: opt.SimDiv, GOPSize: gop, Metrics: opt.Metrics}
 		gs, err := pipeline.NewGameStream(cfg)
 		if err != nil {
 			return err
@@ -181,7 +181,8 @@ func ExtLoss(w io.Writer, opt Options) error {
 	for _, rate := range []float64{0, 0.1, 0.44, 0.9} {
 		cfg := pipeline.Config{
 			Game: g, SimDiv: opt.SimDiv, GOPSize: opt.GOPSize,
-			Net: network.Config{LossRate: rate, Seed: 11},
+			Net:     network.Config{LossRate: rate, Seed: 11},
+			Metrics: opt.Metrics,
 		}
 		gs, err := pipeline.NewGameStream(cfg)
 		if err != nil {

@@ -11,6 +11,7 @@ import (
 	"gamestreamsr/internal/network"
 	"gamestreamsr/internal/pipeline"
 	"gamestreamsr/internal/srdecoder"
+	"gamestreamsr/internal/stats"
 	"gamestreamsr/internal/upscale"
 )
 
@@ -219,7 +220,7 @@ func Fig13(w io.Writer, opt Options) error {
 	if err != nil {
 		return err
 	}
-	cfg := pipeline.Config{Game: g, SimDiv: opt.SimDiv, GOPSize: opt.GOPSize}
+	cfg := pipeline.Config{Game: g, SimDiv: opt.SimDiv, GOPSize: opt.GOPSize, Metrics: opt.Metrics}
 	n := 3 * opt.GOPSize
 	gs, err := pipeline.NewGameStream(cfg)
 	if err != nil {
@@ -249,7 +250,30 @@ func Fig13(w io.Writer, opt Options) error {
 	op, _ := ours.MeanPSNR()
 	bp, _ := base.MeanPSNR()
 	fmt.Fprintf(w, "mean: ours %.2f dB, SOTA %.2f dB (gain %.2f dB)\n", op, bp, op-bp)
+	// The sawtooth shows up as spread: one Summary per series answers
+	// several quantile queries from a single sort.
+	os, err := stats.NewSummary(psnrSeries(ours))
+	if err != nil {
+		return err
+	}
+	bs, err := stats.NewSummary(psnrSeries(base))
+	if err != nil {
+		return err
+	}
+	op5, _ := os.Percentile(5)
+	bp5, _ := bs.Percentile(5)
+	fmt.Fprintf(w, "spread: ours p5 %.2f dB (min %.2f), SOTA p5 %.2f dB (min %.2f)\n",
+		op5, os.Min(), bp5, bs.Min())
 	return nil
+}
+
+// psnrSeries collects a run's per-frame PSNR values.
+func psnrSeries(r *pipeline.Result) []float64 {
+	out := make([]float64, len(r.Frames))
+	for i, f := range r.Frames {
+		out[i] = f.PSNR
+	}
+	return out
 }
 
 // Fig14a reports the per-game mean PSNR gain over the SOTA.
@@ -314,7 +338,7 @@ func Fig15(w io.Writer, opt Options) error {
 	if err != nil {
 		return err
 	}
-	cfg := pipeline.Config{Game: g, SimDiv: opt.SimDiv, GOPSize: opt.GOPSize}
+	cfg := pipeline.Config{Game: g, SimDiv: opt.SimDiv, GOPSize: opt.GOPSize, Metrics: opt.Metrics}
 
 	gs, err := pipeline.NewGameStream(cfg)
 	if err != nil {

@@ -16,6 +16,8 @@ import (
 	"gamestreamsr/internal/network"
 	"gamestreamsr/internal/pipeline"
 	"gamestreamsr/internal/srdecoder"
+	"gamestreamsr/internal/telemetry"
+	"gamestreamsr/internal/trace"
 	"gamestreamsr/internal/upscale"
 )
 
@@ -35,6 +37,15 @@ func detConfig(t testing.TB) pipeline.Config {
 	}
 }
 
+// detConfigTelemetry is detConfig with full instrumentation attached: the
+// determinism contract must hold unchanged with telemetry on.
+func detConfigTelemetry(t testing.TB) pipeline.Config {
+	cfg := detConfig(t)
+	cfg.Metrics = telemetry.NewRegistry()
+	cfg.Trace = &trace.Timeline{}
+	return cfg
+}
+
 // runJSON builds a fresh runner (the network RNG is per-runner state) and
 // returns the serialized result of an 8-frame run.
 func runJSON(t *testing.T, run func() (*pipeline.Result, error)) []byte {
@@ -51,8 +62,11 @@ func runJSON(t *testing.T, run func() (*pipeline.Result, error)) []byte {
 }
 
 func runners(t *testing.T) map[string]func() (*pipeline.Result, error) {
+	return runnersWith(t, detConfig(t))
+}
+
+func runnersWith(t *testing.T, cfg pipeline.Config) map[string]func() (*pipeline.Result, error) {
 	t.Helper()
-	cfg := detConfig(t)
 	return map[string]func() (*pipeline.Result, error){
 		"gamestream": func() (*pipeline.Result, error) {
 			gs, err := pipeline.NewGameStream(cfg)
@@ -101,5 +115,92 @@ func TestRunDeterministicAcrossGOMAXPROCS(t *testing.T) {
 				t.Fatalf("%s: GOMAXPROCS=1 and GOMAXPROCS=%d disagree", name, prev)
 			}
 		})
+	}
+}
+
+// TestRunDeterministicWithTelemetry asserts the telemetry extension of the
+// contract from two directions: instrumented runs are byte-identical to
+// each other AND to uninstrumented runs (enabling a Registry/Timeline must
+// not perturb results), across GOMAXPROCS settings.
+func TestRunDeterministicWithTelemetry(t *testing.T) {
+	plain := runners(t)
+	instrumented := runnersWith(t, detConfigTelemetry(t))
+	for name := range plain {
+		t.Run(name, func(t *testing.T) {
+			base := runJSON(t, plain[name])
+			withTel := runJSON(t, instrumented[name])
+			if !bytes.Equal(base, withTel) {
+				t.Fatalf("%s: enabling telemetry changed the result JSON", name)
+			}
+			prev := runtime.GOMAXPROCS(1)
+			serial := runJSON(t, instrumented[name])
+			runtime.GOMAXPROCS(prev)
+			if !bytes.Equal(base, serial) {
+				t.Fatalf("%s: instrumented GOMAXPROCS=1 run disagrees", name)
+			}
+		})
+	}
+}
+
+// TestEngineTelemetryCounts asserts the engine actually records what flows
+// through it: frames, freezes, per-stage spans, queue waits, RoI areas and
+// coded bytes, plus timeline lanes for a live Gantt render.
+func TestEngineTelemetryCounts(t *testing.T) {
+	cfg := detConfigTelemetry(t)
+	gs, err := pipeline.NewGameStream(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 8
+	res, err := gs.Run(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := cfg.Metrics.Snapshot()
+	if got := s.Counter("pipeline_frames_total"); got != n {
+		t.Errorf("frames_total = %d, want %d", got, n)
+	}
+	if got := s.Counter("pipeline_frames_frozen_total"); got != int64(res.DropCount()) {
+		t.Errorf("frozen_total = %d, want %d", got, res.DropCount())
+	}
+	// The server encodes every frame, including ones later lost in
+	// transit, so the counter is at least the delivered frames' bytes
+	// (frozen frames don't carry CodedBytes in the Result).
+	var coded int64
+	for _, f := range res.Frames {
+		coded += int64(f.CodedBytes)
+	}
+	if got := s.Counter("pipeline_coded_bytes_total"); got < coded || got == 0 {
+		t.Errorf("coded_bytes_total = %d, want >= %d", got, coded)
+	}
+	for _, hist := range []string{
+		"pipeline_server_stage_seconds",
+		"pipeline_client_stage_seconds",
+		"pipeline_measure_stage_seconds",
+		"pipeline_roi_area_px",
+		"pipeline_coded_frame_bytes",
+	} {
+		h, ok := s.Histogram(hist)
+		if !ok || h.Count != n {
+			t.Errorf("%s: count = %d (present %v), want %d", hist, h.Count, ok, n)
+		}
+	}
+	// Queue-wait counters exist (they may legitimately be ~0 on a fast
+	// machine, but the metric must be registered and non-negative).
+	for _, c := range []string{"pipeline_server_queue_wait_ns_total", "pipeline_client_queue_wait_ns_total"} {
+		if s.Counter(c) < 0 {
+			t.Errorf("%s negative", c)
+		}
+	}
+	lanes := cfg.Trace.Lanes()
+	if len(lanes) != 3 {
+		t.Fatalf("timeline lanes = %v, want server/client/measure", lanes)
+	}
+	if got := len(cfg.Trace.Events()); got != 3*n {
+		t.Errorf("timeline events = %d, want %d", got, 3*n)
+	}
+	totals := cfg.Trace.TotalByName()
+	if totals["server"] <= 0 || totals["client"] <= 0 || totals["measure"] <= 0 {
+		t.Errorf("timeline totals = %v", totals)
 	}
 }

@@ -12,6 +12,8 @@ import (
 	"gamestreamsr/internal/metrics"
 	"gamestreamsr/internal/network"
 	"gamestreamsr/internal/render"
+	"gamestreamsr/internal/telemetry"
+	"gamestreamsr/internal/trace"
 )
 
 // This file is the staged frame-loop engine shared by the three pipeline
@@ -112,6 +114,37 @@ type EngineOptions struct {
 type stage struct {
 	name string
 	fn   func(*FrameJob) error
+	// span records the stage's execution time per frame; wait accumulates
+	// the time the stage spent blocked handing a finished job downstream
+	// (backpressure). Both are nil-safe no-ops without a Registry.
+	span *telemetry.Histogram
+	wait *telemetry.Counter
+}
+
+// engineMetrics holds the engine's telemetry handles, resolved once per run
+// so the per-frame hot path never touches the registry's map. Every field
+// is a nil no-op when Config.Metrics is nil.
+type engineMetrics struct {
+	serverSpan, clientSpan, measureSpan *telemetry.Histogram
+	serverWait, clientWait              *telemetry.Counter
+	frames, frozen, codedBytesTotal     *telemetry.Counter
+	roiArea, codedBytes                 *telemetry.Histogram
+}
+
+func newEngineMetrics(reg *telemetry.Registry) engineMetrics {
+	lat := telemetry.LatencyBuckets()
+	return engineMetrics{
+		serverSpan:      reg.Histogram("pipeline_server_stage_seconds", lat),
+		clientSpan:      reg.Histogram("pipeline_client_stage_seconds", lat),
+		measureSpan:     reg.Histogram("pipeline_measure_stage_seconds", lat),
+		serverWait:      reg.Counter("pipeline_server_queue_wait_ns_total"),
+		clientWait:      reg.Counter("pipeline_client_queue_wait_ns_total"),
+		frames:          reg.Counter("pipeline_frames_total"),
+		frozen:          reg.Counter("pipeline_frames_frozen_total"),
+		codedBytesTotal: reg.Counter("pipeline_coded_bytes_total"),
+		roiArea:         reg.Histogram("pipeline_roi_area_px", []float64{64, 256, 1024, 4096, 16384, 65536, 262144}),
+		codedBytes:      reg.Histogram("pipeline_coded_frame_bytes", telemetry.ByteBuckets()),
+	}
 }
 
 // engineRun is the per-Run state of the engine.
@@ -132,6 +165,14 @@ type engineRun struct {
 	// Client-stage state.
 	lastUp  *frame.Image
 	hadDrop bool
+
+	// Telemetry (all optional): mets are the pre-resolved metric handles,
+	// tl an optional live timeline whose concurrent stage writers are
+	// serialised by tlMu, start the run's wall-clock origin.
+	mets  engineMetrics
+	tl    *trace.Timeline
+	tlMu  sync.Mutex
+	start time.Time
 
 	stop chan struct{}
 	once sync.Once
@@ -159,9 +200,26 @@ func RunEngine(cfg Config, opt EngineOptions, v Variant, nFrames int) (*Result, 
 		enc: enc, dec: codec.NewDecoder(),
 		lrPx:      cfg.LRWidth * cfg.LRHeight,
 		byteScale: cfg.SimDiv * cfg.SimDiv,
+		mets:      newEngineMetrics(cfg.Metrics),
+		tl:        cfg.Trace,
+		start:     time.Now(),
 		stop:      make(chan struct{}),
 	}
 	return e.run(nFrames)
+}
+
+// observeSpan records one stage execution in the span histogram and, when a
+// live Timeline is attached, as a trace event on the stage's lane. Called
+// concurrently from every stage goroutine.
+func (e *engineRun) observeSpan(lane string, h *telemetry.Histogram, t0 time.Time) {
+	d := time.Since(t0)
+	h.ObserveDuration(d)
+	if e.tl != nil {
+		off := t0.Sub(e.start)
+		e.tlMu.Lock()
+		e.tl.Add(lane, lane, off, off+d)
+		e.tlMu.Unlock()
+	}
 }
 
 // fail records the first error and releases every blocked stage.
@@ -176,8 +234,8 @@ func (e *engineRun) fail(err error) {
 func (e *engineRun) run(nFrames int) (*Result, error) {
 	res := &Result{Pipeline: e.v.Name(), Device: e.cfg.Device}
 	stages := []stage{
-		{"client", e.clientFrame},
-		{"measure", func(j *FrameJob) error {
+		{name: "client", fn: e.clientFrame, span: e.mets.clientSpan, wait: e.mets.clientWait},
+		{name: "measure", span: e.mets.measureSpan, fn: func(j *FrameJob) error {
 			fr, err := e.measureFrame(j)
 			if err != nil {
 				return err
@@ -199,13 +257,21 @@ func (e *engineRun) run(nFrames int) (*Result, error) {
 		defer wg.Done()
 		defer close(chans[0])
 		for i := 0; i < nFrames; i++ {
+			t0 := time.Now()
 			job, err := e.serverFrame(i)
 			if err != nil {
 				e.fail(err)
 				return
 			}
+			e.observeSpan("server", e.mets.serverSpan, t0)
+			e.mets.frames.Inc()
+			e.mets.roiArea.Observe(float64(job.RoI.W * job.RoI.H))
+			e.mets.codedBytes.Observe(float64(job.CodedBytes))
+			e.mets.codedBytesTotal.Add(int64(job.CodedBytes))
+			tSend := time.Now()
 			select {
 			case chans[0] <- job:
+				e.mets.serverWait.AddDuration(time.Since(tSend))
 			case <-e.stop:
 				return
 			}
@@ -219,12 +285,16 @@ func (e *engineRun) run(nFrames int) (*Result, error) {
 			defer wg.Done()
 			defer close(out)
 			for job := range in {
+				t0 := time.Now()
 				if err := st.fn(job); err != nil {
 					e.fail(err)
 					return
 				}
+				e.observeSpan(st.name, st.span, t0)
+				tSend := time.Now()
 				select {
 				case out <- job:
+					st.wait.AddDuration(time.Since(tSend))
 				case <-e.stop:
 					return
 				}
@@ -237,10 +307,12 @@ func (e *engineRun) run(nFrames int) (*Result, error) {
 	// every stage is a single goroutine).
 	last := stages[len(stages)-1]
 	for job := range chans[len(chans)-1] {
+		t0 := time.Now()
 		if err := last.fn(job); err != nil {
 			e.fail(err)
 			break
 		}
+		e.observeSpan(last.name, last.span, t0)
 	}
 	wg.Wait()
 	if e.err != nil {
@@ -308,6 +380,7 @@ func (e *engineRun) clientFrame(job *FrameJob) error {
 		e.hadDrop = true
 		job.Frozen = true
 		job.Display = e.lastUp // may be nil: nothing on screen yet
+		e.mets.frozen.Inc()
 		return nil
 	}
 	job.InputLat = e.opt.Net.UplinkLatency()

@@ -23,6 +23,8 @@ import (
 	"gamestreamsr/internal/render"
 	"gamestreamsr/internal/roi"
 	"gamestreamsr/internal/sr"
+	"gamestreamsr/internal/telemetry"
+	"gamestreamsr/internal/trace"
 	"gamestreamsr/internal/upscale"
 )
 
@@ -88,6 +90,18 @@ type Config struct {
 
 	// Renderer controls render parallelism; nil uses defaults.
 	Renderer *render.Renderer
+
+	// Metrics, when non-nil, receives the engine's runtime telemetry:
+	// per-stage span histograms, channel-wait (backpressure) totals,
+	// frame/frozen counters, RoI areas and coded bytes (see DESIGN.md §9).
+	// Instrumentation is nil-safe and never alters results — the
+	// determinism tests run with it enabled.
+	Metrics *telemetry.Registry
+	// Trace, when non-nil, receives one span per stage execution on the
+	// "server"/"client"/"measure" lanes, so the Fig. 2/10c Gantt charts
+	// can be rendered from a live run. The engine serialises its own
+	// writes; don't write to the same Timeline concurrently elsewhere.
+	Trace *trace.Timeline
 }
 
 // WithDefaults returns the effective configuration.

@@ -1,0 +1,38 @@
+package pipeline_test
+
+// Overhead contract of the telemetry layer: an engine run with a live
+// Registry must stay within ~2% of a nil-Registry run (the instrumentation
+// is a handful of atomics per frame against milliseconds of pixel work).
+// BENCH_telemetry.json records the measured pair.
+
+import (
+	"testing"
+
+	"gamestreamsr/internal/games"
+	"gamestreamsr/internal/pipeline"
+	"gamestreamsr/internal/telemetry"
+)
+
+func benchmarkEngine(b *testing.B, reg *telemetry.Registry) {
+	b.Helper()
+	g, err := games.ByID("G3")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := pipeline.Config{Game: g, SimDiv: 8, GOPSize: 4, Metrics: reg}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gs, err := pipeline.NewGameStream(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := gs.Run(8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEngineTelemetryNil(b *testing.B) { benchmarkEngine(b, nil) }
+
+func BenchmarkEngineTelemetryEnabled(b *testing.B) { benchmarkEngine(b, telemetry.NewRegistry()) }

@@ -62,3 +62,86 @@ func TestMinMax(t *testing.T) {
 		t.Error("empty minmax should fail")
 	}
 }
+
+func TestSummaryMatchesPackageFunctions(t *testing.T) {
+	xs := []float64{4, 1, 3, 2, 8}
+	s, err := NewSummary(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if xs[0] != 4 {
+		t.Error("NewSummary sorted the caller's slice")
+	}
+	wantMean, _ := Mean(xs)
+	if s.Mean() != wantMean {
+		t.Errorf("mean = %f, want %f", s.Mean(), wantMean)
+	}
+	wantGeo, _ := GeoMean(xs)
+	geo, err := s.GeoMean()
+	if err != nil || math.Abs(geo-wantGeo) > 1e-12 {
+		t.Errorf("geomean = %f, want %f (%v)", geo, wantGeo, err)
+	}
+	lo, hi, _ := MinMax(xs)
+	if s.Min() != lo || s.Max() != hi {
+		t.Errorf("minmax = %f, %f, want %f, %f", s.Min(), s.Max(), lo, hi)
+	}
+	if s.N() != len(xs) {
+		t.Errorf("n = %d", s.N())
+	}
+	for _, p := range []float64{0, 12.5, 25, 50, 75, 99, 100} {
+		want, _ := Percentile(xs, p)
+		got, err := s.Percentile(p)
+		if err != nil || math.Abs(got-want) > 1e-12 {
+			t.Errorf("p%.1f = %f, want %f (%v)", p, got, want, err)
+		}
+	}
+	if _, err := s.Percentile(101); err == nil {
+		t.Error("out-of-range percentile should fail")
+	}
+}
+
+func TestSummaryEmpty(t *testing.T) {
+	if _, err := NewSummary(nil); err != ErrEmpty {
+		t.Errorf("empty summary err = %v", err)
+	}
+}
+
+func TestSummaryGeoMeanNonPositive(t *testing.T) {
+	s, err := NewSummary([]float64{-1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.GeoMean(); err == nil {
+		t.Error("non-positive geomean should fail")
+	}
+}
+
+func TestBucketPercentile(t *testing.T) {
+	// 10 samples uniformly in (0,10]: bounds 2,4,6,8,+Inf with 2 each.
+	bounds := []float64{2, 4, 6, 8, math.Inf(1)}
+	counts := []int64{2, 2, 2, 2, 2}
+	for _, c := range []struct{ p, want float64 }{
+		{50, 5}, {0, 0.5}, {100, 10}, {90, 9},
+	} {
+		got, err := BucketPercentile(bounds, counts, 0.5, 10, c.p)
+		if err != nil || math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("p%.0f = %f, want %f (%v)", c.p, got, c.want, err)
+		}
+	}
+	if _, err := BucketPercentile(bounds, counts[:4], 0, 1, 50); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	if _, err := BucketPercentile(bounds, []int64{0, 0, 0, 0, 0}, 0, 1, 50); err != ErrEmpty {
+		t.Error("empty histogram should fail")
+	}
+	if _, err := BucketPercentile(bounds, counts, 0, 1, 101); err == nil {
+		t.Error("out-of-range percentile should fail")
+	}
+}
+
+func TestBucketPercentileSingleBucket(t *testing.T) {
+	got, err := BucketPercentile([]float64{math.Inf(1)}, []int64{4}, 3, 7, 50)
+	if err != nil || got < 3 || got > 7 {
+		t.Errorf("single-bucket p50 = %f, %v", got, err)
+	}
+}

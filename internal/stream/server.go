@@ -4,10 +4,12 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log"
 	"net"
 	"sync"
 
 	"gamestreamsr/internal/frame"
+	"gamestreamsr/internal/telemetry"
 )
 
 // SourceFactory creates a fresh FrameSource per session: each client gets
@@ -30,6 +32,10 @@ type MultiServer struct {
 	// OnInput receives input events from any session, tagged by remote
 	// address.
 	OnInput func(remote string, in InputPacket)
+	// Metrics, when non-nil, receives server telemetry: accepted, rejected
+	// and active session counts, plus the per-session frame/byte/latency
+	// metrics (see ServerOptions.Metrics). Nil is a no-op.
+	Metrics *telemetry.Registry
 
 	mu       sync.Mutex
 	sessions map[net.Conn]struct{}
@@ -57,6 +63,9 @@ func (s *MultiServer) Serve(l net.Listener) error {
 	}
 	s.listener = l
 	s.mu.Unlock()
+	accepted := s.Metrics.Counter("stream_sessions_accepted_total")
+	rejected := s.Metrics.Counter("stream_sessions_rejected_total")
+	active := s.Metrics.Gauge("stream_sessions_active")
 	var wg sync.WaitGroup
 	defer wg.Wait()
 	for {
@@ -81,11 +90,15 @@ func (s *MultiServer) Serve(l net.Listener) error {
 		}
 		if len(s.sessions) >= max {
 			s.mu.Unlock()
+			rejected.Inc()
+			log.Printf("stream: rejecting %s: session limit %d reached", conn.RemoteAddr(), max)
 			conn.Close()
 			continue
 		}
 		s.sessions[conn] = struct{}{}
 		s.mu.Unlock()
+		accepted.Inc()
+		active.Add(1)
 
 		wg.Add(1)
 		go func(conn net.Conn) {
@@ -95,6 +108,7 @@ func (s *MultiServer) Serve(l net.Listener) error {
 				s.mu.Lock()
 				delete(s.sessions, conn)
 				s.mu.Unlock()
+				active.Add(-1)
 			}()
 			s.serveSession(conn)
 		}(conn)
@@ -107,6 +121,7 @@ func (s *MultiServer) serveSession(conn net.Conn) {
 	err := Serve(conn, ServerOptions{
 		Accept:    s.Accept,
 		MaxFrames: s.MaxFrames,
+		Metrics:   s.Metrics,
 		Source:    deferredSource{get: func() FrameSource { return src }},
 		OnInput: func(in InputPacket) {
 			if s.OnInput != nil {

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"gamestreamsr/internal/frame"
+	"gamestreamsr/internal/telemetry"
 )
 
 // countingSource serves n tiny frames.
@@ -198,9 +199,11 @@ func TestMultiServerInputRouting(t *testing.T) {
 
 func TestMultiServerSessionCap(t *testing.T) {
 	release := make(chan struct{})
+	reg := telemetry.NewRegistry()
 	srv := &MultiServer{
 		Accept:      Accept{Width: 32, Height: 32, GOPSize: 4, QStep: 6},
 		MaxSessions: 1,
+		Metrics:     reg,
 		NewSource: func(Hello) (FrameSource, error) {
 			return frameFunc(func(i int) ([]byte, bool, frame.Rect, error) {
 				if i == 0 {
@@ -251,5 +254,51 @@ func TestMultiServerSessionCap(t *testing.T) {
 		}
 	case <-time.After(3 * time.Second):
 		t.Fatal("second client hung instead of being rejected")
+	}
+
+	// The rejection is counted, not silent.
+	s := reg.Snapshot()
+	if got := s.Counter("stream_sessions_rejected_total"); got != 1 {
+		t.Errorf("rejected_total = %d, want 1", got)
+	}
+	if got := s.Counter("stream_sessions_accepted_total"); got != 1 {
+		t.Errorf("accepted_total = %d, want 1", got)
+	}
+	if got := s.Gauge("stream_sessions_active"); got != 1 {
+		t.Errorf("sessions_active = %d, want 1 while the slot is held", got)
+	}
+}
+
+func TestMultiServerSessionTelemetry(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	const nFrames = 5
+	srv := &MultiServer{
+		Accept:    Accept{Width: 32, Height: 32, GOPSize: 4, QStep: 6},
+		Metrics:   reg,
+		NewSource: func(Hello) (FrameSource, error) { return &countingSource{n: nFrames}, nil },
+	}
+	addr, done := startMulti(t, srv)
+	if got := runClient(t, addr, "client"); got != nFrames {
+		t.Fatalf("client got %d frames", got)
+	}
+	if err := srv.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+
+	s := reg.Snapshot()
+	if got := s.Counter("stream_frames_sent_total"); got != nFrames {
+		t.Errorf("frames_sent_total = %d, want %d", got, nFrames)
+	}
+	// countingSource payloads are 1 byte each.
+	if got := s.Counter("stream_bytes_sent_total"); got != nFrames {
+		t.Errorf("bytes_sent_total = %d, want %d", got, nFrames)
+	}
+	h, ok := s.Histogram("stream_frame_send_seconds")
+	if !ok || h.Count != nFrames {
+		t.Errorf("frame_send_seconds count = %d (present %v), want %d", h.Count, ok, nFrames)
+	}
+	if got := s.Gauge("stream_sessions_active"); got != 0 {
+		t.Errorf("sessions_active = %d after shutdown, want 0", got)
 	}
 }

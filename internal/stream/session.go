@@ -5,8 +5,10 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"time"
 
 	"gamestreamsr/internal/frame"
+	"gamestreamsr/internal/telemetry"
 )
 
 // FrameSource supplies coded frames to a server session. Implementations
@@ -30,6 +32,10 @@ type ServerOptions struct {
 	OnInput func(InputPacket)
 	// Validate, if non-nil, vets the client's Hello before accepting.
 	Validate func(Hello) error
+	// Metrics, when non-nil, receives per-session telemetry: frames and
+	// payload bytes sent, and a per-frame send-latency histogram. Nil is
+	// a no-op.
+	Metrics *telemetry.Registry
 }
 
 // Serve runs one server session over conn: handshake, then frames until the
@@ -86,6 +92,10 @@ func Serve(conn io.ReadWriter, opt ServerOptions) error {
 		}
 	}()
 
+	framesSent := opt.Metrics.Counter("stream_frames_sent_total")
+	bytesSent := opt.Metrics.Counter("stream_bytes_sent_total")
+	sendLat := opt.Metrics.Histogram("stream_frame_send_seconds", telemetry.LatencyBuckets())
+
 	var sendErr error
 	for i := 0; opt.MaxFrames == 0 || i < opt.MaxFrames; i++ {
 		payload, key, roi, err := opt.Source.NextFrame(i)
@@ -97,10 +107,14 @@ func Serve(conn io.ReadWriter, opt ServerOptions) error {
 			break
 		}
 		pkt := FramePacket{Index: uint32(i), Keyenc: key, RoI: roi, Payload: payload}
+		t0 := time.Now()
 		if err := WriteFrame(conn, pkt); err != nil {
 			sendErr = fmt.Errorf("stream: writing frame %d: %w", i, err)
 			break
 		}
+		sendLat.ObserveDuration(time.Since(t0))
+		framesSent.Inc()
+		bytesSent.Add(int64(len(payload)))
 	}
 	if sendErr == nil {
 		sendErr = WriteBye(conn)

@@ -1,0 +1,111 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// WriteJSON writes the snapshot as indented JSON — the /metrics.json
+// payload. Infinite bucket bounds are rendered as the string "+Inf" so the
+// output stays valid JSON.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	type jsonBucket struct {
+		Upper any   `json:"upper"`
+		Count int64 `json:"count"`
+	}
+	type jsonHist struct {
+		Name    string       `json:"name"`
+		Count   int64        `json:"count"`
+		Sum     float64      `json:"sum"`
+		Min     float64      `json:"min"`
+		Max     float64      `json:"max"`
+		P50     float64      `json:"p50"`
+		P95     float64      `json:"p95"`
+		P99     float64      `json:"p99"`
+		Buckets []jsonBucket `json:"buckets"`
+	}
+	out := struct {
+		Counters   []CounterValue `json:"counters"`
+		Gauges     []GaugeValue   `json:"gauges"`
+		Histograms []jsonHist     `json:"histograms"`
+	}{Counters: s.Counters, Gauges: s.Gauges}
+	for _, h := range s.Histograms {
+		jh := jsonHist{Name: h.Name, Count: h.Count, Sum: h.Sum, Min: h.Min, Max: h.Max}
+		if h.Count > 0 {
+			jh.P50, _ = h.Quantile(50)
+			jh.P95, _ = h.Quantile(95)
+			jh.P99, _ = h.Quantile(99)
+		}
+		for _, b := range h.Buckets {
+			jb := jsonBucket{Count: b.Count}
+			if math.IsInf(b.Upper, 1) {
+				jb.Upper = "+Inf"
+			} else {
+				jb.Upper = b.Upper
+			}
+			jh.Buckets = append(jh.Buckets, jb)
+		}
+		out.Histograms = append(out.Histograms, jh)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// WritePrometheus writes the snapshot in the Prometheus text exposition
+// format (version 0.0.4) — the /metrics payload. Histogram buckets are
+// emitted cumulatively with the conventional `le` label, plus _sum and
+// _count series.
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	for _, c := range s.Counters {
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", promName(c.Name), promName(c.Name), c.Value); err != nil {
+			return err
+		}
+	}
+	for _, g := range s.Gauges {
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", promName(g.Name), promName(g.Name), g.Value); err != nil {
+			return err
+		}
+	}
+	for _, h := range s.Histograms {
+		name := promName(h.Name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
+			return err
+		}
+		cum := int64(0)
+		for _, b := range h.Buckets {
+			cum += b.Count
+			le := "+Inf"
+			if !math.IsInf(b.Upper, 1) {
+				le = formatFloat(b.Upper)
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, le, cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n", name, formatFloat(h.Sum), name, h.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// promName maps a metric name to the Prometheus charset (dots and dashes
+// become underscores).
+func promName(name string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_', r == ':':
+			return r
+		default:
+			return '_'
+		}
+	}, name)
+}
+
+func formatFloat(v float64) string {
+	return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%.9f", v), "0"), ".")
+}

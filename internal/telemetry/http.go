@@ -1,0 +1,32 @@
+package telemetry
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// Handler returns the metrics endpoint mux:
+//
+//	/metrics         Prometheus text exposition
+//	/metrics.json    indented JSON snapshot with p50/p95/p99 per histogram
+//	/debug/pprof/*   the standard net/http/pprof profiles
+//
+// The handler is safe with a nil registry (it serves empty snapshots), so
+// callers can register it unconditionally and flip telemetry on later.
+func Handler(r *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.Snapshot().WritePrometheus(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = r.Snapshot().WriteJSON(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -111,4 +111,84 @@ func TestRenderNarrowWidthClamped(t *testing.T) {
 	if len(sb.String()) == 0 {
 		t.Error("render produced nothing")
 	}
+	// Any width below 20 is raised to 20 columns between the pipes.
+	bar := barOf(t, sb.String(), 0)
+	if len(bar) != 20 {
+		t.Errorf("bar width = %d, want clamped 20:\n%s", len(bar), sb.String())
+	}
+}
+
+// barOf extracts the characters between the pipes of render row i.
+func barOf(t *testing.T, out string, i int) string {
+	t.Helper()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if i >= len(lines) {
+		t.Fatalf("no row %d in:\n%s", i, out)
+	}
+	open := strings.IndexByte(lines[i], '|')
+	close := strings.LastIndexByte(lines[i], '|')
+	if open < 0 || close <= open {
+		t.Fatalf("row %d has no bar: %q", i, lines[i])
+	}
+	return lines[i][open+1 : close]
+}
+
+func TestRenderSingleEvent(t *testing.T) {
+	var tl Timeline
+	tl.Add("npu", "sr", 2*time.Millisecond, 6*time.Millisecond)
+	var sb strings.Builder
+	if err := tl.Render(&sb, 30); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	// A lone span covers the whole scale: the bar is solid marks.
+	bar := barOf(t, out, 0)
+	if got := strings.Count(bar, "s"); got != len(bar) {
+		t.Errorf("single event fills %d/%d columns:\n%s", got, len(bar), out)
+	}
+	if !strings.Contains(out, "2.0ms") || !strings.Contains(out, "6.0ms") {
+		t.Errorf("footer should show the span bounds:\n%s", out)
+	}
+}
+
+func TestRenderClampsRightEdge(t *testing.T) {
+	var tl Timeline
+	const width = 24
+	// The longest span scales to exactly `width` columns and must be
+	// clamped into the last cell rather than writing past the row.
+	tl.Add("a", "x", 0, 10*time.Millisecond)
+	// A zero-duration span at the right edge exercises the start>end
+	// repair after clamping.
+	tl.Add("b", "y", 10*time.Millisecond, 10*time.Millisecond)
+	var sb strings.Builder
+	if err := tl.Render(&sb, width); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	barA := barOf(t, out, 0)
+	barB := barOf(t, out, 1)
+	if len(barA) != width || len(barB) != width {
+		t.Fatalf("bar widths = %d,%d, want %d:\n%s", len(barA), len(barB), width, out)
+	}
+	if barA[width-1] != 'x' {
+		t.Errorf("long span should reach the clamped right edge:\n%s", out)
+	}
+	if barB[width-1] != 'y' {
+		t.Errorf("zero-width span at the edge should land in the last cell:\n%s", out)
+	}
+	if strings.Count(barB, "y") != 1 {
+		t.Errorf("zero-duration span should mark exactly one cell:\n%s", out)
+	}
+}
+
+func TestTotalByNameEmpty(t *testing.T) {
+	var tl Timeline
+	totals := tl.TotalByName()
+	if len(totals) != 0 {
+		t.Errorf("empty timeline totals = %v", totals)
+	}
+	// Usable as a map even when empty.
+	if totals["absent"] != 0 {
+		t.Error("missing name should read as zero")
+	}
 }
