@@ -19,6 +19,7 @@ import (
 	"net"
 	"net/http"
 
+	"gamestreamsr/internal/bufpool"
 	"gamestreamsr/internal/codec"
 	"gamestreamsr/internal/frame"
 	"gamestreamsr/internal/games"
@@ -85,6 +86,15 @@ func run(addr, gameID string, frames, width, height, gop, qstep int, metricsAddr
 			if err != nil {
 				return nil, err
 			}
+			// Per-session pool: the encoder ping-pongs its reconstruction
+			// frames through it instead of allocating two planes per frame.
+			// All sessions report under the same metric names, so hit/miss
+			// counters aggregate across sessions at /metrics.
+			pool := bufpool.New()
+			if reg != nil {
+				pool.Instrument(reg, "server")
+			}
+			enc.SetPool(pool)
 			log.Printf("hello from %q: RoI window %d, scale %d", h.Device, h.RoIWindow, h.Scale)
 			return &gameSource{game: g, enc: enc, det: det, rd: &render.Renderer{}, w: width, h: height}, nil
 		},
@@ -109,24 +119,30 @@ func serveMetrics(addr string) (*telemetry.Registry, error) {
 	return reg, nil
 }
 
-// gameSource renders, detects and encodes frames on demand.
+// gameSource renders, detects and encodes frames on demand. Sessions call
+// NextFrame sequentially and WriteFrame consumes the payload before the next
+// call, so the render targets and the payload buffer persist across frames
+// and the session runs with near-zero steady-state allocations.
 type gameSource struct {
-	game *games.Workload
-	enc  *codec.Encoder
-	det  *roi.Detector
-	rd   *render.Renderer
-	w, h int
+	game    *games.Workload
+	enc     *codec.Encoder
+	det     *roi.Detector
+	rd      *render.Renderer
+	w, h    int
+	out     render.Output
+	payload []byte
 }
 
 func (s *gameSource) NextFrame(i int) ([]byte, bool, frame.Rect, error) {
-	out := s.game.Render(s.rd, i, s.w, s.h)
-	rect, err := s.det.Detect(out.Depth)
+	s.game.RenderInto(&s.out, s.rd, i, s.w, s.h)
+	rect, err := s.det.Detect(s.out.Depth)
 	if err != nil {
 		return nil, false, frame.Rect{}, err
 	}
-	data, ftype, err := s.enc.Encode(out.Color)
+	data, ftype, err := s.enc.EncodeInto(s.payload[:0], s.out.Color)
 	if err != nil {
 		return nil, false, frame.Rect{}, err
 	}
+	s.payload = data
 	return data, ftype == codec.Intra, rect, nil
 }

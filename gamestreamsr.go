@@ -29,6 +29,7 @@ import (
 	"io"
 
 	"gamestreamsr/internal/abr"
+	"gamestreamsr/internal/bufpool"
 	"gamestreamsr/internal/codec"
 	"gamestreamsr/internal/device"
 	"gamestreamsr/internal/experiments"
@@ -286,6 +287,15 @@ func NewCodecEncoder(cfg CodecConfig) (*CodecEncoder, error) { return codec.NewE
 
 // NewCodecDecoder builds a stream decoder.
 func NewCodecDecoder() *CodecDecoder { return codec.NewDecoder() }
+
+// BufferPool is the size-bucketed frame/plane recycler threaded through the
+// frame loop (Config.Pool, Encoder.SetPool, Decoder.SetPool). See DESIGN.md
+// §10 for the ownership and aliasing rules.
+type BufferPool = bufpool.Pool
+
+// NewBufferPool builds an empty pool. Call its Instrument method to expose
+// hit/miss/bytes-in-flight counters on a telemetry registry.
+func NewBufferPool() *BufferPool { return bufpool.New() }
 
 // Adaptive bitrate control (the ladder below the paper's 720p rung).
 type (

@@ -1,0 +1,11 @@
+//go:build race || bufpool_debug
+
+package bufpool
+
+// poisonEnabled turns on poison-on-return: every buffer handed back with a
+// Put* method is overwritten with a recognizable garbage pattern (0xA5 bytes,
+// NaN floats) before it joins the free list. A stage that keeps reading a
+// buffer after returning it then sees corrupted data immediately — under the
+// race detector or the bufpool_debug tag — instead of intermittently after an
+// unrelated checkout. Release builds skip the memset.
+const poisonEnabled = true

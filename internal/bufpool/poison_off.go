@@ -1,0 +1,6 @@
+//go:build !race && !bufpool_debug
+
+package bufpool
+
+// poisonEnabled is off in release builds; see poison.go.
+const poisonEnabled = false

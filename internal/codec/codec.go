@@ -23,6 +23,7 @@ import (
 	"errors"
 	"fmt"
 
+	"gamestreamsr/internal/bufpool"
 	"gamestreamsr/internal/frame"
 )
 
@@ -151,6 +152,11 @@ type Encoder struct {
 	// reconstruction rather than the source keeps encoder and decoder in
 	// lockstep and prevents drift.
 	prev *frame.Image
+	// pool recycles reconstruction images and quantized-value scratch
+	// across frames; nil means plain allocation (see SetPool).
+	pool *bufpool.Pool
+	// mvs is the persistent motion-vector scratch of encodeInter.
+	mvs []MV
 }
 
 // NewEncoder creates an encoder for the given configuration.
@@ -165,16 +171,30 @@ func NewEncoder(cfg Config) (*Encoder, error) {
 // Config returns the encoder's effective configuration.
 func (e *Encoder) Config() Config { return e.cfg }
 
+// SetPool makes the encoder draw its per-frame reconstruction frames and
+// quantization scratch from p (nil reverts to plain allocation). The pool
+// must outlive the encoder's use of it.
+func (e *Encoder) SetPool(p *bufpool.Pool) { e.pool = p }
+
 // Reset rewinds the encoder to the start of a stream.
 func (e *Encoder) Reset() {
 	e.count = 0
+	if e.prev != nil {
+		e.pool.PutImage(e.prev)
+	}
 	e.prev = nil
 }
 
 // Encode encodes the next frame at uniform quality and returns its
 // bitstream and type.
 func (e *Encoder) Encode(im *frame.Image) ([]byte, FrameType, error) {
-	return e.encode(im, nil)
+	return e.encode(nil, im, nil)
+}
+
+// EncodeInto is Encode appending the bitstream to dst (which may be nil or
+// a recycled buffer with spare capacity) instead of allocating a fresh one.
+func (e *Encoder) EncodeInto(dst []byte, im *frame.Image) ([]byte, FrameType, error) {
+	return e.encode(dst, im, nil)
 }
 
 // EncodeRoI encodes the next frame with RoI-aware quality: pixels inside
@@ -183,29 +203,43 @@ func (e *Encoder) Encode(im *frame.Image) ([]byte, FrameType, error) {
 // looks" optimisation of RoI-based encoding; the RoI rectangle and its
 // quantizer travel in the frame header so any decoder reconstructs exactly.
 func (e *Encoder) EncodeRoI(im *frame.Image, roi frame.Rect, roiQ int) ([]byte, FrameType, error) {
+	return e.EncodeRoIInto(nil, im, roi, roiQ)
+}
+
+// EncodeRoIInto is EncodeRoI appending the bitstream to dst.
+func (e *Encoder) EncodeRoIInto(dst []byte, im *frame.Image, roi frame.Rect, roiQ int) ([]byte, FrameType, error) {
 	if roiQ <= 0 || roiQ > 255 {
 		return nil, 0, fmt.Errorf("codec: invalid RoI quantizer %d", roiQ)
 	}
 	if !roi.In(e.cfg.Width, e.cfg.Height) || roi.Empty() {
 		return nil, 0, fmt.Errorf("codec: RoI %v outside %dx%d stream", roi, e.cfg.Width, e.cfg.Height)
 	}
-	return e.encode(im, &roiQuant{rect: roi, q: roiQ})
+	return e.encode(dst, im, &roiQuant{rect: roi, q: roiQ})
 }
 
-func (e *Encoder) encode(im *frame.Image, rq *roiQuant) ([]byte, FrameType, error) {
+func (e *Encoder) encode(dst []byte, im *frame.Image, rq *roiQuant) ([]byte, FrameType, error) {
 	if im.W != e.cfg.Width || im.H != e.cfg.Height {
 		return nil, 0, fmt.Errorf("codec: frame is %dx%d, stream is %dx%d", im.W, im.H, e.cfg.Width, e.cfg.Height)
 	}
 	isIntra := e.count%e.cfg.GOPSize == 0 || e.prev == nil
 	e.count++
+	var data []byte
+	var recon *frame.Image
+	ftype := Inter
 	if isIntra {
-		data, recon := e.encodeIntra(im, rq)
-		e.prev = recon
-		return data, Intra, nil
+		data, recon = e.encodeIntra(dst, im, rq)
+		ftype = Intra
+	} else {
+		data, recon = e.encodeInter(dst, im, rq)
 	}
-	data, recon := e.encodeInter(im, rq)
+	// The outgoing reference is dead once the new reconstruction exists;
+	// recycling it here (not before: encodeInter reads it) lets one session
+	// ping-pong two reconstruction buffers indefinitely.
+	if e.prev != nil {
+		e.pool.PutImage(e.prev)
+	}
 	e.prev = recon
-	return data, Inter, nil
+	return data, ftype, nil
 }
 
 // qPlan precomputes the per-pixel quantizer lookup for one frame.
@@ -221,16 +255,18 @@ func (p qPlan) at(x, y int) int32 {
 	return p.base
 }
 
-// encodeIntra quantizes and entropy-codes the frame, returning the bitstream
-// and the decoder-identical reconstruction.
-func (e *Encoder) encodeIntra(im *frame.Image, rq *roiQuant) ([]byte, *frame.Image) {
+// encodeIntra quantizes and entropy-codes the frame, appending the
+// bitstream to dst and returning it with the decoder-identical
+// reconstruction. The reconstruction is drawn from the encoder's pool; its
+// every pixel is written.
+func (e *Encoder) encodeIntra(dst []byte, im *frame.Image, rq *roiQuant) ([]byte, *frame.Image) {
 	im = im.Compact()
 	plan := qPlan{base: int32(e.cfg.QStep), rq: rq}
-	buf := newHeader(Intra, e.cfg, rq)
-	recon := frame.NewImage(im.W, im.H)
+	buf := appendHeader(dst, Intra, e.cfg, rq)
+	recon := e.pool.Image(im.W, im.H)
 	W := im.W
 	for p, plane := range [3][]uint8{im.R, im.G, im.B} {
-		vals := make([]int32, len(plane))
+		vals := e.pool.Int32s(len(plane))
 		prev := int32(0)
 		rp := reconPlane(recon, p)
 		for i, v := range plane {
@@ -241,19 +277,23 @@ func (e *Encoder) encodeIntra(im *frame.Image, rq *roiQuant) ([]byte, *frame.Ima
 			rp[i] = clamp8(qv * q)
 		}
 		buf = appendSignedRLE(buf, vals)
+		e.pool.PutInt32s(vals)
 	}
 	return buf, recon
 }
 
 // encodeInter motion-compensates against the previous reconstruction,
 // quantizes the residual and entropy-codes MVs + residual.
-func (e *Encoder) encodeInter(im *frame.Image, rq *roiQuant) ([]byte, *frame.Image) {
+func (e *Encoder) encodeInter(dst []byte, im *frame.Image, rq *roiQuant) ([]byte, *frame.Image) {
 	im = im.Compact()
 	cfg := e.cfg
 	bs := cfg.BlockSize
 	bw := (im.W + bs - 1) / bs
 	bh := (im.H + bs - 1) / bs
-	mvs := make([]MV, bw*bh)
+	if cap(e.mvs) < bw*bh {
+		e.mvs = make([]MV, bw*bh)
+	}
+	mvs := e.mvs[:bw*bh]
 	// Motion estimation on luma-ish green plane (cheap, standard trick).
 	for by := 0; by < bh; by++ {
 		for bx := 0; bx < bw; bx++ {
@@ -268,21 +308,23 @@ func (e *Encoder) encodeInter(im *frame.Image, rq *roiQuant) ([]byte, *frame.Ima
 			}
 		}
 	}
-	buf := newHeader(Inter, cfg, rq)
+	buf := appendHeader(dst, Inter, cfg, rq)
 	// MV grid.
 	for _, mv := range mvs {
 		buf = binary.AppendVarint(buf, int64(mv.DX))
 		buf = binary.AppendVarint(buf, int64(mv.DY))
 	}
-	// Residuals per plane.
+	// Residuals per plane. The reconstruction and residual scratch come
+	// dirty from the pool; the block grid covers every pixel, so both are
+	// fully overwritten.
 	plan := qPlan{base: int32(cfg.QStep), rq: rq}
 	dz := int32(cfg.Deadzone)
-	recon := frame.NewImage(im.W, im.H)
+	recon := e.pool.Image(im.W, im.H)
+	res := e.pool.Int32s(im.W * im.H)
 	for p := 0; p < 3; p++ {
 		src := srcPlane(im, p)
 		ref := srcPlane(e.prev, p)
 		rp := reconPlane(recon, p)
-		res := make([]int32, len(src))
 		for by := 0; by < bh; by++ {
 			for bx := 0; bx < bw; bx++ {
 				mv := mvs[by*bw+bx]
@@ -319,6 +361,7 @@ func (e *Encoder) encodeInter(im *frame.Image, rq *roiQuant) ([]byte, *frame.Ima
 		}
 		buf = appendSignedRLE(buf, res)
 	}
+	e.pool.PutInt32s(res)
 	return buf, recon
 }
 
@@ -326,13 +369,73 @@ func (e *Encoder) encodeInter(im *frame.Image, rq *roiQuant) ([]byte, *frame.Ima
 // stateful: inter frames reference the previously decoded frame.
 type Decoder struct {
 	prev *frame.Image
+	// prevReleased records that the caller already handed the frame holding
+	// prev back via Recycle; the image itself is recycled only when the next
+	// Decode replaces it (it is still the inter reference until then).
+	prevReleased bool
+	// pool recycles decoded images, residual planes and RLE scratch; nil
+	// means plain allocation (see SetPool).
+	pool *bufpool.Pool
+	// mvFree and sideFree recycle the MV grids and SideInfo headers of
+	// released frames. The decoder is single-goroutine, so plain slices do.
+	mvFree   [][]MV
+	sideFree []*SideInfo
 }
 
 // NewDecoder creates a decoder.
 func NewDecoder() *Decoder { return &Decoder{} }
 
+// SetPool makes the decoder draw decoded images and side-info buffers from
+// p (nil reverts to plain allocation). Callers that set a pool should hand
+// finished frames back with Recycle.
+func (d *Decoder) SetPool(p *bufpool.Pool) { d.pool = p }
+
 // Reset clears reference state (e.g. on seek or stream restart).
-func (d *Decoder) Reset() { d.prev = nil }
+func (d *Decoder) Reset() {
+	if d.prev != nil && d.prevReleased {
+		d.pool.PutImage(d.prev)
+	}
+	d.prev = nil
+	d.prevReleased = false
+}
+
+// Recycle hands a decoded frame's buffers back to the decoder's pool. The
+// caller must be done with every alias into the frame (image planes,
+// residual slices, MV grid). The current reference image is retired only
+// after the next Decode stops predicting from it; everything else is
+// reusable immediately. Safe to call with a nil pool or frame (no-op).
+func (d *Decoder) Recycle(df *DecodedFrame) {
+	if d == nil || df == nil {
+		return
+	}
+	if side := df.Side; side != nil {
+		df.Side = nil
+		for p := range side.Residual {
+			if d.pool != nil {
+				d.pool.PutInt16s(side.Residual[p])
+			}
+			side.Residual[p] = nil
+		}
+		if side.MVs != nil && len(d.mvFree) < 8 {
+			d.mvFree = append(d.mvFree, side.MVs)
+		}
+		side.MVs = nil
+		if len(d.sideFree) < 8 {
+			*side = SideInfo{}
+			d.sideFree = append(d.sideFree, side)
+		}
+	}
+	im := df.Image
+	df.Image = nil
+	if im == nil {
+		return
+	}
+	if im == d.prev {
+		d.prevReleased = true
+		return
+	}
+	d.pool.PutImage(im)
+}
 
 // ErrCorrupt is wrapped by all bitstream parsing failures.
 var ErrCorrupt = errors.New("codec: corrupt bitstream")
@@ -346,11 +449,11 @@ func (d *Decoder) Decode(data []byte) (*DecodedFrame, error) {
 	}
 	switch hdr.ftype {
 	case Intra:
-		im, err := decodeIntra(hdr, rest)
+		im, err := d.decodeIntra(hdr, rest)
 		if err != nil {
 			return nil, err
 		}
-		d.prev = im
+		d.retire(im)
 		return &DecodedFrame{Type: Intra, Image: im}, nil
 	case Inter:
 		if d.prev == nil {
@@ -359,15 +462,48 @@ func (d *Decoder) Decode(data []byte) (*DecodedFrame, error) {
 		if d.prev.W != hdr.w || d.prev.H != hdr.h {
 			return nil, fmt.Errorf("%w: inter frame %dx%d but reference is %dx%d", ErrCorrupt, hdr.w, hdr.h, d.prev.W, d.prev.H)
 		}
-		im, side, err := decodeInter(hdr, rest, d.prev)
+		im, side, err := d.decodeInter(hdr, rest, d.prev)
 		if err != nil {
 			return nil, err
 		}
-		d.prev = im
+		d.retire(im)
 		return &DecodedFrame{Type: Inter, Image: im, Side: side}, nil
 	default:
 		return nil, fmt.Errorf("%w: unknown frame type %d", ErrCorrupt, hdr.ftype)
 	}
+}
+
+// retire installs im as the new inter reference, recycling the outgoing
+// one if its frame was already released.
+func (d *Decoder) retire(im *frame.Image) {
+	if d.prev != nil && d.prevReleased {
+		d.pool.PutImage(d.prev)
+	}
+	d.prev = im
+	d.prevReleased = false
+}
+
+// getMVs returns a recycled or fresh MV grid of length n.
+func (d *Decoder) getMVs(n int) []MV {
+	for i := len(d.mvFree) - 1; i >= 0; i-- {
+		if cap(d.mvFree[i]) >= n {
+			mvs := d.mvFree[i][:n]
+			d.mvFree[i] = d.mvFree[len(d.mvFree)-1]
+			d.mvFree = d.mvFree[:len(d.mvFree)-1]
+			return mvs
+		}
+	}
+	return make([]MV, n)
+}
+
+// getSide returns a recycled or fresh zeroed SideInfo header.
+func (d *Decoder) getSide() *SideInfo {
+	if k := len(d.sideFree); k > 0 {
+		s := d.sideFree[k-1]
+		d.sideFree = d.sideFree[:k-1]
+		return s
+	}
+	return &SideInfo{}
 }
 
 type header struct {
@@ -392,8 +528,7 @@ func (h header) qAt(x, y int) int32 {
 	return int32(h.q)
 }
 
-func newHeader(t FrameType, cfg Config, roi *roiQuant) []byte {
-	buf := make([]byte, 0, 64)
+func appendHeader(buf []byte, t FrameType, cfg Config, roi *roiQuant) []byte {
 	buf = append(buf, magic, version, byte(t))
 	buf = binary.AppendUvarint(buf, uint64(cfg.Width))
 	buf = binary.AppendUvarint(buf, uint64(cfg.Height))
@@ -498,12 +633,15 @@ func parseHeader(data []byte) (header, []byte, error) {
 	return h, rest, nil
 }
 
-func decodeIntra(h header, data []byte) (*frame.Image, error) {
-	im := frame.NewImage(h.w, h.h)
+func (d *Decoder) decodeIntra(h header, data []byte) (*frame.Image, error) {
+	im := d.pool.Image(h.w, h.h)
 	n := h.w * h.h
+	vals := d.pool.Int32s(n)
+	defer d.pool.PutInt32s(vals)
 	for p := 0; p < 3; p++ {
-		vals, rest, err := decodeSignedRLE(data, n)
+		rest, err := decodeSignedRLEInto(vals, data)
 		if err != nil {
+			d.pool.PutImage(im)
 			return nil, err
 		}
 		data = rest
@@ -517,11 +655,12 @@ func decodeIntra(h header, data []byte) (*frame.Image, error) {
 	return im, nil
 }
 
-func decodeInter(h header, data []byte, ref *frame.Image) (*frame.Image, *SideInfo, error) {
+func (d *Decoder) decodeInter(h header, data []byte, ref *frame.Image) (*frame.Image, *SideInfo, error) {
 	bs := h.bs
 	bw := (h.w + bs - 1) / bs
 	bh := (h.h + bs - 1) / bs
-	side := &SideInfo{BlocksX: bw, BlocksY: bh, BlockSize: bs, HalfPel: h.halfPel, MVs: make([]MV, bw*bh)}
+	side := d.getSide()
+	*side = SideInfo{BlocksX: bw, BlocksY: bh, BlockSize: bs, HalfPel: h.halfPel, MVs: d.getMVs(bw * bh)}
 	for i := range side.MVs {
 		dx, n := binary.Varint(data)
 		if n <= 0 {
@@ -538,18 +677,27 @@ func decodeInter(h header, data []byte, ref *frame.Image) (*frame.Image, *SideIn
 		}
 		side.MVs[i] = MV{DX: int8(dx), DY: int8(dy)}
 	}
-	im := frame.NewImage(h.w, h.h)
+	im := d.pool.Image(h.w, h.h)
 	n := h.w * h.h
 	ref = ref.Compact()
+	vals := d.pool.Int32s(n)
+	defer d.pool.PutInt32s(vals)
 	for p := 0; p < 3; p++ {
-		vals, rest, err := decodeSignedRLE(data, n)
+		rest, err := decodeSignedRLEInto(vals, data)
 		if err != nil {
+			d.pool.PutImage(im)
+			for q := 0; q < p; q++ {
+				d.pool.PutInt16s(side.Residual[q])
+				side.Residual[q] = nil
+			}
 			return nil, nil, err
 		}
 		data = rest
 		rp := reconPlane(im, p)
 		refp := srcPlane(ref, p)
-		resPlane := make([]int16, n)
+		// The block grid covers every pixel, so the dirty pooled planes
+		// below are fully overwritten.
+		resPlane := d.pool.Int16s(n)
 		side.Residual[p] = resPlane
 		for by := 0; by < bh; by++ {
 			for bx := 0; bx < bw; bx++ {
@@ -669,35 +817,48 @@ func appendSignedRLE(buf []byte, vals []int32) []byte {
 // decodeSignedRLE decodes exactly n values and returns the remaining bytes.
 func decodeSignedRLE(data []byte, n int) ([]int32, []byte, error) {
 	out := make([]int32, n)
+	rest, err := decodeSignedRLEInto(out, data)
+	if err != nil {
+		return nil, nil, err
+	}
+	return out, rest, nil
+}
+
+// decodeSignedRLEInto decodes exactly len(out) values into out and returns
+// the remaining bytes. out is cleared first — zero runs are encoded by
+// skipping over already-zero elements — so a dirty pooled buffer is fine.
+func decodeSignedRLEInto(out []int32, data []byte) ([]byte, error) {
+	clear(out)
+	n := len(out)
 	i := 0
 	for i < n {
 		if len(data) == 0 {
-			return nil, nil, fmt.Errorf("%w: truncated plane data", ErrCorrupt)
+			return nil, fmt.Errorf("%w: truncated plane data", ErrCorrupt)
 		}
 		if data[0] == 0x00 {
 			run, m := binary.Uvarint(data[1:])
 			if m <= 0 {
-				return nil, nil, fmt.Errorf("%w: truncated zero run", ErrCorrupt)
+				return nil, fmt.Errorf("%w: truncated zero run", ErrCorrupt)
 			}
 			data = data[1+m:]
 			if run == 0 || run > uint64(n-i) {
-				return nil, nil, fmt.Errorf("%w: zero run %d overflows plane", ErrCorrupt, run)
+				return nil, fmt.Errorf("%w: zero run %d overflows plane", ErrCorrupt, run)
 			}
 			i += int(run) // out already zeroed
 			continue
 		}
 		v, m := binary.Varint(data)
 		if m <= 0 {
-			return nil, nil, fmt.Errorf("%w: bad varint", ErrCorrupt)
+			return nil, fmt.Errorf("%w: bad varint", ErrCorrupt)
 		}
 		if v < -1<<30 || v > 1<<30 {
-			return nil, nil, fmt.Errorf("%w: value out of range", ErrCorrupt)
+			return nil, fmt.Errorf("%w: value out of range", ErrCorrupt)
 		}
 		data = data[m:]
 		out[i] = int32(v)
 		i++
 	}
-	return out, data, nil
+	return data, nil
 }
 
 // --- small helpers ------------------------------------------------------------

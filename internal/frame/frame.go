@@ -38,6 +38,26 @@ func NewImage(w, h int) *Image {
 	}
 }
 
+// NewImagePacked allocates a zeroed w×h image whose three planes are slices
+// of ONE backing array (R first, then G, then B). The public field layout is
+// identical to NewImage's, but a packed image is a single heap object, which
+// is what bufpool checkout/return and the hot frame loop want. R is sliced
+// with the backing's full capacity so the pool can recover the allocation
+// from the image alone.
+func NewImagePacked(w, h int) *Image {
+	if w < 0 || h < 0 {
+		panic(fmt.Sprintf("frame: invalid image size %dx%d", w, h))
+	}
+	n := w * h
+	backing := make([]uint8, 3*n)
+	return &Image{
+		W: w, H: h, Stride: w,
+		R: backing[0:n:cap(backing)],
+		G: backing[n : 2*n : 2*n],
+		B: backing[2*n : 3*n : 3*n],
+	}
+}
+
 // At returns the RGB triple at (x, y). It panics if out of bounds, mirroring
 // slice indexing semantics.
 func (im *Image) At(x, y int) (r, g, b uint8) {
@@ -127,7 +147,16 @@ func (im *Image) Compact() *Image {
 // Luma returns the Rec.601 luma plane of the image as float64 in [0, 255].
 // Quality metrics (PSNR/SSIM) operate on luma, as is conventional.
 func (im *Image) Luma() []float64 {
-	out := make([]float64, im.W*im.H)
+	return im.LumaInto(make([]float64, im.W*im.H))
+}
+
+// LumaInto writes the luma plane into out, which must have length W*H, and
+// returns it. Every element is overwritten, so out may be a dirty pooled
+// buffer.
+func (im *Image) LumaInto(out []float64) []float64 {
+	if len(out) != im.W*im.H {
+		panic(fmt.Sprintf("frame: LumaInto buffer length %d != %dx%d", len(out), im.W, im.H))
+	}
 	i := 0
 	for y := 0; y < im.H; y++ {
 		row := y * im.Stride
@@ -217,7 +246,16 @@ func (d *DepthMap) SubMap(x, y, w, h int) (*DepthMap, error) {
 // fresh float64 plane in [0, 1] with compact stride, which is what the RoI
 // detector consumes.
 func (d *DepthMap) Nearness() []float64 {
-	out := make([]float64, d.W*d.H)
+	return d.NearnessInto(make([]float64, d.W*d.H))
+}
+
+// NearnessInto writes the nearness map into out, which must have length W*H,
+// and returns it. Every element is overwritten, so out may be a dirty pooled
+// buffer.
+func (d *DepthMap) NearnessInto(out []float64) []float64 {
+	if len(out) != d.W*d.H {
+		panic(fmt.Sprintf("frame: NearnessInto buffer length %d != %dx%d", len(out), d.W, d.H))
+	}
 	i := 0
 	for y := 0; y < d.H; y++ {
 		row := y * d.Stride

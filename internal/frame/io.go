@@ -45,6 +45,14 @@ func (im *Image) SavePPM(path string) error {
 
 // ReadPPM parses a binary PPM (P6) image.
 func ReadPPM(r io.Reader) (*Image, error) {
+	return ReadPPMInto(r, nil)
+}
+
+// ReadPPMInto parses a binary PPM (P6) image into dst, whose dimensions must
+// match the file header. Every pixel of dst is overwritten, so it may be a
+// dirty pooled image. A nil dst allocates a fresh packed image, which is how
+// ReadPPM is implemented.
+func ReadPPMInto(r io.Reader, dst *Image) (*Image, error) {
 	br := bufio.NewReader(r)
 	magic, err := readToken(br)
 	if err != nil {
@@ -69,7 +77,12 @@ func ReadPPM(r io.Reader) (*Image, error) {
 	if maxv != 255 {
 		return nil, fmt.Errorf("frame: unsupported PPM max value %d", maxv)
 	}
-	im := NewImage(w, h)
+	im := dst
+	if im == nil {
+		im = NewImagePacked(w, h)
+	} else if im.W != w || im.H != h {
+		return nil, fmt.Errorf("frame: destination %dx%d does not match PPM size %dx%d", im.W, im.H, w, h)
+	}
 	row := make([]byte, w*3)
 	for y := 0; y < h; y++ {
 		if _, err := io.ReadFull(br, row); err != nil {

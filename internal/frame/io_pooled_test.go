@@ -1,0 +1,124 @@
+package frame_test
+
+// The frame package cannot import bufpool (bufpool depends on frame), so the
+// pooled-buffer round-trip coverage lives in this external test package.
+
+import (
+	"bytes"
+	"testing"
+
+	"gamestreamsr/internal/bufpool"
+	"gamestreamsr/internal/frame"
+)
+
+// testPattern fills im with a position-dependent pattern so a missed pixel
+// anywhere shows up in Equal.
+func testPattern(im *frame.Image, seed uint8) {
+	for y := 0; y < im.H; y++ {
+		for x := 0; x < im.W; x++ {
+			im.Set(x, y, uint8(x)+seed, uint8(y)^seed, uint8(x*y)+3*seed)
+		}
+	}
+}
+
+// TestReadPPMIntoPooledDirtyBuffer round-trips an image through WritePPM and
+// ReadPPMInto where the destination is a pooled image that previously held
+// DIFFERENT pixel data — verifying the Into path really overwrites every
+// byte rather than relying on a zeroed destination.
+func TestReadPPMIntoPooledDirtyBuffer(t *testing.T) {
+	pool := bufpool.New()
+
+	// Dirty the pool: check an image out, scribble on it, return it.
+	dirty := pool.Image(37, 21)
+	testPattern(dirty, 0xFF)
+	pool.PutImage(dirty)
+
+	want := frame.NewImage(37, 21)
+	testPattern(want, 1)
+	var buf bytes.Buffer
+	if err := want.WritePPM(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	dst := pool.Image(37, 21) // same size class: reuses the dirty buffer
+	got, err := frame.ReadPPMInto(bytes.NewReader(buf.Bytes()), dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != dst {
+		t.Fatal("ReadPPMInto did not decode into the provided destination")
+	}
+	if !got.Equal(want) {
+		t.Fatal("pooled round-trip image differs from original")
+	}
+	pool.PutImage(got)
+}
+
+// TestReadPPMIntoSizeMismatch checks the guard against decoding into a
+// destination of the wrong geometry.
+func TestReadPPMIntoSizeMismatch(t *testing.T) {
+	im := frame.NewImagePacked(8, 8)
+	var buf bytes.Buffer
+	if err := im.WritePPM(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := frame.ReadPPMInto(bytes.NewReader(buf.Bytes()), frame.NewImagePacked(8, 9)); err == nil {
+		t.Fatal("ReadPPMInto accepted a destination of the wrong size")
+	}
+}
+
+// TestReadPPMAllocatesPacked verifies the nil-destination path returns a
+// packed (single-backing-array) image, the layout the pool can recycle.
+func TestReadPPMAllocatesPacked(t *testing.T) {
+	src := frame.NewImagePacked(12, 5)
+	testPattern(src, 9)
+	var buf bytes.Buffer
+	if err := src.WritePPM(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := frame.ReadPPM(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(src) {
+		t.Fatal("round-trip image differs from original")
+	}
+	n := got.W * got.H
+	if cap(got.R) < 3*n {
+		t.Fatalf("ReadPPM image is not packed: cap(R)=%d, want >= %d", cap(got.R), 3*n)
+	}
+	pool := bufpool.New()
+	pool.PutImage(got) // packed image must be accepted by the pool
+	if got.R != nil {
+		t.Fatal("pool rejected the packed image from ReadPPM")
+	}
+}
+
+// TestNewImagePackedLayout locks the packed constructor's contract: same
+// public field behavior as NewImage, planes as thirds of one backing array.
+func TestNewImagePackedLayout(t *testing.T) {
+	im := frame.NewImagePacked(10, 4)
+	n := 40
+	if im.W != 10 || im.H != 4 || im.Stride != 10 {
+		t.Fatalf("bad geometry %dx%d stride %d", im.W, im.H, im.Stride)
+	}
+	if len(im.R) != n || len(im.G) != n || len(im.B) != n {
+		t.Fatalf("bad plane lengths %d/%d/%d", len(im.R), len(im.G), len(im.B))
+	}
+	for _, p := range [][]uint8{im.R, im.G, im.B} {
+		for i, v := range p {
+			if v != 0 {
+				t.Fatalf("plane element %d not zeroed: %d", i, v)
+			}
+		}
+	}
+	backing := im.R[:cap(im.R)]
+	if len(backing) < 3*n || &im.G[0] != &backing[n] || &im.B[0] != &backing[2*n] {
+		t.Fatal("planes are not packed thirds of one backing array")
+	}
+	// Writes through one plane must not alias another.
+	im.R[n-1] = 11
+	if im.G[0] != 0 {
+		t.Fatal("R and G planes overlap")
+	}
+}

@@ -60,6 +60,13 @@ func (w *Workload) Render(rd *render.Renderer, i, width, height int) render.Outp
 	return rd.Render(sc, cam, width, height)
 }
 
+// RenderInto renders frame i of the workload into out, reusing out's buffers
+// when the geometry matches (see render.Renderer.RenderInto).
+func (w *Workload) RenderInto(out *render.Output, rd *render.Renderer, i, width, height int) {
+	sc, cam := w.Frame(i)
+	rd.RenderInto(out, sc, cam, width, height)
+}
+
 func (w *Workload) String() string { return fmt.Sprintf("%s (%s, %s)", w.ID, w.Name, w.Genre) }
 
 // All returns the ten workloads G1–G10 in Table I order.

@@ -19,9 +19,17 @@ import (
 	"fmt"
 	"math"
 
+	"gamestreamsr/internal/bufpool"
 	"gamestreamsr/internal/frame"
 	"gamestreamsr/internal/parallel"
 )
+
+// scratch recycles the luma planes, feature maps and pyramid levels of the
+// metrics across calls. Package-level because metric functions are free
+// functions; the pool is concurrency-safe, and all checkouts are returned
+// before the metric returns, so steady state pins only one frame's worth of
+// planes per concurrent caller.
+var scratch = bufpool.New()
 
 // ErrSizeMismatch is returned when the two images differ in geometry.
 var ErrSizeMismatch = errors.New("metrics: image sizes differ")
@@ -34,8 +42,10 @@ func MSE(a, b *frame.Image) (float64, error) {
 	if a.W == 0 || a.H == 0 {
 		return 0, errors.New("metrics: empty image")
 	}
-	la := a.Luma()
-	lb := b.Luma()
+	la := a.LumaInto(scratch.Float64s(a.W * a.H))
+	lb := b.LumaInto(scratch.Float64s(b.W * b.H))
+	defer scratch.PutFloat64s(la)
+	defer scratch.PutFloat64s(lb)
 	sum := parallel.Sum(len(la), func(lo, hi int) float64 {
 		var s float64
 		for i := lo; i < hi; i++ {
@@ -89,8 +99,10 @@ func SSIM(a, b *frame.Image) (float64, error) {
 	if a.W < win || a.H < win {
 		return 0, fmt.Errorf("metrics: image %dx%d smaller than SSIM window %d", a.W, a.H, win)
 	}
-	la := a.Luma()
-	lb := b.Luma()
+	la := a.LumaInto(scratch.Float64s(a.W * a.H))
+	lb := b.LumaInto(scratch.Float64s(b.W * b.H))
+	defer scratch.PutFloat64s(la)
+	defer scratch.PutFloat64s(lb)
 	const (
 		c1 = 6.5025  // (0.01*255)^2
 		c2 = 58.5225 // (0.03*255)^2
@@ -161,34 +173,50 @@ func LPIPSProxy(a, b *frame.Image) (float64, error) {
 	if a.W < 4 || a.H < 4 {
 		return 0, fmt.Errorf("metrics: image %dx%d too small for perceptual metric", a.W, a.H)
 	}
-	la := a.Luma()
-	lb := b.Luma()
+	la := a.LumaInto(scratch.Float64s(a.W * a.H))
+	lb := b.LumaInto(scratch.Float64s(b.W * b.H))
 	w, h := a.W, a.H
 	var dist float64
 	levels := 0
-	// Three pyramid levels, four feature channels per level.
+	// Three pyramid levels, four feature channels per level. Every plane —
+	// luma, features, downsampled pyramid levels — is pooled and returned
+	// before the next level replaces it.
+	var fa, fb [4][]float64
+	for i := range fa {
+		fa[i] = scratch.Float64s(w * h)
+		fb[i] = scratch.Float64s(w * h)
+	}
 	for level := 0; level < 3 && w >= 4 && h >= 4; level++ {
-		fa := featureChannels(la, w, h)
-		fb := featureChannels(lb, w, h)
+		featureChannelsInto(&fa, la, w, h)
+		featureChannelsInto(&fb, lb, w, h)
 		for c := range fa {
-			dist += normalisedDistance(fa[c], fb[c])
+			dist += normalisedDistance(fa[c][:w*h], fb[c][:w*h])
 		}
 		levels++
-		la, lb = downsample2(la, w, h), downsample2(lb, w, h)
+		nla, nlb := scratch.Float64s(w/2*(h/2)), scratch.Float64s(w/2*(h/2))
+		downsample2Into(nla, la, w, h)
+		downsample2Into(nlb, lb, w, h)
+		scratch.PutFloat64s(la)
+		scratch.PutFloat64s(lb)
+		la, lb = nla, nlb
 		w, h = w/2, h/2
 	}
+	for i := range fa {
+		scratch.PutFloat64s(fa[i])
+		scratch.PutFloat64s(fb[i])
+	}
+	scratch.PutFloat64s(la)
+	scratch.PutFloat64s(lb)
 	// Average over channels and levels; squash into [0, 1].
 	d := dist / float64(levels*4)
 	return 1 - math.Exp(-3*d), nil
 }
 
-// featureChannels extracts the four per-pixel feature maps at one scale:
-// local contrast, |∂x|, |∂y| and |Laplacian|.
-func featureChannels(l []float64, w, h int) [4][]float64 {
-	var out [4][]float64
-	for i := range out {
-		out[i] = make([]float64, w*h)
-	}
+// featureChannelsInto extracts the four per-pixel feature maps at one
+// scale — local contrast, |∂x|, |∂y| and |Laplacian| — into the first w·h
+// elements of each plane of out, which must be at least that long and may
+// be dirty (every element in range is overwritten).
+func featureChannelsInto(out *[4][]float64, l []float64, w, h int) {
 	parallel.For(h, func(y0, y1 int) {
 		for y := y0; y < y1; y++ {
 			for x := 0; x < w; x++ {
@@ -215,13 +243,13 @@ func featureChannels(l []float64, w, h int) [4][]float64 {
 			}
 		}
 	})
-	return out
 }
 
 // normalisedDistance is the mean absolute difference of two feature maps
 // normalised by their pooled energy, as LPIPS normalises channel activations.
 func normalisedDistance(a, b []float64) float64 {
-	acc := parallel.SumVec(len(a), 2, func(lo, hi int, acc []float64) {
+	var accBuf [2]float64
+	acc := parallel.SumVecInto(accBuf[:], len(a), 2, func(lo, hi int, acc []float64) {
 		for i := lo; i < hi; i++ {
 			acc[0] += math.Abs(a[i] - b[i])
 			acc[1] += math.Abs(a[i]) + math.Abs(b[i])
@@ -234,10 +262,10 @@ func normalisedDistance(a, b []float64) float64 {
 	return diff / (energy/2 + 1e-9)
 }
 
-// downsample2 halves a luma plane with 2×2 box averaging.
-func downsample2(l []float64, w, h int) []float64 {
+// downsample2Into halves a luma plane with 2×2 box averaging, writing the
+// (w/2)·(h/2) result into out (fully overwritten; dirty pooled is fine).
+func downsample2Into(out, l []float64, w, h int) {
 	nw, nh := w/2, h/2
-	out := make([]float64, nw*nh)
 	parallel.For(nh, func(y0, y1 int) {
 		for y := y0; y < y1; y++ {
 			for x := 0; x < nw; x++ {
@@ -246,5 +274,4 @@ func downsample2(l []float64, w, h int) []float64 {
 			}
 		}
 	})
-	return out
 }

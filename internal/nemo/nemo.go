@@ -15,12 +15,14 @@ package nemo
 import (
 	"fmt"
 
+	"gamestreamsr/internal/bufpool"
 	"gamestreamsr/internal/codec"
 	"gamestreamsr/internal/device"
 	"gamestreamsr/internal/frame"
 	"gamestreamsr/internal/network"
 	"gamestreamsr/internal/pipeline"
 	"gamestreamsr/internal/render"
+	"gamestreamsr/internal/sr"
 	"gamestreamsr/internal/upscale"
 )
 
@@ -80,17 +82,19 @@ func (v *variant) Upscale(df *codec.DecodedFrame, job *pipeline.FrameJob) (*fram
 	var err error
 	switch job.Type {
 	case codec.Intra:
-		// Full-frame DNN SR of the reference frame on the NPU.
-		up, err = cfg.Engine.Upscale(df.Image, cfg.Scale)
-		if err != nil {
+		// Full-frame DNN SR of the reference frame on the NPU. The output
+		// stays variant-owned (it is the next frames' reference), but all
+		// tensor/interpolation scratch comes from the job's pool.
+		up = frame.NewImagePacked(df.Image.W*cfg.Scale, df.Image.H*cfg.Scale)
+		if err = sr.UpscaleTo(cfg.Engine, up, df.Image, cfg.Scale, job.Pool); err != nil {
 			return nil, fmt.Errorf("nemo: frame %d SR: %w", job.Index, err)
 		}
 	case codec.Inter:
 		if v.hrPrev == nil {
 			return nil, fmt.Errorf("nemo: frame %d: inter frame without reference", job.Index)
 		}
-		up, err = ReconstructHR(v.hrPrev, df.Side, cfg.Scale)
-		if err != nil {
+		up = frame.NewImagePacked(v.hrPrev.W, v.hrPrev.H)
+		if err = ReconstructHRInto(up, v.hrPrev, df.Side, cfg.Scale, job.Pool); err != nil {
 			return nil, fmt.Errorf("nemo: frame %d reconstruct: %w", job.Index, err)
 		}
 	default:
@@ -147,8 +151,29 @@ func ReconstructHR(hrPrev *frame.Image, side *codec.SideInfo, scale int) (*frame
 	if scale < 1 {
 		return nil, fmt.Errorf("nemo: invalid scale %d", scale)
 	}
+	out := frame.NewImagePacked(hrPrev.W, hrPrev.H)
+	if err := ReconstructHRInto(out, hrPrev, side, scale, nil); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ReconstructHRInto is ReconstructHR writing into dst, which must match
+// hrPrev's geometry and may hold dirty pooled pixels: the block grid spans
+// the whole frame, so every output pixel is overwritten. Transient residual
+// planes are drawn from pool (nil allocates).
+func ReconstructHRInto(dst, hrPrev *frame.Image, side *codec.SideInfo, scale int, pool *bufpool.Pool) error {
+	if side == nil {
+		return fmt.Errorf("nemo: missing side information")
+	}
+	if scale < 1 {
+		return fmt.Errorf("nemo: invalid scale %d", scale)
+	}
 	hrPrev = hrPrev.Compact()
 	W, H := hrPrev.W, hrPrev.H
+	if dst.W != W || dst.H != H || dst.Stride != W {
+		return fmt.Errorf("nemo: destination %dx%d stride %d, want compact %dx%d", dst.W, dst.H, dst.Stride, W, H)
+	}
 	lrW := side.BlocksX * side.BlockSize
 	lrH := side.BlocksY * side.BlockSize
 	// The LR frame may not be an exact multiple of the block size; infer
@@ -156,23 +181,30 @@ func ReconstructHR(hrPrev *frame.Image, side *codec.SideInfo, scale int) (*frame
 	lrW = min(lrW, W/scale)
 	lrH = min(lrH, H/scale)
 	if lrW*scale != W || lrH*scale != H {
-		return nil, fmt.Errorf("nemo: HR %dx%d is not ×%d of the LR grid", W, H, scale)
+		return fmt.Errorf("nemo: HR %dx%d is not ×%d of the LR grid", W, H, scale)
 	}
-	out := frame.NewImage(W, H)
+	out := dst
 	bs := side.BlockSize * scale
 
 	// Upscale the residual planes once per frame (bilinear, like NEMO).
+	lrPlane := pool.Float64s(lrW * lrH)
+	defer pool.PutFloat64s(lrPlane)
 	var resHR [3][]float64
 	for p := 0; p < 3; p++ {
-		lrPlane := make([]float64, lrW*lrH)
+		resHR[p] = pool.Float64s(W * H)
+	}
+	defer func() {
+		for p := 0; p < 3; p++ {
+			pool.PutFloat64s(resHR[p])
+		}
+	}()
+	for p := 0; p < 3; p++ {
 		for i := range lrPlane {
 			lrPlane[i] = float64(side.Residual[p][i])
 		}
-		hr, err := upscale.ResizePlane(lrPlane, lrW, lrH, W, H, upscale.Bilinear)
-		if err != nil {
-			return nil, err
+		if err := upscale.ResizePlaneInto(resHR[p], lrPlane, lrW, lrH, W, H, upscale.Bilinear, pool); err != nil {
+			return err
 		}
-		resHR[p] = hr
 	}
 
 	planesPrev := [3][]uint8{hrPrev.R, hrPrev.G, hrPrev.B}
@@ -217,7 +249,7 @@ func ReconstructHR(hrPrev *frame.Image, side *codec.SideInfo, scale int) (*frame
 			}
 		}
 	}
-	return out, nil
+	return nil
 }
 
 func clamp(v, lo, hi int) int {

@@ -124,6 +124,96 @@ func For(n int, fn func(lo, hi int)) {
 	run(n, func(_, lo, hi int) { fn(lo, hi) })
 }
 
+// scratchStack recycles per-worker scratch values for ForWith across calls:
+// a chunk pops a scratch (or makes one), runs, and pushes it back, so a
+// kernel's steady state holds at most one live scratch per worker instead
+// of allocating inside every tile closure. Entries never expire — the
+// kernels that use ForWith run every frame, so the working set is hot.
+type scratchStack[S any] struct {
+	mu    sync.Mutex
+	free  []S
+	alloc func() S
+}
+
+func (s *scratchStack[S]) get() S {
+	s.mu.Lock()
+	if k := len(s.free); k > 0 {
+		v := s.free[k-1]
+		var zero S
+		s.free[k-1] = zero
+		s.free = s.free[:k-1]
+		s.mu.Unlock()
+		return v
+	}
+	s.mu.Unlock()
+	return s.alloc()
+}
+
+func (s *scratchStack[S]) put(v S) {
+	s.mu.Lock()
+	s.free = append(s.free, v)
+	s.mu.Unlock()
+}
+
+// Scratch is a reusable store of per-worker scratch values for ForWith.
+// Create one per kernel call site (typically a package-level or per-object
+// variable) with NewScratch; the same Scratch may back many ForWith calls,
+// including concurrent ones.
+type Scratch[S any] struct{ stack scratchStack[S] }
+
+// NewScratch returns a Scratch whose values are created by alloc. Values
+// are handed to ForWith callbacks DIRTY — state left by a previous chunk —
+// so callbacks must reset or fully overwrite whatever they read.
+func NewScratch[S any](alloc func() S) *Scratch[S] {
+	return &Scratch[S]{stack: scratchStack[S]{alloc: alloc}}
+}
+
+// ForWith is For with a per-chunk scratch value drawn from s: each chunk
+// execution pops a scratch (allocating only when all are in use), passes it
+// to fn alongside the row range, and pushes it back afterwards. The chunk
+// grid — and therefore determinism — is identical to For's; the scratch
+// value is the only addition. fn must treat the scratch as dirty.
+func ForWith[S any](n int, s *Scratch[S], fn func(lo, hi int, scratch S)) {
+	if n <= 0 {
+		return
+	}
+	poolOnce.Do(startPool)
+	if poolSize == 1 || n == 1 {
+		v := s.stack.get()
+		fn(0, n, v)
+		s.stack.put(v)
+		return
+	}
+	run(n, func(_, lo, hi int) {
+		v := s.stack.get()
+		fn(lo, hi, v)
+		s.stack.put(v)
+	})
+}
+
+// partsStack recycles the per-chunk partial buffers of Sum/SumVec. Buffers
+// are cleared on checkout (the reductions rely on zeroed accumulators) and
+// grown to the largest requested size, so every reduction in the process
+// shares a handful of max-size buffers — a mutex-guarded stack rather than
+// sync.Pool because Put of a slice header through an interface allocates.
+var partsStack = scratchStack[[]float64]{
+	alloc: func() []float64 { return make([]float64, 0, maxChunks) },
+}
+
+func getParts(n int) []float64 {
+	s := partsStack.get()
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	s = s[:n]
+	clear(s)
+	return s
+}
+
+func putParts(s []float64) {
+	partsStack.put(s)
+}
+
 // Sum runs fn over the deterministic chunk grid of [0, n) and adds the
 // chunk partials in chunk order, so the floating-point result is identical
 // at any GOMAXPROCS. fn must accumulate its [lo, hi) range sequentially.
@@ -131,30 +221,40 @@ func Sum(n int, fn func(lo, hi int) float64) float64 {
 	if n <= 0 {
 		return 0
 	}
-	parts := make([]float64, chunkCount(n))
+	parts := getParts(chunkCount(n))
 	run(n, func(c, lo, hi int) { parts[c] = fn(lo, hi) })
 	total := 0.0
 	for _, p := range parts {
 		total += p
 	}
+	putParts(parts)
 	return total
 }
 
 // SumVec is Sum for k simultaneous accumulators: fn adds its [lo, hi)
 // range into acc (length k), and the per-chunk accumulators are combined
-// component-wise in chunk order.
+// component-wise in chunk order. The result slice is freshly allocated and
+// owned by the caller; SumVecInto avoids even that allocation.
 func SumVec(n, k int, fn func(lo, hi int, acc []float64)) []float64 {
-	total := make([]float64, k)
+	return SumVecInto(make([]float64, k), n, k, fn)
+}
+
+// SumVecInto is SumVec writing the combined accumulators into total, which
+// must have length k and is returned. total is fully overwritten, so it may
+// be a dirty pooled buffer.
+func SumVecInto(total []float64, n, k int, fn func(lo, hi int, acc []float64)) []float64 {
+	clear(total)
 	if n <= 0 {
 		return total
 	}
 	nc := chunkCount(n)
-	parts := make([]float64, nc*k)
+	parts := getParts(nc * k)
 	run(n, func(c, lo, hi int) { fn(lo, hi, parts[c*k:(c+1)*k:(c+1)*k]) })
 	for c := 0; c < nc; c++ {
 		for i := 0; i < k; i++ {
 			total[i] += parts[c*k+i]
 		}
 	}
+	putParts(parts)
 	return total
 }

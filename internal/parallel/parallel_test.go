@@ -125,3 +125,93 @@ func TestWorkers(t *testing.T) {
 		t.Fatalf("Workers() = %d", Workers())
 	}
 }
+
+func TestForWithCoversRangeAndRecyclesScratch(t *testing.T) {
+	allocs := atomic.Int32{}
+	scratch := NewScratch(func() []float64 {
+		allocs.Add(1)
+		return make([]float64, 8)
+	})
+	for rep := 0; rep < 50; rep++ {
+		n := 4096
+		hits := make([]int32, n)
+		ForWith(n, scratch, func(lo, hi int, s []float64) {
+			if len(s) != 8 {
+				t.Errorf("scratch length %d", len(s))
+			}
+			s[0] = float64(lo) // dirty the scratch on purpose
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&hits[i], 1)
+			}
+		})
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("rep %d: index %d visited %d times", rep, i, h)
+			}
+		}
+	}
+	// At most one scratch per worker can ever be live simultaneously, and
+	// scratches are reused across the 50 repetitions.
+	if got, w := int(allocs.Load()), Workers(); got > w {
+		t.Errorf("allocated %d scratches for %d workers", got, w)
+	}
+}
+
+func TestForWithZeroAndOne(t *testing.T) {
+	scratch := NewScratch(func() int { return 42 })
+	ForWith(0, scratch, func(lo, hi int, s int) {
+		t.Error("callback ran for n=0")
+	})
+	ran := false
+	ForWith(1, scratch, func(lo, hi int, s int) {
+		ran = true
+		if lo != 0 || hi != 1 || s != 42 {
+			t.Errorf("lo=%d hi=%d s=%d", lo, hi, s)
+		}
+	})
+	if !ran {
+		t.Error("callback did not run for n=1")
+	}
+}
+
+func TestSumVecIntoOverwritesDirtyTotal(t *testing.T) {
+	total := []float64{99, -99}
+	got := SumVecInto(total, 1000, 2, func(lo, hi int, acc []float64) {
+		for i := lo; i < hi; i++ {
+			acc[0] += float64(i)
+			acc[1] += 1
+		}
+	})
+	if &got[0] != &total[0] {
+		t.Fatal("SumVecInto did not write into the provided buffer")
+	}
+	if got[0] != 999*1000/2 || got[1] != 1000 {
+		t.Fatalf("SumVecInto = %v", got)
+	}
+	if got := SumVecInto([]float64{5, 5, 5}, 0, 3, nil); got[0] != 0 || got[1] != 0 || got[2] != 0 {
+		t.Fatalf("empty SumVecInto left dirty values: %v", got)
+	}
+}
+
+func TestSumSteadyStateAllocs(t *testing.T) {
+	vals := make([]float64, 10000)
+	for i := range vals {
+		vals[i] = float64(i)
+	}
+	// Warm the parts stack.
+	Sum(len(vals), func(lo, hi int) float64 { return 0 })
+	allocs := testing.AllocsPerRun(50, func() {
+		Sum(len(vals), func(lo, hi int) float64 {
+			s := 0.0
+			for i := lo; i < hi; i++ {
+				s += vals[i]
+			}
+			return s
+		})
+	})
+	// One allocation per call is tolerated for the closure/job header; the
+	// parts buffer itself must be recycled.
+	if allocs > 4 {
+		t.Errorf("Sum allocates %.1f objects per call in steady state", allocs)
+	}
+}

@@ -1,0 +1,58 @@
+package pipeline
+
+import (
+	"runtime"
+	"testing"
+)
+
+// measureEngineAllocs returns the marginal heap allocations and bytes per
+// frame of a GameStream run: two runs of different lengths are measured and
+// differenced, so per-run setup cost (encoder, channels, goroutines) cancels
+// out and only the steady-state per-frame cost remains.
+func measureEngineAllocs(t testing.TB, short, long int) (allocs, bytes float64) {
+	t.Helper()
+	run := func(n int) (float64, float64) {
+		g, err := NewGameStream(testConfig(t))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var before, after runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		if _, err := g.Run(n); err != nil {
+			t.Fatal(err)
+		}
+		runtime.ReadMemStats(&after)
+		return float64(after.Mallocs - before.Mallocs), float64(after.TotalAlloc - before.TotalAlloc)
+	}
+	// Warm shared process-level state (parallel worker pool, weight caches).
+	run(short)
+	const reps = 3
+	bestA, bestB := 0.0, 0.0
+	for i := 0; i < reps; i++ {
+		la, lb := run(long)
+		sa, sb := run(short)
+		da := (la - sa) / float64(long-short)
+		db := (lb - sb) / float64(long-short)
+		if i == 0 || da < bestA {
+			bestA, bestB = da, db
+		}
+	}
+	return bestA, bestB
+}
+
+// TestEngineSteadyStateAllocs is the pooled frame loop's allocation
+// regression gate. The pre-pooling baseline (PR 2) was 971.8 allocs/frame
+// (10.45 MB/frame) at this geometry — recorded in BENCH_alloc.json — and the
+// pooled engine must stay at least 5x below it.
+func TestEngineSteadyStateAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("alloc measurement is slow")
+	}
+	perFrame, bytesPerFrame := measureEngineAllocs(t, 6, 18)
+	t.Logf("engine steady-state: %.1f allocs/frame, %.0f bytes/frame", perFrame, bytesPerFrame)
+	const budget = 194 // baseline 971.8 / 5, see BENCH_alloc.json
+	if perFrame > budget {
+		t.Errorf("engine allocates %.1f objects/frame in steady state, budget %d", perFrame, budget)
+	}
+}

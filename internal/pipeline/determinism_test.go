@@ -203,4 +203,16 @@ func TestEngineTelemetryCounts(t *testing.T) {
 	if totals["server"] <= 0 || totals["client"] <= 0 || totals["measure"] <= 0 {
 		t.Errorf("timeline totals = %v", totals)
 	}
+	// The run's buffer pool reports on the same registry: a multi-GOP run
+	// must recycle (hits) after warming up (misses), and returns must have
+	// happened for hits to be possible.
+	for _, c := range []string{
+		"pipeline_bufpool_hits_total",
+		"pipeline_bufpool_misses_total",
+		"pipeline_bufpool_returns_total",
+	} {
+		if s.Counter(c) <= 0 {
+			t.Errorf("%s = %d, want > 0", c, s.Counter(c))
+		}
+	}
 }

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"gamestreamsr/internal/bufpool"
 	"gamestreamsr/internal/codec"
 	"gamestreamsr/internal/device"
 	"gamestreamsr/internal/frame"
@@ -44,8 +45,10 @@ type FrameJob struct {
 	// (a frozen frame with nothing on screen never needs it).
 	Scene *render.Scene
 	Cam   geom.Camera
-	// LR is the server's simulation-resolution render (color + depth).
-	LR render.Output
+	// Pool is the run's buffer pool. Variants draw their per-frame scratch
+	// (tensors, residual planes, RoI crops) from it; anything checked out
+	// must be returned before Upscale returns unless it travels in the job.
+	Pool *bufpool.Pool
 	// RoI is the detected region; zero for variants without a RoI stage.
 	RoI frame.Rect
 	// Type is the coded frame type.
@@ -106,6 +109,13 @@ type EngineOptions struct {
 	// Depth is the capacity of each inter-stage channel; with S stages,
 	// up to S+Depth·(S−1) frames are in flight. Default 2.
 	Depth int
+	// RecycleUp lets the measure stage return delivered frames to the pool
+	// once no later job can reference them. Only safe for variants whose
+	// Upscale draws its output from job.Pool and retains no reference to it
+	// afterwards (the GameStreamSR variant; NEMO and the SR-decoder keep the
+	// previous HR frame as reconstruction state, so they must leave this
+	// off). Ignored when Config.KeepFrames retains frames in the results.
+	RecycleUp bool
 }
 
 // stage is one concurrent step of the engine: a named in-place transform of
@@ -159,6 +169,28 @@ type engineRun struct {
 	lrPx      int
 	byteScale int
 
+	// pool recycles frames, planes and bitstream buffers across the whole
+	// run. Checked out and returned from different stages (the pool is
+	// mutex-guarded); every consumer fully overwrites what it draws.
+	pool *bufpool.Pool
+	// srvOut and gtOut are the per-stage persistent render targets: the
+	// server stage re-renders into srvOut every frame, the measure stage its
+	// lazy ground truth into gtOut. Each is touched by exactly one stage.
+	srvOut, gtOut render.Output
+	// jobFree recycles FrameJob headers between the measure and server
+	// stages. Non-blocking on both ends; misses just allocate.
+	jobFree chan *FrameJob
+	// encHint is the largest bitstream capacity seen so far, so the server
+	// stage checks out a buffer class the client's returns actually refill.
+	// Server-stage state.
+	encHint int
+	// pendingUp is the last delivered frame the measure stage has seen.
+	// With RecycleUp it goes back to the pool when the next delivered frame
+	// arrives — at that point the client stage has already replaced it as
+	// freeze/reference state, and FIFO ordering guarantees no later job
+	// still points at it. Measure-stage state.
+	pendingUp *frame.Image
+
 	// lastUp is the most recent delivered frame; a dropped frame freezes
 	// the display on it. hadDrop tracks whether the decoder's reference
 	// state may be missing entirely (keyframe lost at stream start).
@@ -195,11 +227,23 @@ func RunEngine(cfg Config, opt EngineOptions, v Variant, nFrames int) (*Result, 
 	if opt.Depth <= 0 {
 		opt.Depth = 2
 	}
+	pool := cfg.Pool
+	if pool == nil {
+		pool = bufpool.New()
+	}
+	if cfg.Metrics != nil {
+		pool.Instrument(cfg.Metrics, opt.Prefix)
+	}
+	dec := codec.NewDecoder()
+	enc.SetPool(pool)
+	dec.SetPool(pool)
 	e := &engineRun{
 		cfg: cfg, opt: opt, v: v,
-		enc: enc, dec: codec.NewDecoder(),
+		enc: enc, dec: dec,
 		lrPx:      cfg.LRWidth * cfg.LRHeight,
 		byteScale: cfg.SimDiv * cfg.SimDiv,
+		pool:      pool,
+		jobFree:   make(chan *FrameJob, 3+2*opt.Depth),
 		mets:      newEngineMetrics(cfg.Metrics),
 		tl:        cfg.Trace,
 		start:     time.Now(),
@@ -313,6 +357,13 @@ func (e *engineRun) run(nFrames int) (*Result, error) {
 			break
 		}
 		e.observeSpan(last.name, last.span, t0)
+		// The job header is fully consumed; hand it back to the server
+		// stage (results hold their own copies of anything they keep).
+		*job = FrameJob{}
+		select {
+		case e.jobFree <- job:
+		default:
+		}
 	}
 	wg.Wait()
 	if e.err != nil {
@@ -327,25 +378,44 @@ func (e *engineRun) run(nFrames int) (*Result, error) {
 func (e *engineRun) serverFrame(i int) (*FrameJob, error) {
 	cfg := e.cfg
 	sc, cam := cfg.Game.Frame(cfg.StartFrame + i*cfg.FrameStride)
-	lr := cfg.Renderer.Render(sc, cam, e.opt.SimW, e.opt.SimH)
-	roiRect, err := e.v.DetectRoI(lr)
+	// The render targets persist across frames (every pixel is rewritten);
+	// nothing downstream references them — the color plane is consumed by
+	// the encoder and the depth map by RoI detection, both right here.
+	cfg.Renderer.RenderInto(&e.srvOut, sc, cam, e.opt.SimW, e.opt.SimH)
+	roiRect, err := e.v.DetectRoI(e.srvOut)
 	if err != nil {
 		return nil, fmt.Errorf("%s: frame %d RoI: %w", e.opt.Prefix, i, err)
 	}
-	data, ftype, err := e.enc.Encode(lr.Color)
+	// The bitstream buffer travels with the job; the client stage returns
+	// it to the pool after decoding, so steady state ping-pongs a few
+	// buffers instead of allocating one per frame.
+	if e.encHint == 0 {
+		e.encHint = 4096
+	}
+	data, ftype, err := e.enc.EncodeInto(e.pool.Bytes(e.encHint)[:0], e.srvOut.Color)
 	if err != nil {
 		return nil, fmt.Errorf("%s: frame %d encode: %w", e.opt.Prefix, i, err)
 	}
-	return &FrameJob{
+	if cap(data) > e.encHint {
+		e.encHint = cap(data)
+	}
+	var job *FrameJob
+	select {
+	case job = <-e.jobFree:
+	default:
+		job = &FrameJob{}
+	}
+	*job = FrameJob{
 		Index: i,
 		Scene: sc, Cam: cam,
-		LR:           lr,
+		Pool:         e.pool,
 		RoI:          roiRect,
 		Type:         ftype,
 		CodedBytes:   len(data) * e.byteScale,
 		NominalBytes: ModelFrameBytes(e.lrPx, cfg.GOPSize, ftype),
 		data:         data,
-	}, nil
+	}
+	return job, nil
 }
 
 // clientFrame runs the client stages for one frame: the network drop draw,
@@ -363,6 +433,10 @@ func (e *engineRun) clientFrame(job *FrameJob) error {
 		switch {
 		case derr == nil:
 			up, err := e.v.Upscale(df, job)
+			// The decoded frame is dead once the variant has consumed it
+			// (variants copy what they keep; the decoder's own reference
+			// retention is handled inside Recycle).
+			e.dec.Recycle(df)
 			if err != nil {
 				return err
 			}
@@ -375,6 +449,7 @@ func (e *engineRun) clientFrame(job *FrameJob) error {
 			return fmt.Errorf("%s: frame %d decode: %w", e.opt.Prefix, job.Index, derr)
 		}
 	}
+	e.pool.PutBytes(job.data)
 	job.data = nil
 	if frozen {
 		e.hadDrop = true
@@ -388,12 +463,30 @@ func (e *engineRun) clientFrame(job *FrameJob) error {
 	return nil
 }
 
-// renderGT renders the ground-truth frame at upscaled resolution. It is
-// called lazily from the measure stage: dropped frames with nothing on
-// screen never pay for it.
+// renderGT renders the ground-truth frame at upscaled resolution into the
+// measure stage's persistent target. It is called lazily from the measure
+// stage: dropped frames with nothing on screen never pay for it. The
+// returned image is valid until the next renderGT call.
 func (e *engineRun) renderGT(job *FrameJob) *frame.Image {
 	cfg := e.cfg
-	return cfg.Renderer.Render(job.Scene, job.Cam, e.opt.SimW*cfg.Scale, e.opt.SimH*cfg.Scale).Color
+	cfg.Renderer.RenderInto(&e.gtOut, job.Scene, job.Cam, e.opt.SimW*cfg.Scale, e.opt.SimH*cfg.Scale)
+	return e.gtOut.Color
+}
+
+// retireUp recycles the previously delivered frame when a new delivered
+// frame reaches the measure stage. At that point the client stage has
+// already produced this newer frame, so its freeze/reference state no longer
+// points at the old one, and — channels being FIFO — neither does any job
+// still in flight. Only active when the variant opted in via RecycleUp and
+// results don't retain frames.
+func (e *engineRun) retireUp(job *FrameJob) {
+	if !e.opt.RecycleUp || e.cfg.KeepFrames || job.Frozen || job.Up == nil {
+		return
+	}
+	if e.pendingUp != nil {
+		e.pool.PutImage(e.pendingUp)
+	}
+	e.pendingUp = job.Up
 }
 
 // measureFrame computes the quality, latency and energy record of one
@@ -433,6 +526,7 @@ func (e *engineRun) measureFrame(job *FrameJob) (FrameResult, error) {
 	if e.cfg.KeepFrames {
 		fr.Upscaled = job.Up
 	}
+	e.retireUp(job)
 	return fr, nil
 }
 

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"math"
 
+	"gamestreamsr/internal/bufpool"
 	"gamestreamsr/internal/codec"
 	"gamestreamsr/internal/device"
 	"gamestreamsr/internal/frame"
@@ -86,7 +87,14 @@ type Config struct {
 	RoITrack *roi.TrackConfig
 
 	// KeepFrames retains upscaled frames in the results (memory-heavy).
+	// It also disables the engine's recycling of delivered frames.
 	KeepFrames bool
+
+	// Pool, when non-nil, supplies the run's buffer pool so sessions can
+	// share (or a caller can instrument) one; nil gives the run a private
+	// pool. Pooling never alters outputs — every checkout is fully
+	// overwritten before use, and the determinism tests run pooled.
+	Pool *bufpool.Pool
 
 	// Renderer controls render parallelism; nil uses defaults.
 	Renderer *render.Renderer
@@ -222,6 +230,9 @@ func (g *GameStream) Run(nFrames int) (*Result, error) {
 		Net:    g.net,
 		Drops:  true,
 		SimW:   g.simW, SimH: g.simH,
+		// The variant's output frames are pool-drawn and never retained by
+		// it, so the measure stage can recycle them.
+		RecycleUp: true,
 	}, v, nFrames)
 }
 
@@ -251,14 +262,18 @@ func (v *gameStreamVariant) DetectRoI(lr render.Output) (frame.Rect, error) {
 func (v *gameStreamVariant) Upscale(df *codec.DecodedFrame, job *FrameJob) (*frame.Image, error) {
 	cfg := v.cfg
 	lr := df.Image
+	pool := job.Pool
 
-	// GPU path: bilinear upscale of the full frame.
-	var base *frame.Image
+	// GPU path: bilinear upscale of the full frame. The destination comes
+	// from the run's pool; the measure stage recycles it (RecycleUp) once
+	// no later frame can reference it. The pool is mutex-guarded, so both
+	// overlapped paths may draw from it.
+	base := pool.Image(lr.W*cfg.Scale, lr.H*cfg.Scale)
 	var baseErr error
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
-		base, baseErr = upscale.Resize(lr, lr.W*cfg.Scale, lr.H*cfg.Scale, upscale.Bilinear)
+		baseErr = upscale.ResizeInto(base, lr, upscale.Bilinear, pool)
 	}()
 
 	// NPU path: DNN SR on the RoI, overlapped with the bilinear pass.
@@ -267,16 +282,35 @@ func (v *gameStreamVariant) Upscale(df *codec.DecodedFrame, job *FrameJob) (*fra
 		if err != nil {
 			return nil, err
 		}
-		return cfg.Engine.Upscale(roiImg.Compact(), cfg.Scale)
+		src := roiImg
+		if roiImg.Stride != roiImg.W {
+			tmp := pool.Image(roiImg.W, roiImg.H)
+			tmp.CopyFrom(roiImg)
+			defer pool.PutImage(tmp)
+			src = tmp
+		}
+		hr := pool.Image(src.W*cfg.Scale, src.H*cfg.Scale)
+		if err := sr.UpscaleTo(cfg.Engine, hr, src, cfg.Scale, pool); err != nil {
+			pool.PutImage(hr)
+			return nil, err
+		}
+		return hr, nil
 	}()
 	<-done
 	if err == nil {
 		err = baseErr
 	}
 	if err != nil {
+		if roiHR != nil {
+			pool.PutImage(roiHR)
+		}
+		pool.PutImage(base)
 		return nil, fmt.Errorf("pipeline: frame %d upscale: %w", job.Index, err)
 	}
-	if err := upscale.Merge(base, roiHR, job.RoI, cfg.Scale); err != nil {
+	err = upscale.Merge(base, roiHR, job.RoI, cfg.Scale)
+	pool.PutImage(roiHR)
+	if err != nil {
+		pool.PutImage(base)
 		return nil, fmt.Errorf("pipeline: frame %d upscale: %w", job.Index, err)
 	}
 	return base, nil

@@ -75,6 +75,18 @@ type Output struct {
 	Depth *frame.DepthMap
 }
 
+// ensure makes the output buffers w×h compact planes, reusing them when the
+// geometry already matches and reallocating otherwise. Contents after a
+// reuse are the previous frame's pixels; every render path fully overwrites.
+func (out *Output) ensure(w, h int) {
+	if out.Color == nil || out.Color.W != w || out.Color.H != h || out.Color.Stride != w {
+		out.Color = frame.NewImagePacked(w, h)
+	}
+	if out.Depth == nil || out.Depth.W != w || out.Depth.H != h {
+		out.Depth = frame.NewDepthMap(w, h)
+	}
+}
+
 // Renderer renders a Scene through a Camera. A Renderer is safe for
 // sequential reuse across frames; Render itself parallelises internally.
 type Renderer struct {
@@ -88,16 +100,29 @@ type Renderer struct {
 
 // Render rasterises the scene into a w×h color frame and depth map.
 func (rd *Renderer) Render(sc *Scene, cam geom.Camera, w, h int) Output {
+	var out Output
+	rd.RenderInto(&out, sc, cam, w, h)
+	return out
+}
+
+// RenderInto rasterises the scene into out, reusing out's buffers when they
+// already have the w×h geometry (and replacing them otherwise), so a stage
+// that renders every frame can recycle one Output instead of allocating two
+// full planes per frame. The Renderer itself stays stateless and safe for
+// concurrent use from multiple stages, each with its own Output.
+func (rd *Renderer) RenderInto(out *Output, sc *Scene, cam geom.Camera, w, h int) {
 	if rd.SSAA > 1 {
 		hi := rd.renderDirect(sc, cam, w*rd.SSAA, h*rd.SSAA)
-		return resolveSSAA(hi, w, h, rd.SSAA)
+		resolveSSAA(out, hi, w, h, rd.SSAA)
+		return
 	}
-	return rd.renderDirect(sc, cam, w, h)
+	out.ensure(w, h)
+	rd.renderDirectInto(*out, sc, cam, w, h)
 }
 
 // resolveSSAA box-filters color and min-reduces depth from an N× render.
-func resolveSSAA(hi Output, w, h, n int) Output {
-	out := Output{Color: frame.NewImage(w, h), Depth: frame.NewDepthMap(w, h)}
+func resolveSSAA(out *Output, hi Output, w, h, n int) {
+	out.ensure(w, h)
 	n2 := n * n
 	for y := 0; y < h; y++ {
 		for x := 0; x < w; x++ {
@@ -118,15 +143,21 @@ func resolveSSAA(hi Output, w, h, n int) Output {
 			out.Depth.Set(x, y, minZ)
 		}
 	}
+}
+
+// renderDirect rasterises without supersampling into fresh buffers.
+func (rd *Renderer) renderDirect(sc *Scene, cam geom.Camera, w, h int) Output {
+	out := Output{
+		Color: frame.NewImagePacked(w, h),
+		Depth: frame.NewDepthMap(w, h),
+	}
+	rd.renderDirectInto(out, sc, cam, w, h)
 	return out
 }
 
-// renderDirect rasterises without supersampling.
-func (rd *Renderer) renderDirect(sc *Scene, cam geom.Camera, w, h int) Output {
-	out := Output{
-		Color: frame.NewImage(w, h),
-		Depth: frame.NewDepthMap(w, h),
-	}
+// renderDirectInto rasterises without supersampling, writing every pixel of
+// out's w×h planes.
+func (rd *Renderer) renderDirectInto(out Output, sc *Scene, cam geom.Camera, w, h int) {
 	near, far := sc.Near, sc.Far
 	if near <= 0 {
 		near = 0.1
@@ -168,7 +199,6 @@ func (rd *Renderer) renderDirect(sc *Scene, cam geom.Camera, w, h int) Output {
 		}()
 	}
 	wg.Wait()
-	return out
 }
 
 func renderRow(sc *Scene, accel *sceneAccel, cam geom.Camera, fwd geom.Vec3, out Output, y, w, h int, near, far, pixScale float64) {

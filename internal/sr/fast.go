@@ -3,6 +3,7 @@ package sr
 import (
 	"fmt"
 
+	"gamestreamsr/internal/bufpool"
 	"gamestreamsr/internal/frame"
 	"gamestreamsr/internal/upscale"
 )
@@ -15,6 +16,34 @@ type Engine interface {
 	Upscale(im *frame.Image, scale int) (*frame.Image, error)
 	// Name identifies the engine in experiment output.
 	Name() string
+}
+
+// IntoEngine is the destination-passing extension of Engine: UpscaleInto
+// writes the (W·scale)×(H·scale) result into dst — which must already have
+// that geometry and may hold dirty pooled pixels — drawing any internal
+// scratch from pool (nil allocates). Callers type-assert and fall back to
+// Upscale for engines that don't implement it.
+type IntoEngine interface {
+	Engine
+	UpscaleInto(dst, im *frame.Image, scale int, pool *bufpool.Pool) error
+}
+
+// UpscaleTo super-resolves im into dst through e's destination-passing path
+// when it has one, falling back to Upscale plus a copy for plain Engines.
+// dst must already have the (W·scale)×(H·scale) geometry.
+func UpscaleTo(e Engine, dst, im *frame.Image, scale int, pool *bufpool.Pool) error {
+	if ie, ok := e.(IntoEngine); ok {
+		return ie.UpscaleInto(dst, im, scale, pool)
+	}
+	up, err := e.Upscale(im, scale)
+	if err != nil {
+		return err
+	}
+	if dst.W != up.W || dst.H != up.H {
+		return fmt.Errorf("sr: destination %dx%d != upscaled %dx%d", dst.W, dst.H, up.W, up.H)
+	}
+	dst.CopyFrom(up)
+	return nil
 }
 
 // FastConfig parameterises the fast SR kernel.
@@ -59,29 +88,44 @@ func (f *Fast) Upscale(im *frame.Image, scale int) (*frame.Image, error) {
 	if scale < 1 {
 		return nil, fmt.Errorf("sr: invalid scale %d", scale)
 	}
-	up, err := upscale.Resize(im, im.W*scale, im.H*scale, f.cfg.Kernel)
-	if err != nil {
+	dst := frame.NewImagePacked(im.W*scale, im.H*scale)
+	if err := f.UpscaleInto(dst, im, scale, nil); err != nil {
 		return nil, err
 	}
-	if f.cfg.Sharpen == 0 || scale == 1 {
-		return up, nil
+	return dst, nil
+}
+
+// UpscaleInto implements IntoEngine.
+func (f *Fast) UpscaleInto(dst, im *frame.Image, scale int, pool *bufpool.Pool) error {
+	if scale < 1 {
+		return fmt.Errorf("sr: invalid scale %d", scale)
 	}
-	sharpenInPlace(up, f.cfg.Sharpen)
-	return up, nil
+	if dst.W != im.W*scale || dst.H != im.H*scale {
+		return fmt.Errorf("sr: destination %dx%d != %dx scale-%d source", dst.W, dst.H, im.W, scale)
+	}
+	if err := upscale.ResizeInto(dst, im, f.cfg.Kernel, pool); err != nil {
+		return err
+	}
+	if f.cfg.Sharpen == 0 || scale == 1 {
+		return nil
+	}
+	sharpenInPlace(dst, f.cfg.Sharpen, pool)
+	return nil
 }
 
 // sharpenInPlace applies unsharp masking with a 3×3 binomial blur and
 // overshoot clamping to the local 3×3 extrema, which restores the
 // mid-frequency energy lost by the decimation/interpolation chain without
 // introducing ringing halos.
-func sharpenInPlace(im *frame.Image, alpha float64) {
+func sharpenInPlace(im *frame.Image, alpha float64, pool *bufpool.Pool) {
 	for _, plane := range [][]uint8{im.R, im.G, im.B} {
-		sharpenPlane(plane, im.W, im.H, im.Stride, alpha)
+		sharpenPlane(plane, im.W, im.H, im.Stride, alpha, pool)
 	}
 }
 
-func sharpenPlane(p []uint8, w, h, stride int, alpha float64) {
-	src := make([]uint8, len(p))
+func sharpenPlane(p []uint8, w, h, stride int, alpha float64, pool *bufpool.Pool) {
+	src := pool.Bytes(len(p))
+	defer pool.PutBytes(src)
 	copy(src, p)
 	at := func(x, y int) int {
 		if x < 0 {
@@ -156,4 +200,15 @@ func (BilinearEngine) Upscale(im *frame.Image, scale int) (*frame.Image, error) 
 		return nil, fmt.Errorf("sr: invalid scale %d", scale)
 	}
 	return upscale.Resize(im, im.W*scale, im.H*scale, upscale.Bilinear)
+}
+
+// UpscaleInto implements IntoEngine.
+func (BilinearEngine) UpscaleInto(dst, im *frame.Image, scale int, pool *bufpool.Pool) error {
+	if scale < 1 {
+		return fmt.Errorf("sr: invalid scale %d", scale)
+	}
+	if dst.W != im.W*scale || dst.H != im.H*scale {
+		return fmt.Errorf("sr: destination %dx%d != %dx scale-%d source", dst.W, dst.H, im.W, scale)
+	}
+	return upscale.ResizeInto(dst, im, upscale.Bilinear, pool)
 }

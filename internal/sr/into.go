@@ -1,0 +1,276 @@
+package sr
+
+// Destination-passing variants of the tensor ops and the EDSR forward pass.
+// Each FooInto writes into a caller-supplied tensor/image whose shape it
+// validates, fully overwriting the destination so dirty pooled buffers are
+// fine, and draws transient scratch from an optional bufpool.Pool. The
+// allocating forms (Forward, Add, PixelShuffle, ...) are thin wrappers.
+
+import (
+	"fmt"
+	"sync"
+
+	"gamestreamsr/internal/bufpool"
+	"gamestreamsr/internal/frame"
+	"gamestreamsr/internal/parallel"
+)
+
+// tensorHeaders recycles Tensor structs so a pooled checkout is just the
+// Data buffer. The headers are tiny; sync.Pool keeps this dependency-free.
+var tensorHeaders = sync.Pool{New: func() any { return new(Tensor) }}
+
+// GetTensor checks a C×H×W tensor out of pool. Its contents are
+// UNSPECIFIED — callers must fully overwrite, which every Into op in this
+// package does. A nil pool returns a fresh zeroed tensor.
+func GetTensor(pool *bufpool.Pool, c, h, w int) *Tensor {
+	if c <= 0 || h <= 0 || w <= 0 {
+		panic(fmt.Sprintf("sr: invalid tensor shape %dx%dx%d", c, h, w))
+	}
+	if pool == nil {
+		return NewTensor(c, h, w)
+	}
+	t := tensorHeaders.Get().(*Tensor)
+	t.C, t.H, t.W = c, h, w
+	t.Data = pool.Float32s(c * h * w)
+	return t
+}
+
+// PutTensor returns a tensor obtained from GetTensor. The caller must not
+// retain t, t.Data or any Plane slice past the call.
+func PutTensor(pool *bufpool.Pool, t *Tensor) {
+	if pool == nil || t == nil {
+		return
+	}
+	pool.PutFloat32s(t.Data)
+	t.Data = nil
+	t.C, t.H, t.W = 0, 0, 0
+	tensorHeaders.Put(t)
+}
+
+// checkShape panics unless t has shape c×h×w — destination mis-sizing is a
+// programming error, mirroring the package's other shape panics.
+func checkShape(op string, t *Tensor, c, h, w int) {
+	if t.C != c || t.H != h || t.W != w {
+		panic(fmt.Sprintf("sr: %s destination is %dx%dx%d, want %dx%dx%d", op, t.C, t.H, t.W, c, h, w))
+	}
+}
+
+// ForwardInto applies the convolution writing into out (shape OutC×H×W).
+func (c *Conv2D) ForwardInto(out, in *Tensor) {
+	if in.C != c.InC {
+		panic(fmt.Sprintf("sr: conv expects %d channels, got %d", c.InC, in.C))
+	}
+	checkShape("conv", out, c.OutC, in.H, in.W)
+	half := c.K / 2
+	H, W := in.H, in.W
+	parallel.For(c.OutC, func(oc0, oc1 int) {
+		for oc := oc0; oc < oc1; oc++ {
+			c.forwardChannel(in, out, oc, half, H, W)
+		}
+	})
+}
+
+// ForwardGEMMInto is ForwardGEMM writing into out, with the im2col patch
+// matrix drawn from pool.
+func (c *Conv2D) ForwardGEMMInto(out, in *Tensor, pool *bufpool.Pool) {
+	if in.C != c.InC {
+		panic(fmt.Sprintf("sr: conv expects %d channels, got %d", c.InC, in.C))
+	}
+	H, W := in.H, in.W
+	checkShape("conv", out, c.OutC, H, W)
+	k2 := c.K * c.K
+	n := H * W
+	cols := pool.Float32s(in.C * k2 * n)
+	im2colInto(cols, in, c.K)
+	jTotal := c.InC * k2
+	parallel.For(c.OutC, func(oc0, oc1 int) {
+		for oc := oc0; oc < oc1; oc++ {
+			op := out.Plane(oc)
+			bias := c.Bias[oc]
+			for i := range op {
+				op[i] = bias
+			}
+			wrow := c.Weight[oc*jTotal : (oc+1)*jTotal]
+			for j, w := range wrow {
+				if w == 0 {
+					continue
+				}
+				col := cols[j*n : (j+1)*n]
+				axpy(op, col, w)
+			}
+		}
+	})
+	pool.PutFloat32s(cols)
+}
+
+// im2colInto unfolds in into out (length C·K²·H·W), fully overwriting it.
+func im2colInto(out []float32, in *Tensor, k int) {
+	H, W := in.H, in.W
+	half := k / 2
+	n := H * W
+	k2 := k * k
+	if len(out) != in.C*k2*n {
+		panic(fmt.Sprintf("sr: im2col buffer length %d, want %d", len(out), in.C*k2*n))
+	}
+	parallel.For(in.C*k2, func(r0, r1 int) {
+		for row := r0; row < r1; row++ {
+			c := row / k2
+			ky := (row % k2) / k
+			kx := row % k
+			dst := out[row*n : (row+1)*n]
+			fillShifted(dst, in.Plane(c), W, H, kx-half, ky-half)
+		}
+	})
+}
+
+// ForwardFastInto picks the same strategy as ForwardFast, writing into out.
+func (c *Conv2D) ForwardFastInto(out, in *Tensor, pool *bufpool.Pool) {
+	nz := 0
+	for _, w := range c.Weight {
+		if w != 0 {
+			nz++
+		}
+	}
+	if nz*4 >= len(c.Weight) {
+		c.ForwardGEMMInto(out, in, pool)
+	} else {
+		c.ForwardInto(out, in)
+	}
+}
+
+// AddInto writes a + b into out (shapes must all match). out may alias a or
+// b: element i of out depends only on element i of the inputs.
+func AddInto(out, a, b *Tensor) {
+	if a.C != b.C || a.H != b.H || a.W != b.W {
+		panic(fmt.Sprintf("sr: add shape mismatch %dx%dx%d vs %dx%dx%d", a.C, a.H, a.W, b.C, b.H, b.W))
+	}
+	checkShape("add", out, a.C, a.H, a.W)
+	for i := range out.Data {
+		out.Data[i] = a.Data[i] + b.Data[i]
+	}
+}
+
+// PixelShuffleInto is PixelShuffle writing into out, which must have shape
+// (C/r²)×(H·r)×(W·r) and must not alias in.
+func PixelShuffleInto(out, in *Tensor, r int) {
+	if r <= 0 || in.C%(r*r) != 0 {
+		panic(fmt.Sprintf("sr: pixel shuffle of %d channels by r=%d", in.C, r))
+	}
+	outC := in.C / (r * r)
+	checkShape("pixel-shuffle", out, outC, in.H*r, in.W*r)
+	for c := 0; c < outC; c++ {
+		for dy := 0; dy < r; dy++ {
+			for dx := 0; dx < r; dx++ {
+				ip := in.Plane(c*r*r + dy*r + dx)
+				for y := 0; y < in.H; y++ {
+					orow := (y*r + dy) * out.W
+					irow := y * in.W
+					for x := 0; x < in.W; x++ {
+						out.Data[c*out.H*out.W+orow+x*r+dx] = ip[irow+x]
+					}
+				}
+			}
+		}
+	}
+}
+
+// FromImageInto converts im into t, which must have shape 3×H×W.
+func FromImageInto(t *Tensor, im *frame.Image) {
+	checkShape("from-image", t, 3, im.H, im.W)
+	for p, plane := range [3][]uint8{im.R, im.G, im.B} {
+		tp := t.Plane(p)
+		for y := 0; y < im.H; y++ {
+			srow := y * im.Stride
+			drow := y * im.W
+			for x := 0; x < im.W; x++ {
+				tp[drow+x] = float32(plane[srow+x]) / 255
+			}
+		}
+	}
+}
+
+// ToImageInto converts a 3×H×W tensor in [0, 1] into im, clamping
+// out-of-range values. im must have the tensor's geometry (compact stride).
+func ToImageInto(im *frame.Image, t *Tensor) {
+	if t.C != 3 {
+		panic(fmt.Sprintf("sr: ToImage needs 3 channels, got %d", t.C))
+	}
+	if im.W != t.W || im.H != t.H || im.Stride != im.W {
+		panic(fmt.Sprintf("sr: ToImageInto destination %dx%d stride %d, want compact %dx%d", im.W, im.H, im.Stride, t.W, t.H))
+	}
+	for p, plane := range [3][]uint8{im.R, im.G, im.B} {
+		tp := t.Plane(p)
+		for i, v := range tp {
+			f := float64(v) * 255
+			if f < 0 {
+				f = 0
+			} else if f > 255 {
+				f = 255
+			}
+			plane[i] = uint8(f + 0.5)
+		}
+	}
+}
+
+// ForwardInto runs the network writing the 3×(H·scale)×(W·scale) result
+// into out, with every intermediate tensor drawn from pool. The body
+// updates its feature tensor in place (x += conv2(ReLU(conv1(x))) — the
+// same values Add produces, since IEEE addition of the identical operands
+// commutes), so the whole 16-block body reuses two C×H×W scratch tensors.
+func (n *Network) ForwardInto(out, in *Tensor, pool *bufpool.Pool) {
+	s := n.spec.Scale
+	H, W := in.H, in.W
+	checkShape("network output", out, 3, H*s, W*s)
+	ch := n.spec.Channels
+
+	h := GetTensor(pool, ch, H, W)
+	n.head.ForwardFastInto(h, in, pool)
+
+	x := GetTensor(pool, ch, H, W)
+	copy(x.Data, h.Data)
+	s1 := GetTensor(pool, ch, H, W)
+	s2 := GetTensor(pool, ch, H, W)
+	for i := range n.body {
+		b := &n.body[i]
+		b.conv1.ForwardFastInto(s1, x, pool)
+		ReLU(s1)
+		b.conv2.ForwardFastInto(s2, s1, pool)
+		AddInto(x, x, s2)
+	}
+	n.bodyEnd.ForwardFastInto(s1, x, pool)
+	AddInto(x, s1, h) // global residual
+	PutTensor(pool, s2)
+	PutTensor(pool, s1)
+	PutTensor(pool, h)
+
+	u1 := GetTensor(pool, ch*s*s, H, W)
+	n.up.ForwardFastInto(u1, x, pool)
+	PutTensor(pool, x)
+	u2 := GetTensor(pool, ch, H*s, W*s)
+	PixelShuffleInto(u2, u1, s)
+	PutTensor(pool, u1)
+	n.tail.ForwardFastInto(out, u2, pool)
+	PutTensor(pool, u2)
+}
+
+// UpscaleInto implements IntoEngine: the full EDSR inference with every
+// tensor (input, output, body scratch, im2col patches) pooled.
+func (n *Network) UpscaleInto(dst, im *frame.Image, scale int, pool *bufpool.Pool) error {
+	if scale != n.spec.Scale {
+		return fmt.Errorf("sr: network is ×%d, requested ×%d", n.spec.Scale, scale)
+	}
+	if im.W == 0 || im.H == 0 {
+		return fmt.Errorf("sr: empty input image")
+	}
+	if dst.W != im.W*scale || dst.H != im.H*scale {
+		return fmt.Errorf("sr: destination %dx%d != %dx scale-%d source", dst.W, dst.H, im.W, scale)
+	}
+	in := GetTensor(pool, 3, im.H, im.W)
+	FromImageInto(in, im)
+	out := GetTensor(pool, 3, im.H*scale, im.W*scale)
+	n.ForwardInto(out, in, pool)
+	PutTensor(pool, in)
+	ToImageInto(dst, out)
+	PutTensor(pool, out)
+	return nil
+}

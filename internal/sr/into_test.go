@@ -1,0 +1,197 @@
+package sr
+
+import (
+	"math/rand"
+	"testing"
+
+	"gamestreamsr/internal/bufpool"
+	"gamestreamsr/internal/frame"
+)
+
+func randImage(w, h int, seed int64) *frame.Image {
+	rng := rand.New(rand.NewSource(seed))
+	im := frame.NewImage(w, h)
+	for i := range im.R {
+		im.R[i] = uint8(rng.Intn(256))
+		im.G[i] = uint8(rng.Intn(256))
+		im.B[i] = uint8(rng.Intn(256))
+	}
+	return im
+}
+
+// TestUpscaleIntoMatchesUpscale asserts the pooled destination-passing
+// inference is bit-identical to the allocating path — with a DIRTY pool
+// (pre-scribbled buffers) to prove no op depends on zeroed scratch.
+func TestUpscaleIntoMatchesUpscale(t *testing.T) {
+	net := NewInterpEDSR(Spec{Blocks: 2, Channels: 8, Scale: 2}, InterpConfig{})
+	im := randImage(24, 16, 1)
+
+	want, err := net.Upscale(im, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pool := bufpool.New()
+	// Dirty the pool with garbage in the size classes the inference uses.
+	junk := make([]*Tensor, 0, 8)
+	for _, shape := range [][3]int{{3, 16, 24}, {8, 16, 24}, {3, 32, 48}, {8, 32, 48}, {32, 16, 24}} {
+		tt := GetTensor(pool, shape[0], shape[1], shape[2])
+		for i := range tt.Data {
+			tt.Data[i] = -1e30
+		}
+		junk = append(junk, tt)
+	}
+	for _, tt := range junk {
+		PutTensor(pool, tt)
+	}
+
+	for run := 0; run < 3; run++ {
+		dst := pool.Image(im.W*2, im.H*2)
+		if err := net.UpscaleInto(dst, im, 2, pool); err != nil {
+			t.Fatal(err)
+		}
+		if !dst.Equal(want) {
+			t.Fatalf("run %d: UpscaleInto differs from Upscale", run)
+		}
+		pool.PutImage(dst)
+	}
+}
+
+// TestConvIntoVariantsMatch cross-checks the three conv execution paths'
+// Into forms against the allocating Forward on dense and sparse weights.
+func TestConvIntoVariantsMatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, density := range []float64{1.0, 0.1} {
+		conv := NewConv2D(4, 6, 3)
+		for i := range conv.Weight {
+			if rng.Float64() < density {
+				conv.Weight[i] = float32(rng.NormFloat64())
+			}
+		}
+		for i := range conv.Bias {
+			conv.Bias[i] = float32(rng.NormFloat64())
+		}
+		in := NewTensor(4, 9, 11)
+		for i := range in.Data {
+			in.Data[i] = float32(rng.NormFloat64())
+		}
+		want := conv.Forward(in)
+		pool := bufpool.New()
+		for _, f := range []struct {
+			name string
+			run  func(out *Tensor)
+		}{
+			{"ForwardInto", func(out *Tensor) { conv.ForwardInto(out, in) }},
+			{"ForwardGEMMInto", func(out *Tensor) { conv.ForwardGEMMInto(out, in, pool) }},
+			{"ForwardFastInto", func(out *Tensor) { conv.ForwardFastInto(out, in, pool) }},
+		} {
+			out := GetTensor(pool, 6, 9, 11)
+			f.run(out)
+			for i := range want.Data {
+				if out.Data[i] != want.Data[i] {
+					t.Fatalf("density %.1f: %s element %d = %v, want %v", density, f.name, i, out.Data[i], want.Data[i])
+				}
+			}
+			PutTensor(pool, out)
+		}
+	}
+}
+
+// TestPixelShuffleIntoMatches checks the Into form against PixelShuffle.
+func TestPixelShuffleIntoMatches(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	in := NewTensor(8, 5, 7)
+	for i := range in.Data {
+		in.Data[i] = float32(rng.NormFloat64())
+	}
+	want := PixelShuffle(in, 2)
+	out := NewTensor(2, 10, 14)
+	PixelShuffleInto(out, in, 2)
+	for i := range want.Data {
+		if out.Data[i] != want.Data[i] {
+			t.Fatalf("element %d = %v, want %v", i, out.Data[i], want.Data[i])
+		}
+	}
+}
+
+// TestImageTensorRoundTripInto checks FromImageInto/ToImageInto against the
+// allocating conversions, including a strided sub-image source.
+func TestImageTensorRoundTripInto(t *testing.T) {
+	parent := randImage(20, 12, 5)
+	view := parent.MustSubImage(3, 2, 10, 8)
+	wantT := FromImage(view)
+	gotT := NewTensor(3, 8, 10)
+	FromImageInto(gotT, view)
+	for i := range wantT.Data {
+		if gotT.Data[i] != wantT.Data[i] {
+			t.Fatalf("FromImageInto element %d = %v, want %v", i, gotT.Data[i], wantT.Data[i])
+		}
+	}
+	wantI := ToImage(gotT)
+	gotI := frame.NewImagePacked(10, 8)
+	ToImageInto(gotI, gotT)
+	if !gotI.Equal(wantI) {
+		t.Fatal("ToImageInto differs from ToImage")
+	}
+}
+
+// TestSRTilePathSteadyStateAllocs is the SR-tile alloc regression gate from
+// the issue: once the pool is warm, a full EDSR tile inference must run with
+// near-zero heap allocations.
+func TestSRTilePathSteadyStateAllocs(t *testing.T) {
+	net := NewInterpEDSR(Spec{Blocks: 2, Channels: 8, Scale: 2}, InterpConfig{})
+	im := randImage(16, 16, 2)
+	pool := bufpool.New()
+	dst := frame.NewImagePacked(32, 32)
+	// Warm the pool and the parallel layer.
+	if err := net.UpscaleInto(dst, im, 2, pool); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if err := net.UpscaleInto(dst, im, 2, pool); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Logf("pooled EDSR tile inference: %.1f allocs/run", allocs)
+	// ~35 convs run through parallel.For, each submitting one job header +
+	// closure; tensors and im2col patches must all come from the pool.
+	if allocs > 150 {
+		t.Errorf("pooled SR tile path allocates %.1f objects/run", allocs)
+	}
+}
+
+// TestFastUpscaleIntoMatches checks the fast kernel's pooled path, again
+// against a dirtied pool.
+func TestFastUpscaleIntoMatches(t *testing.T) {
+	f := NewFast(FastConfig{})
+	im := randImage(30, 20, 9)
+	want, err := f.Upscale(im, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := bufpool.New()
+	b := pool.Bytes(30 * 20 * 3)
+	for i := range b {
+		b[i] = 0xEE
+	}
+	pool.PutBytes(b)
+	dst := pool.Image(60, 40)
+	if err := f.UpscaleInto(dst, im, 2, pool); err != nil {
+		t.Fatal(err)
+	}
+	if !dst.Equal(want) {
+		t.Fatal("Fast.UpscaleInto differs from Fast.Upscale")
+	}
+	var bil BilinearEngine
+	want, err = bil.Upscale(im, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bil.UpscaleInto(dst, im, 2, pool); err != nil {
+		t.Fatal(err)
+	}
+	if !dst.Equal(want) {
+		t.Fatal("BilinearEngine.UpscaleInto differs from Upscale")
+	}
+	pool.PutImage(dst)
+}

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"time"
 
+	"gamestreamsr/internal/bufpool"
 	"gamestreamsr/internal/codec"
 	"gamestreamsr/internal/device"
 	"gamestreamsr/internal/frame"
@@ -25,6 +26,7 @@ import (
 	"gamestreamsr/internal/pipeline"
 	"gamestreamsr/internal/render"
 	"gamestreamsr/internal/roi"
+	"gamestreamsr/internal/sr"
 	"gamestreamsr/internal/upscale"
 )
 
@@ -109,7 +111,7 @@ func (v *variant) Upscale(df *codec.DecodedFrame, job *pipeline.FrameJob) (*fram
 	var err error
 	switch job.Type {
 	case codec.Intra:
-		up, err = v.r.upscaleReference(df.Image, job.RoI)
+		up, err = v.r.upscaleReference(df.Image, job.RoI, job.Pool)
 		if err != nil {
 			return nil, fmt.Errorf("srdecoder: frame %d SR: %w", job.Index, err)
 		}
@@ -117,8 +119,8 @@ func (v *variant) Upscale(df *codec.DecodedFrame, job *pipeline.FrameJob) (*fram
 		if v.hrPrev == nil {
 			return nil, fmt.Errorf("srdecoder: frame %d: inter frame without reference", job.Index)
 		}
-		up, err = ReconstructRoIGuided(v.hrPrev, df.Side, cfg.Scale, job.RoI, v.r.kernel)
-		if err != nil {
+		up = frame.NewImagePacked(v.hrPrev.W, v.hrPrev.H)
+		if err = ReconstructRoIGuidedInto(up, v.hrPrev, df.Side, cfg.Scale, job.RoI, v.r.kernel, job.Pool); err != nil {
 			return nil, fmt.Errorf("srdecoder: frame %d reconstruct: %w", job.Index, err)
 		}
 	default:
@@ -170,19 +172,29 @@ func (v *variant) Cost(job *pipeline.FrameJob) (pipeline.Stages, map[device.Rail
 	return st, em.NonZero(), nil
 }
 
-// upscaleReference runs the standard GameStreamSR RoI-assisted upscale.
-func (r *Runner) upscaleReference(lr *frame.Image, roiRect frame.Rect) (*frame.Image, error) {
+// upscaleReference runs the standard GameStreamSR RoI-assisted upscale. The
+// returned frame is variant-owned (it becomes the decoder-buffer reference);
+// the RoI crop, its upscaled patch and all kernel scratch come from pool.
+func (r *Runner) upscaleReference(lr *frame.Image, roiRect frame.Rect, pool *bufpool.Pool) (*frame.Image, error) {
 	cfg := r.cfg
-	base, err := upscale.Resize(lr, lr.W*cfg.Scale, lr.H*cfg.Scale, upscale.Bilinear)
-	if err != nil {
+	base := frame.NewImagePacked(lr.W*cfg.Scale, lr.H*cfg.Scale)
+	if err := upscale.ResizeInto(base, lr, upscale.Bilinear, pool); err != nil {
 		return nil, err
 	}
 	roiImg, err := lr.SubImage(roiRect.X, roiRect.Y, roiRect.W, roiRect.H)
 	if err != nil {
 		return nil, err
 	}
-	roiHR, err := cfg.Engine.Upscale(roiImg.Compact(), cfg.Scale)
-	if err != nil {
+	src := roiImg
+	if roiImg.Stride != roiImg.W {
+		tmp := pool.Image(roiImg.W, roiImg.H)
+		tmp.CopyFrom(roiImg)
+		defer pool.PutImage(tmp)
+		src = tmp
+	}
+	roiHR := pool.Image(src.W*cfg.Scale, src.H*cfg.Scale)
+	defer pool.PutImage(roiHR)
+	if err := sr.UpscaleTo(cfg.Engine, roiHR, src, cfg.Scale, pool); err != nil {
 		return nil, err
 	}
 	if err := upscale.Merge(base, roiHR, roiRect, cfg.Scale); err != nil {
@@ -201,44 +213,74 @@ func ReconstructRoIGuided(hrPrev *frame.Image, side *codec.SideInfo, scale int, 
 	if scale < 1 {
 		return nil, fmt.Errorf("srdecoder: invalid scale %d", scale)
 	}
+	out := frame.NewImagePacked(hrPrev.W, hrPrev.H)
+	if err := ReconstructRoIGuidedInto(out, hrPrev, side, scale, roiLR, kernel, nil); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ReconstructRoIGuidedInto is ReconstructRoIGuided writing into dst, which
+// must match hrPrev's geometry and may hold dirty pooled pixels — the block
+// grid spans the frame, so every output pixel is overwritten. Transient
+// residual planes come from pool (nil allocates).
+func ReconstructRoIGuidedInto(dst, hrPrev *frame.Image, side *codec.SideInfo, scale int, roiLR frame.Rect, kernel upscale.Kind, pool *bufpool.Pool) error {
+	if side == nil {
+		return fmt.Errorf("srdecoder: missing side information")
+	}
+	if scale < 1 {
+		return fmt.Errorf("srdecoder: invalid scale %d", scale)
+	}
 	hrPrev = hrPrev.Compact()
 	W, H := hrPrev.W, hrPrev.H
+	if dst.W != W || dst.H != H || dst.Stride != W {
+		return fmt.Errorf("srdecoder: destination %dx%d stride %d, want compact %dx%d", dst.W, dst.H, dst.Stride, W, H)
+	}
 	lrW := W / scale
 	lrH := H / scale
 	if lrW*scale != W || lrH*scale != H {
-		return nil, fmt.Errorf("srdecoder: HR %dx%d not a ×%d multiple", W, H, scale)
+		return fmt.Errorf("srdecoder: HR %dx%d not a ×%d multiple", W, H, scale)
 	}
 	if len(side.Residual[0]) != lrW*lrH {
-		return nil, fmt.Errorf("srdecoder: residual plane has %d samples, want %d", len(side.Residual[0]), lrW*lrH)
+		return fmt.Errorf("srdecoder: residual plane has %d samples, want %d", len(side.Residual[0]), lrW*lrH)
 	}
 	roiHR := roiLR.Scale(scale).Clamp(W, H)
-	out := frame.NewImage(W, H)
+	out := dst
 	bs := side.BlockSize * scale
 
+	lrPlane := pool.Float64s(lrW * lrH)
+	defer pool.PutFloat64s(lrPlane)
+	sharp := pool.Float64s(W * H)
+	defer pool.PutFloat64s(sharp)
 	var resHR [3][]float64
 	for p := 0; p < 3; p++ {
-		lrPlane := make([]float64, lrW*lrH)
+		resHR[p] = pool.Float64s(W * H)
+	}
+	defer func() {
+		for p := 0; p < 3; p++ {
+			pool.PutFloat64s(resHR[p])
+		}
+	}()
+	for p := 0; p < 3; p++ {
 		for i := range lrPlane {
 			lrPlane[i] = float64(side.Residual[p][i])
 		}
 		// Bilinear everywhere...
-		base, err := upscale.ResizePlane(lrPlane, lrW, lrH, W, H, upscale.Bilinear)
-		if err != nil {
-			return nil, err
+		base := resHR[p]
+		if err := upscale.ResizePlaneInto(base, lrPlane, lrW, lrH, W, H, upscale.Bilinear, pool); err != nil {
+			return err
 		}
 		// ...then overwrite the RoI with the quality-preserving kernel,
 		// resampled from the full plane so RoI-boundary taps see real
 		// neighbours.
 		if kernel != upscale.Bilinear && !roiHR.Empty() {
-			sharp, err := upscale.ResizePlane(lrPlane, lrW, lrH, W, H, kernel)
-			if err != nil {
-				return nil, err
+			if err := upscale.ResizePlaneInto(sharp, lrPlane, lrW, lrH, W, H, kernel, pool); err != nil {
+				return err
 			}
 			for y := roiHR.Y; y < roiHR.Y+roiHR.H; y++ {
 				copy(base[y*W+roiHR.X:y*W+roiHR.X+roiHR.W], sharp[y*W+roiHR.X:y*W+roiHR.X+roiHR.W])
 			}
 		}
-		resHR[p] = base
 	}
 
 	planesPrev := [3][]uint8{hrPrev.R, hrPrev.G, hrPrev.B}
@@ -283,7 +325,7 @@ func ReconstructRoIGuided(hrPrev *frame.Image, side *codec.SideInfo, scale int, 
 			}
 		}
 	}
-	return out, nil
+	return nil
 }
 
 func clampInt(v, lo, hi int) int {

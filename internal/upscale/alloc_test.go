@@ -1,0 +1,61 @@
+package upscale
+
+import (
+	"testing"
+
+	"gamestreamsr/internal/bufpool"
+	"gamestreamsr/internal/frame"
+)
+
+// TestResizeIntoSteadyStateAllocs is the upscale kernel's allocation
+// regression gate: with a warm pool and weights cache, a full-frame resample
+// must not allocate beyond the parallel layer's per-chunk job submissions.
+func TestResizeIntoSteadyStateAllocs(t *testing.T) {
+	src := frame.NewImagePacked(80, 60)
+	for i := range src.R {
+		src.R[i] = uint8(i * 7)
+		src.G[i] = uint8(i * 13)
+		src.B[i] = uint8(i * 29)
+	}
+	pool := bufpool.New()
+	dst := frame.NewImagePacked(160, 120)
+	for _, k := range []Kind{Bilinear, Bicubic, Lanczos3} {
+		// Warm the pool, the weights cache and the worker scratch.
+		if err := ResizeInto(dst, src, k, pool); err != nil {
+			t.Fatal(err)
+		}
+		allocs := testing.AllocsPerRun(20, func() {
+			if err := ResizeInto(dst, src, k, pool); err != nil {
+				t.Fatal(err)
+			}
+		})
+		t.Logf("%v: pooled ResizeInto %.1f allocs/run", k, allocs)
+		if allocs > 80 {
+			t.Errorf("%v: pooled ResizeInto allocates %.1f objects/run", k, allocs)
+		}
+	}
+}
+
+// TestResizePlaneIntoSteadyStateAllocs covers the float64 plane path used by
+// the NEMO/SR-decoder reconstructions.
+func TestResizePlaneIntoSteadyStateAllocs(t *testing.T) {
+	srcW, srcH, dstW, dstH := 64, 48, 128, 96
+	src := make([]float64, srcW*srcH)
+	for i := range src {
+		src[i] = float64(i % 251)
+	}
+	pool := bufpool.New()
+	dst := make([]float64, dstW*dstH)
+	if err := ResizePlaneInto(dst, src, srcW, srcH, dstW, dstH, Bilinear, pool); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if err := ResizePlaneInto(dst, src, srcW, srcH, dstW, dstH, Bilinear, pool); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Logf("pooled ResizePlaneInto %.1f allocs/run", allocs)
+	if allocs > 40 {
+		t.Errorf("pooled ResizePlaneInto allocates %.1f objects/run", allocs)
+	}
+}

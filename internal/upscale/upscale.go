@@ -14,7 +14,9 @@ package upscale
 import (
 	"fmt"
 	"math"
+	"sync"
 
+	"gamestreamsr/internal/bufpool"
 	"gamestreamsr/internal/frame"
 	"gamestreamsr/internal/parallel"
 )
@@ -121,23 +123,39 @@ func (k Kind) weight(x float64) float64 {
 // downscaling are both supported; when downscaling, the kernel is stretched
 // by the scale factor (standard anti-aliased polyphase resampling).
 func Resize(src *frame.Image, dstW, dstH int, k Kind) (*frame.Image, error) {
-	if src.W <= 0 || src.H <= 0 {
-		return nil, fmt.Errorf("upscale: empty source image %dx%d", src.W, src.H)
-	}
 	if dstW <= 0 || dstH <= 0 {
 		return nil, fmt.Errorf("upscale: invalid target size %dx%d", dstW, dstH)
 	}
-	if dstW == src.W && dstH == src.H {
-		return src.Clone(), nil
+	dst := frame.NewImagePacked(dstW, dstH)
+	if err := ResizeInto(dst, src, k, nil); err != nil {
+		return nil, err
+	}
+	return dst, nil
+}
+
+// ResizeInto resamples src into dst (whose W×H select the target size) with
+// kernel k. Every pixel of dst is overwritten, so dst may be a dirty pooled
+// image; dst must not alias src. The optional pool supplies the intermediate
+// buffer of the separable pass (nil allocates it).
+func ResizeInto(dst, src *frame.Image, k Kind, pool *bufpool.Pool) error {
+	if src.W <= 0 || src.H <= 0 {
+		return fmt.Errorf("upscale: empty source image %dx%d", src.W, src.H)
+	}
+	if dst.W <= 0 || dst.H <= 0 {
+		return fmt.Errorf("upscale: invalid target size %dx%d", dst.W, dst.H)
+	}
+	if dst.W == src.W && dst.H == src.H {
+		dst.CopyFrom(src)
+		return nil
 	}
 	// Horizontal pass into an intermediate, then vertical pass.
-	hw := buildWeights(src.W, dstW, k)
-	vw := buildWeights(src.H, dstH, k)
-	mid := frame.NewImage(dstW, src.H)
+	hw := cachedWeights(src.W, dst.W, k)
+	vw := cachedWeights(src.H, dst.H, k)
+	mid := pool.Image(dst.W, src.H)
 	resampleRows(src, mid, hw)
-	dst := frame.NewImage(dstW, dstH)
 	resampleCols(mid, dst, vw)
-	return dst, nil
+	pool.PutImage(mid)
+	return nil
 }
 
 // MustResize is Resize for arguments the caller has validated.
@@ -153,6 +171,36 @@ func MustResize(src *frame.Image, dstW, dstH int, k Kind) *frame.Image {
 type tapSet struct {
 	first   int
 	weights []float64
+}
+
+// weightsKey identifies one polyphase filter bank. The pipeline resamples
+// the same few geometries every frame, so banks are computed once and
+// shared; tapSets are immutable after construction, making the cached
+// slices safe to read concurrently.
+type weightsKey struct {
+	srcN, dstN int
+	k          Kind
+}
+
+var (
+	weightsMu    sync.Mutex
+	weightsCache = map[weightsKey][]tapSet{}
+)
+
+// cachedWeights returns the (shared, read-only) filter bank for the mapping,
+// building and memoising it on first use.
+func cachedWeights(srcN, dstN int, k Kind) []tapSet {
+	key := weightsKey{srcN: srcN, dstN: dstN, k: k}
+	weightsMu.Lock()
+	ts, ok := weightsCache[key]
+	if !ok {
+		// Built under the lock: duplicate work on a cold key is rarer than
+		// the contention is cheap, and it keeps a single canonical bank.
+		ts = buildWeights(srcN, dstN, k)
+		weightsCache[key] = ts
+	}
+	weightsMu.Unlock()
+	return ts
 }
 
 // buildWeights computes the polyphase filter bank mapping srcN samples onto
@@ -239,23 +287,47 @@ func resampleRows(src, dst *frame.Image, taps []tapSet) {
 	})
 }
 
+// colScratch holds the per-worker row accumulators of resampleCols, reused
+// across chunks, calls and frames (the buffers grow to the largest row seen).
+var colScratch = parallel.NewScratch(func() *[]float64 { return new([]float64) })
+
 func resampleCols(src, dst *frame.Image, taps []tapSet) {
-	parallel.For(dst.H, func(y0, y1 int) {
+	parallel.ForWith(dst.H, colScratch, func(y0, y1 int, sp *[]float64) {
+		// Tap-outer accumulation: each contributing source row is streamed
+		// sequentially into a row accumulator, which is cache-friendlier than
+		// striding down columns. Per destination pixel the additions still
+		// happen in tap order, so results are bit-identical to the
+		// pixel-inner form.
+		acc := *sp
+		if need := 3 * dst.W; cap(acc) < need {
+			acc = make([]float64, need)
+			*sp = acc
+		} else {
+			acc = acc[:need]
+		}
+		ra := acc[0:dst.W:dst.W]
+		ga := acc[dst.W : 2*dst.W : 2*dst.W]
+		ba := acc[2*dst.W : 3*dst.W : 3*dst.W]
 		for y := y0; y < y1; y++ {
 			t := &taps[y]
+			clear(ra)
+			clear(ga)
+			clear(ba)
+			for i, w := range t.weights {
+				srow := (t.first + i) * src.Stride
+				for x := 0; x < dst.W; x++ {
+					p := srow + x
+					ra[x] += w * float64(src.R[p])
+					ga[x] += w * float64(src.G[p])
+					ba[x] += w * float64(src.B[p])
+				}
+			}
 			drow := y * dst.Stride
 			for x := 0; x < dst.W; x++ {
-				var r, g, b float64
-				for i, w := range t.weights {
-					p := (t.first+i)*src.Stride + x
-					r += w * float64(src.R[p])
-					g += w * float64(src.G[p])
-					b += w * float64(src.B[p])
-				}
 				d := drow + x
-				dst.R[d] = clampByte(r)
-				dst.G[d] = clampByte(g)
-				dst.B[d] = clampByte(b)
+				dst.R[d] = clampByte(ra[x])
+				dst.G[d] = clampByte(ga[x])
+				dst.B[d] = clampByte(ba[x])
 			}
 		}
 	})
@@ -299,15 +371,32 @@ func Merge(base *frame.Image, roiHR *frame.Image, roiLR frame.Rect, scale int) e
 // motion-vector component field) — the operation NEMO applies to
 // non-reference frame data (§II-A of the paper, our §nemo baseline).
 func ResizePlane(src []float64, srcW, srcH, dstW, dstH int, k Kind) ([]float64, error) {
-	if len(src) != srcW*srcH {
-		return nil, fmt.Errorf("upscale: plane length %d != %dx%d", len(src), srcW, srcH)
-	}
-	if srcW <= 0 || srcH <= 0 || dstW <= 0 || dstH <= 0 {
+	if dstW <= 0 || dstH <= 0 {
 		return nil, fmt.Errorf("upscale: invalid plane resample %dx%d -> %dx%d", srcW, srcH, dstW, dstH)
 	}
-	hw := buildWeights(srcW, dstW, k)
-	vw := buildWeights(srcH, dstH, k)
-	mid := make([]float64, dstW*srcH)
+	dst := make([]float64, dstW*dstH)
+	if err := ResizePlaneInto(dst, src, srcW, srcH, dstW, dstH, k, nil); err != nil {
+		return nil, err
+	}
+	return dst, nil
+}
+
+// ResizePlaneInto is ResizePlane writing into dst, which must have length
+// dstW*dstH and is fully overwritten (a dirty pooled buffer is fine; dst
+// must not alias src). The optional pool supplies the intermediate buffer.
+func ResizePlaneInto(dst, src []float64, srcW, srcH, dstW, dstH int, k Kind, pool *bufpool.Pool) error {
+	if len(src) != srcW*srcH {
+		return fmt.Errorf("upscale: plane length %d != %dx%d", len(src), srcW, srcH)
+	}
+	if srcW <= 0 || srcH <= 0 || dstW <= 0 || dstH <= 0 {
+		return fmt.Errorf("upscale: invalid plane resample %dx%d -> %dx%d", srcW, srcH, dstW, dstH)
+	}
+	if len(dst) != dstW*dstH {
+		return fmt.Errorf("upscale: destination length %d != %dx%d", len(dst), dstW, dstH)
+	}
+	hw := cachedWeights(srcW, dstW, k)
+	vw := cachedWeights(srcH, dstH, k)
+	mid := pool.Float64s(dstW * srcH)
 	parallel.For(srcH, func(y0, y1 int) {
 		for y := y0; y < y1; y++ {
 			for x := 0; x < dstW; x++ {
@@ -320,7 +409,6 @@ func ResizePlane(src []float64, srcW, srcH, dstW, dstH int, k Kind) ([]float64, 
 			}
 		}
 	})
-	dst := make([]float64, dstW*dstH)
 	parallel.For(dstH, func(y0, y1 int) {
 		for y := y0; y < y1; y++ {
 			t := &vw[y]
@@ -333,5 +421,6 @@ func ResizePlane(src []float64, srcW, srcH, dstW, dstH int, k Kind) ([]float64, 
 			}
 		}
 	})
-	return dst, nil
+	pool.PutFloat64s(mid)
+	return nil
 }
