@@ -5,11 +5,17 @@
 //
 // Usage:
 //
-//	gssr-server [-addr :7007] [-game G3] [-frames 120] [-w 320] [-h 180] [-gop 12] [-metrics :9090]
+//	gssr-server [-addr :7007] [-game G3] [-frames 120] [-w 320] [-h 180] [-gop 12] [-metrics :9090] [-flight 128]
 //
 // With -metrics, a telemetry endpoint serves /metrics (Prometheus text),
-// /metrics.json (JSON snapshot with per-histogram quantiles) and the
-// standard /debug/pprof profiles.
+// /metrics.json (JSON snapshot with per-histogram quantiles), /debug/flight
+// (the flight-recorder windows of all sessions as Chrome trace-event JSON,
+// see -flight) and the standard /debug/pprof profiles.
+//
+// With -flight N, every session records its last N frame sends — send span,
+// RoI, payload size, deadline slack — into a per-session flight recorder;
+// fetch /debug/flight and open it in ui.perfetto.dev (or render it with
+// `gssr trace`) to postmortem a stall.
 package main
 
 import (
@@ -38,24 +44,22 @@ func main() {
 	gop := flag.Int("gop", 12, "keyframe interval")
 	qstep := flag.Int("q", 6, "codec quantizer")
 	metricsAddr := flag.String("metrics", "", "telemetry listen address (e.g. :9090); empty disables")
+	flight := flag.Int("flight", 0, "frames per session in the flight recorder (0 disables /debug/flight)")
 	flag.Parse()
 
-	if err := run(*addr, *gameID, *frames, *width, *height, *gop, *qstep, *metricsAddr); err != nil {
+	if err := run(*addr, *gameID, *frames, *width, *height, *gop, *qstep, *metricsAddr, *flight); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(addr, gameID string, frames, width, height, gop, qstep int, metricsAddr string) error {
+func run(addr, gameID string, frames, width, height, gop, qstep int, metricsAddr string, flight int) error {
 	g, err := games.ByID(gameID)
 	if err != nil {
 		return err
 	}
 	var reg *telemetry.Registry
 	if metricsAddr != "" {
-		reg, err = serveMetrics(metricsAddr)
-		if err != nil {
-			return err
-		}
+		reg = telemetry.NewRegistry()
 	}
 	l, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -68,9 +72,10 @@ func run(addr, gameID string, frames, width, height, gop, qstep int, metricsAddr
 	// window its Hello announced (Fig. 6 step ❶); sessions run
 	// concurrently.
 	srv := &stream.MultiServer{
-		Accept:    stream.Accept{Width: width, Height: height, GOPSize: gop, QStep: qstep},
-		MaxFrames: frames,
-		Metrics:   reg,
+		Accept:       stream.Accept{Width: width, Height: height, GOPSize: gop, QStep: qstep},
+		MaxFrames:    frames,
+		Metrics:      reg,
+		FlightFrames: flight,
 		OnInput: func(remote string, in stream.InputPacket) {
 			log.Printf("input from %s #%d: %q", remote, in.Seq, in.Payload)
 		},
@@ -99,24 +104,31 @@ func run(addr, gameID string, frames, width, height, gop, qstep int, metricsAddr
 			return &gameSource{game: g, enc: enc, det: det, rd: &render.Renderer{}, w: width, h: height}, nil
 		},
 	}
+	if metricsAddr != "" {
+		// The MultiServer itself is the FlightDumper: /debug/flight merges
+		// every retained session's window into one Perfetto trace.
+		if err := serveMetrics(metricsAddr, reg, srv); err != nil {
+			return err
+		}
+	}
 	return srv.Serve(l)
 }
 
 // serveMetrics starts the telemetry endpoint (/metrics, /metrics.json,
-// /debug/pprof) on addr and returns the registry the server should feed.
-func serveMetrics(addr string) (*telemetry.Registry, error) {
-	reg := telemetry.NewRegistry()
+// /debug/flight, /debug/pprof) on addr, fed by reg and the server's
+// per-session flight recorders.
+func serveMetrics(addr string, reg *telemetry.Registry, flight telemetry.FlightDumper) error {
 	ml, err := net.Listen("tcp", addr)
 	if err != nil {
-		return nil, fmt.Errorf("metrics listener: %w", err)
+		return fmt.Errorf("metrics listener: %w", err)
 	}
-	log.Printf("telemetry on http://%s/metrics (JSON at /metrics.json, profiles at /debug/pprof/)", ml.Addr())
+	log.Printf("telemetry on http://%s/metrics (JSON at /metrics.json, flight dumps at /debug/flight, profiles at /debug/pprof/)", ml.Addr())
 	go func() {
-		if err := http.Serve(ml, telemetry.Handler(reg)); err != nil {
+		if err := http.Serve(ml, telemetry.Handler(reg, flight)); err != nil {
 			log.Printf("telemetry server stopped: %v", err)
 		}
 	}()
-	return reg, nil
+	return nil
 }
 
 // gameSource renders, detects and encodes frames on demand. Sessions call

@@ -7,6 +7,7 @@
 //	gssr list                          list available experiments
 //	gssr run <id> [flags]              run one experiment (or "all")
 //	gssr sim [flags]                   run a pipeline; -json archives the result
+//	gssr trace [-width N] <flight>     render a flight-recorder dump offline
 //	gssr report <out.md> [flags]       regenerate every experiment into Markdown
 //	gssr render <game> <frame> <out>   render a game frame to PPM (+depth PGM)
 //	gssr roi <game> <frame> <out-dir>  dump RoI detection stages as PGM/PPM
@@ -19,24 +20,33 @@
 //	-games LIST  comma-separated game ids (default all ten)
 //	-out DIR     output directory for image dumps (fig8)
 //	-metrics A   serve telemetry on address A (e.g. :9090) while running:
-//	             /metrics (Prometheus text), /metrics.json, /debug/pprof
+//	             /metrics (Prometheus text), /metrics.json, /debug/flight,
+//	             /debug/pprof
+//	-flight F    attach a per-frame flight recorder, archive its window to F
+//	             as Chrome trace-event JSON (ui.perfetto.dev opens it;
+//	             `gssr trace F` renders it offline) and print the deadline/SLO
+//	             summary
 //
-// `sim` accepts the same -metrics flag.
+// `sim` accepts the same -metrics and -flight flags.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net"
 	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
+	"text/tabwriter"
+	"time"
 
 	gssr "gamestreamsr"
 	"gamestreamsr/internal/experiments"
 	"gamestreamsr/internal/frame"
+	"gamestreamsr/internal/frametrace"
 	"gamestreamsr/internal/telemetry"
 )
 
@@ -63,6 +73,8 @@ func run(args []string) error {
 		return cmdRoI(args[1:])
 	case "sim":
 		return cmdSim(args[1:])
+	case "trace":
+		return cmdTrace(args[1:])
 	case "report":
 		return cmdReport(args[1:])
 	case "help", "-h", "--help":
@@ -77,8 +89,9 @@ func run(args []string) error {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   gssr list
-  gssr run <experiment-id|all> [-simdiv N] [-gop N] [-frames N] [-games G1,G3] [-out DIR] [-metrics :9090]
-  gssr sim [-game G3] [-device s8] [-pipeline ours|nemo|srdec] [-frames N] [-gop N] [-simdiv N] [-json out.json] [-metrics :9090]
+  gssr run <experiment-id|all> [-simdiv N] [-gop N] [-frames N] [-games G1,G3] [-out DIR] [-metrics :9090] [-flight out.json]
+  gssr sim [-game G3] [-device s8] [-pipeline ours|nemo|srdec] [-frames N] [-gop N] [-simdiv N] [-json out.json] [-metrics :9090] [-flight out.json]
+  gssr trace [-width N] <flight.json>
   gssr report <out.md> [-simdiv N] [-gop N] [-games G1,G3]
   gssr render <game> <frame> <out.ppm>
   gssr roi <game> <frame> <out-dir>`)
@@ -107,6 +120,7 @@ func cmdRun(args []string) error {
 	gamesFlag := fs.String("games", "", "comma-separated game ids")
 	out := fs.String("out", "", "output directory for image dumps")
 	metricsAddr := fs.String("metrics", "", "telemetry listen address (e.g. :9090); empty disables")
+	flightPath := fs.String("flight", "", "archive the flight-recorder window to this path (Chrome trace JSON); empty disables")
 	if err := fs.Parse(args[1:]); err != nil {
 		return err
 	}
@@ -117,19 +131,29 @@ func cmdRun(args []string) error {
 		OutDir:  *out,
 	}
 	if *metricsAddr != "" {
-		reg, err := serveMetrics(*metricsAddr)
-		if err != nil {
+		opt.Metrics = telemetry.NewRegistry()
+	}
+	if *flightPath != "" {
+		opt.Flight = frametrace.New(frametrace.Config{Metrics: opt.Metrics})
+	}
+	if *metricsAddr != "" {
+		if err := serveMetrics(*metricsAddr, opt.Metrics, opt.Flight); err != nil {
 			return err
 		}
-		opt.Metrics = reg
 	}
 	if *gamesFlag != "" {
 		opt.GameIDs = strings.Split(*gamesFlag, ",")
 	}
+	runErr := error(nil)
 	if id == "all" {
-		return experiments.RunAll(os.Stdout, opt)
+		runErr = experiments.RunAll(os.Stdout, opt)
+	} else {
+		runErr = experiments.Run(id, os.Stdout, opt)
 	}
-	return experiments.Run(id, os.Stdout, opt)
+	if runErr != nil {
+		return runErr
+	}
+	return finishFlight(opt.Flight, *flightPath, os.Stdout)
 }
 
 func cmdRender(args []string) error {
@@ -269,6 +293,7 @@ func cmdSim(args []string) error {
 	simdiv := fs.Int("simdiv", 8, "pixel-simulation divisor")
 	jsonPath := fs.String("json", "", "write the full result as JSON to this path")
 	metricsAddr := fs.String("metrics", "", "telemetry listen address (e.g. :9090); empty disables")
+	flightPath := fs.String("flight", "", "archive the flight-recorder window to this path (Chrome trace JSON); empty disables")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -282,11 +307,15 @@ func cmdSim(args []string) error {
 	}
 	cfg := gssr.Config{Game: g, Device: dev, SimDiv: *simdiv, GOPSize: *gop}
 	if *metricsAddr != "" {
-		reg, err := serveMetrics(*metricsAddr)
-		if err != nil {
+		cfg.Metrics = telemetry.NewRegistry()
+	}
+	if *flightPath != "" {
+		cfg.Flight = frametrace.New(frametrace.Config{Metrics: cfg.Metrics})
+	}
+	if *metricsAddr != "" {
+		if err := serveMetrics(*metricsAddr, cfg.Metrics, cfg.Flight); err != nil {
 			return err
 		}
-		cfg.Metrics = reg
 	}
 	var res *gssr.Result
 	switch *pipe {
@@ -340,25 +369,124 @@ func cmdSim(args []string) error {
 		}
 		fmt.Printf("result archived to %s\n", *jsonPath)
 	}
+	return finishFlight(cfg.Flight, *flightPath, os.Stdout)
+}
+
+// cmdTrace renders a flight-recorder dump offline: the ASCII Gantt chart of
+// every session's window plus a per-frame table (RoI, coded bytes, deadline
+// slack) — the postmortem view of a /debug/flight or -flight capture without
+// leaving the terminal.
+func cmdTrace(args []string) error {
+	fs := flag.NewFlagSet("trace", flag.ContinueOnError)
+	width := fs.Int("width", 72, "Gantt chart width in columns")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("trace: want one <flight.json> (from `gssr sim -flight` or /debug/flight)")
+	}
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	dumps, err := frametrace.ParseChromeTrace(f)
+	if err != nil {
+		return err
+	}
+	if len(dumps) == 0 {
+		fmt.Println("(empty trace)")
+		return nil
+	}
+	for _, nd := range dumps {
+		fmt.Printf("== %s ==\n", nd.Name)
+		if err := nd.Dump.Timeline().Render(os.Stdout, *width); err != nil {
+			return err
+		}
+		if err := writeFrameTable(os.Stdout, nd.Dump); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
 	return nil
 }
 
+// writeFrameTable prints one row per recorded frame with the attributes a
+// frame-drop postmortem needs inline: RoI geometry, bitstream size, modelled
+// latency and deadline slack (negative slack = missed).
+func writeFrameTable(w io.Writer, d *frametrace.Dump) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	header := false
+	for _, fr := range d.Frames {
+		if fr.ID == 0 {
+			continue // pseudo-frame wrapping a plain timeline: spans only
+		}
+		if !header {
+			fmt.Fprintln(tw, "frame\tindex\tRoI\tcoded(B)\tlatency(ms)\tslack(ms)\tstatus")
+			header = true
+		}
+		status := "ok"
+		switch {
+		case fr.Missed:
+			status = "MISS"
+		case fr.Frozen:
+			status = "frozen"
+		}
+		fmt.Fprintf(tw, "%d\t%d\t%dx%d@(%d,%d)\t%d\t%.2f\t%+.2f\t%s\n",
+			fr.ID, fr.Index, fr.RoI.W, fr.RoI.H, fr.RoI.X, fr.RoI.Y,
+			fr.CodedBytes, msf(fr.Latency), msf(fr.Slack), status)
+	}
+	return tw.Flush()
+}
+
+// finishFlight archives the recorder's window to path and prints the
+// deadline/SLO summary. No-op on a nil recorder.
+func finishFlight(rec *frametrace.Recorder, path string, w io.Writer) error {
+	if rec == nil {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rec.WriteFlight(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	rep := rec.Report()
+	fmt.Fprintf(w, "flight: %d frames begun, %d delivered, %d missed the %.2f ms deadline (%.1f%%, longest streak %d)\n",
+		rep.Frames, rep.Delivered, rep.Misses, msf(rep.Deadline), 100*rep.MissRate(), rep.LongestStreak)
+	fmt.Fprintf(w, "flight: frame latency p50 %.2f ms, p99 %.2f ms, p99.9 %.2f ms\n",
+		msf(rep.P50), msf(rep.P99), msf(rep.P999))
+	fmt.Fprintf(w, "flight window archived to %s (open in ui.perfetto.dev, or `gssr trace %s`)\n", path, path)
+	return nil
+}
+
+func msf(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
 // serveMetrics starts the telemetry endpoint (/metrics, /metrics.json,
-// /debug/pprof) on addr; it stays up for the life of the process, so long
-// runs can be scraped and profiled while they execute.
-func serveMetrics(addr string) (*telemetry.Registry, error) {
-	reg := telemetry.NewRegistry()
+// /debug/flight, /debug/pprof) on addr; it stays up for the life of the
+// process, so long runs can be scraped, profiled and flight-dumped while
+// they execute. rec optionally backs /debug/flight (nil leaves it 404).
+func serveMetrics(addr string, reg *telemetry.Registry, rec *frametrace.Recorder) error {
 	ml, err := net.Listen("tcp", addr)
 	if err != nil {
-		return nil, fmt.Errorf("metrics listener: %w", err)
+		return fmt.Errorf("metrics listener: %w", err)
 	}
-	log.Printf("telemetry on http://%s/metrics (JSON at /metrics.json, profiles at /debug/pprof/)", ml.Addr())
+	var fd telemetry.FlightDumper
+	if rec != nil {
+		fd = rec
+	}
+	log.Printf("telemetry on http://%s/metrics (JSON at /metrics.json, flight dump at /debug/flight, profiles at /debug/pprof/)", ml.Addr())
 	go func() {
-		if err := http.Serve(ml, telemetry.Handler(reg)); err != nil {
+		if err := http.Serve(ml, telemetry.Handler(reg, fd)); err != nil {
 			log.Printf("telemetry server stopped: %v", err)
 		}
 	}()
-	return reg, nil
+	return nil
 }
 
 // drawBox burns a 1-px red rectangle outline into im.

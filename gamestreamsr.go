@@ -34,6 +34,7 @@ import (
 	"gamestreamsr/internal/device"
 	"gamestreamsr/internal/experiments"
 	"gamestreamsr/internal/frame"
+	"gamestreamsr/internal/frametrace"
 	"gamestreamsr/internal/games"
 	"gamestreamsr/internal/geom"
 	"gamestreamsr/internal/metrics"
@@ -287,6 +288,23 @@ func NewCodecEncoder(cfg CodecConfig) (*CodecEncoder, error) { return codec.NewE
 
 // NewCodecDecoder builds a stream decoder.
 func NewCodecDecoder() *CodecDecoder { return codec.NewDecoder() }
+
+// Per-frame tracing and postmortem flight recording (Config.Flight,
+// StreamServer.FlightFrames); see DESIGN.md §11.
+type (
+	// FlightRecorder records per-frame spans, RoI/bitstream attributes and
+	// deadline slack into a fixed ring dumpable as a Perfetto trace.
+	FlightRecorder = frametrace.Recorder
+	// FlightConfig parameterises the recorder (ring size, deadline, metrics
+	// registry, miss callback).
+	FlightConfig = frametrace.Config
+	// FlightReport is the recorder's deadline/SLO summary.
+	FlightReport = frametrace.Report
+)
+
+// NewFlightRecorder builds a flight recorder; the zero FlightConfig gives a
+// 128-frame ring with the 60 FPS deadline.
+func NewFlightRecorder(cfg FlightConfig) *FlightRecorder { return frametrace.New(cfg) }
 
 // BufferPool is the size-bucketed frame/plane recycler threaded through the
 // frame loop (Config.Pool, Encoder.SetPool, Decoder.SetPool). See DESIGN.md

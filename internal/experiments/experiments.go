@@ -19,6 +19,7 @@ import (
 
 	"gamestreamsr/internal/device"
 	"gamestreamsr/internal/frame"
+	"gamestreamsr/internal/frametrace"
 	"gamestreamsr/internal/games"
 	"gamestreamsr/internal/metrics"
 	"gamestreamsr/internal/nemo"
@@ -47,6 +48,12 @@ type Options struct {
 	// Metrics, when non-nil, receives engine telemetry from every pipeline
 	// run an experiment performs (see internal/telemetry). Nil is a no-op.
 	Metrics *telemetry.Registry
+	// Flight, when non-nil, attaches the per-frame flight recorder to every
+	// pipeline run an experiment performs (see internal/frametrace): stage
+	// spans, deadline/SLO accounting and a dumpable postmortem window. The
+	// runs share the recorder, so its Report spans the whole experiment.
+	// Nil is a no-op.
+	Flight *frametrace.Recorder
 }
 
 func (o Options) withDefaults() Options {
@@ -156,6 +163,7 @@ func runPair(opt Options, gameID string, dev *device.Profile) (ours, base *pipel
 		SimDiv:  opt.SimDiv,
 		GOPSize: opt.GOPSize,
 		Metrics: opt.Metrics,
+		Flight:  opt.Flight,
 	}
 	gs, err := pipeline.NewGameStream(cfg)
 	if err != nil {

@@ -118,7 +118,7 @@ func ExtGOP(w io.Writer, opt Options) error {
 		if simFrames > gop {
 			simFrames = gop
 		}
-		cfg := pipeline.Config{Game: g, SimDiv: opt.SimDiv, GOPSize: gop, Metrics: opt.Metrics}
+		cfg := pipeline.Config{Game: g, SimDiv: opt.SimDiv, GOPSize: gop, Metrics: opt.Metrics, Flight: opt.Flight}
 		gs, err := pipeline.NewGameStream(cfg)
 		if err != nil {
 			return err
@@ -183,6 +183,7 @@ func ExtLoss(w io.Writer, opt Options) error {
 			Game: g, SimDiv: opt.SimDiv, GOPSize: opt.GOPSize,
 			Net:     network.Config{LossRate: rate, Seed: 11},
 			Metrics: opt.Metrics,
+			Flight:  opt.Flight,
 		}
 		gs, err := pipeline.NewGameStream(cfg)
 		if err != nil {

@@ -220,7 +220,7 @@ func Fig13(w io.Writer, opt Options) error {
 	if err != nil {
 		return err
 	}
-	cfg := pipeline.Config{Game: g, SimDiv: opt.SimDiv, GOPSize: opt.GOPSize, Metrics: opt.Metrics}
+	cfg := pipeline.Config{Game: g, SimDiv: opt.SimDiv, GOPSize: opt.GOPSize, Metrics: opt.Metrics, Flight: opt.Flight}
 	n := 3 * opt.GOPSize
 	gs, err := pipeline.NewGameStream(cfg)
 	if err != nil {
@@ -338,7 +338,7 @@ func Fig15(w io.Writer, opt Options) error {
 	if err != nil {
 		return err
 	}
-	cfg := pipeline.Config{Game: g, SimDiv: opt.SimDiv, GOPSize: opt.GOPSize, Metrics: opt.Metrics}
+	cfg := pipeline.Config{Game: g, SimDiv: opt.SimDiv, GOPSize: opt.GOPSize, Metrics: opt.Metrics, Flight: opt.Flight}
 
 	gs, err := pipeline.NewGameStream(cfg)
 	if err != nil {

@@ -1,0 +1,320 @@
+package frametrace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"gamestreamsr/internal/frame"
+	"gamestreamsr/internal/trace"
+)
+
+// This file is the recorder's interchange layer: Snapshot copies the live
+// ring into a Dump, Dump serialises to the Chrome trace-event JSON that
+// Perfetto (ui.perfetto.dev) and chrome://tracing open directly, and the
+// trace.Timeline converters make the ASCII Gantt renderer and the Perfetto
+// export share one event model — a Timeline can be exported to Perfetto
+// via FromTimeline, and a Dump rendered as ASCII via Dump.Timeline.
+
+// DumpFrame is one frame of a Dump: the stable copy of a ring record.
+type DumpFrame struct {
+	ID           uint64
+	Index        int
+	RoI          frame.Rect
+	CodedBytes   int
+	NominalBytes int
+	Frozen       bool
+	Missed       bool
+	Latency      time.Duration
+	Slack        time.Duration
+	Spans        []Span
+}
+
+// Dump is a captured flight-recorder window, oldest frame first.
+type Dump struct {
+	// Process labels the Perfetto process lane ("pipeline", a session's
+	// remote address, ...).
+	Process string
+	Frames  []DumpFrame
+}
+
+// Snapshot copies the ring's live window — the last Cap() frames, oldest
+// first — locking one slot at a time so recording continues underneath.
+// Returns an empty Dump on a nil recorder.
+func (r *Recorder) Snapshot() *Dump {
+	d := &Dump{Process: "flight"}
+	if r == nil {
+		return d
+	}
+	newest := r.next.Load()
+	if newest == 0 {
+		return d
+	}
+	oldest := uint64(1)
+	if n := uint64(len(r.ring)); newest > n {
+		oldest = newest - n + 1
+	}
+	for id := oldest; id <= newest; id++ {
+		s := &r.ring[id&r.mask]
+		s.mu.Lock()
+		rec := s.rec
+		s.mu.Unlock()
+		if rec.ID != id {
+			// The slot was reclaimed by a frame newer than the window we
+			// started from (writers raced ahead of the snapshot); its copy
+			// will be picked up at its own id if still in range.
+			continue
+		}
+		df := DumpFrame{
+			ID: rec.ID, Index: rec.Index,
+			RoI:        rec.RoI,
+			CodedBytes: rec.CodedBytes, NominalBytes: rec.NominalBytes,
+			Frozen: rec.Frozen, Missed: rec.Missed,
+			Latency: rec.Latency, Slack: rec.Slack,
+			Spans: append([]Span(nil), rec.Spans[:rec.NSpans]...),
+		}
+		d.Frames = append(d.Frames, df)
+	}
+	return d
+}
+
+// WriteFlight serialises the current window as Chrome trace-event JSON —
+// the /debug/flight payload (telemetry.FlightDumper). Safe on a nil
+// recorder (writes an empty trace).
+func (r *Recorder) WriteFlight(w io.Writer) error {
+	return r.Snapshot().WriteChromeTrace(w)
+}
+
+// Timeline converts the dump to a trace.Timeline (one event per span), so
+// the existing ASCII Gantt renderer (trace.Render) draws flight windows
+// too. Spans keep their lanes; insertion order is frame order.
+func (d *Dump) Timeline() *trace.Timeline {
+	tl := &trace.Timeline{}
+	for _, f := range d.Frames {
+		for _, s := range f.Spans {
+			tl.Add(s.Lane, s.Name, s.Start, s.End)
+		}
+	}
+	return tl
+}
+
+// FromTimeline wraps a trace.Timeline as a single-frame Dump so live
+// timelines (pipeline.Config.Trace, the Fig. 2/10c series) export to
+// Perfetto through the same WriteChromeTrace path. The pseudo-frame has
+// ID 0, which the exporter treats as "no frame attributes".
+func FromTimeline(tl *trace.Timeline, process string) *Dump {
+	d := &Dump{Process: process}
+	evs := tl.Events()
+	if len(evs) == 0 {
+		return d
+	}
+	f := DumpFrame{ID: 0, Index: -1}
+	for _, e := range evs {
+		f.Spans = append(f.Spans, Span{Lane: e.Lane, Name: e.Name, Start: e.Start, End: e.End})
+	}
+	d.Frames = []DumpFrame{f}
+	return d
+}
+
+// --- Chrome trace-event JSON -------------------------------------------------
+
+// chromeEvent is one entry of the trace-event format's "traceEvents" array
+// (ph "X" = complete span, ph "M" = metadata). Timestamps and durations
+// are microseconds.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// NamedDump labels one dump inside a multi-process export.
+type NamedDump struct {
+	Name string
+	Dump *Dump
+}
+
+func usec(d time.Duration) float64 { return float64(d) / float64(time.Microsecond) }
+
+// WriteChromeTrace serialises the dump as Chrome trace-event JSON.
+func (d *Dump) WriteChromeTrace(w io.Writer) error {
+	name := d.Process
+	if name == "" {
+		name = "flight"
+	}
+	return WriteChromeTraces(w, []NamedDump{{Name: name, Dump: d}})
+}
+
+// WriteChromeTraces serialises several dumps into one trace file, one
+// Perfetto process per dump (how a multi-session server exposes every
+// session's flight window in a single /debug/flight payload). Lanes become
+// named threads; every span carries its frame's attributes in args so a
+// deadline postmortem has the RoI and bitstream context inline.
+func WriteChromeTraces(w io.Writer, dumps []NamedDump) error {
+	var ct chromeTrace
+	ct.DisplayTimeUnit = "ms"
+	ct.TraceEvents = []chromeEvent{} // keep "traceEvents" an array, never null
+	for pi, nd := range dumps {
+		pid := pi + 1
+		ct.TraceEvents = append(ct.TraceEvents, chromeEvent{
+			Name: "process_name", Ph: "M", Pid: pid,
+			Args: map[string]any{"name": nd.Name},
+		})
+		// Lanes map to tids in first-appearance order.
+		tids := map[string]int{}
+		laneTid := func(lane string) int {
+			tid, ok := tids[lane]
+			if !ok {
+				tid = len(tids) + 1
+				tids[lane] = tid
+				ct.TraceEvents = append(ct.TraceEvents, chromeEvent{
+					Name: "thread_name", Ph: "M", Pid: pid, Tid: tid,
+					Args: map[string]any{"name": lane},
+				})
+			}
+			return tid
+		}
+		for _, f := range nd.Dump.Frames {
+			for _, s := range f.Spans {
+				ev := chromeEvent{
+					Name: s.Name, Cat: "frame", Ph: "X",
+					Ts: usec(s.Start), Dur: usec(s.Duration()),
+					Pid: pid, Tid: laneTid(s.Lane),
+				}
+				if f.ID != 0 {
+					ev.Args = map[string]any{
+						"frame_id":      f.ID,
+						"frame_index":   f.Index,
+						"roi_x":         f.RoI.X,
+						"roi_y":         f.RoI.Y,
+						"roi_w":         f.RoI.W,
+						"roi_h":         f.RoI.H,
+						"roi_area":      f.RoI.W * f.RoI.H,
+						"coded_bytes":   f.CodedBytes,
+						"nominal_bytes": f.NominalBytes,
+						"frozen":        f.Frozen,
+						"missed":        f.Missed,
+						"latency_us":    usec(f.Latency),
+						"slack_us":      usec(f.Slack),
+					}
+				}
+				ct.TraceEvents = append(ct.TraceEvents, ev)
+			}
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(ct)
+}
+
+// ParseChromeTrace reads a trace produced by WriteChromeTrace(s) back into
+// dumps, one per process — what `gssr trace` uses to render a flight dump
+// offline. Spans regain their lanes from the thread_name metadata; frame
+// attributes come from the span args.
+func ParseChromeTrace(r io.Reader) ([]NamedDump, error) {
+	var ct chromeTrace
+	if err := json.NewDecoder(r).Decode(&ct); err != nil {
+		return nil, fmt.Errorf("frametrace: parsing trace: %w", err)
+	}
+	procs := map[int]*NamedDump{}
+	lanes := map[[2]int]string{} // (pid, tid) → lane
+	var order []int
+	proc := func(pid int) *NamedDump {
+		nd, ok := procs[pid]
+		if !ok {
+			nd = &NamedDump{Name: fmt.Sprintf("process %d", pid), Dump: &Dump{}}
+			procs[pid] = nd
+			order = append(order, pid)
+		}
+		return nd
+	}
+	// frames keyed by (pid, frame id); id 0 collects unattributed spans.
+	type fkey struct {
+		pid int
+		id  uint64
+	}
+	frames := map[fkey]*DumpFrame{}
+	var forder []fkey
+	for _, ev := range ct.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			name, _ := ev.Args["name"].(string)
+			switch ev.Name {
+			case "process_name":
+				proc(ev.Pid).Name = name
+			case "thread_name":
+				lanes[[2]int{ev.Pid, ev.Tid}] = name
+			}
+		case "X":
+			proc(ev.Pid)
+			id := uint64(num(ev.Args["frame_id"]))
+			k := fkey{ev.Pid, id}
+			f, ok := frames[k]
+			if !ok {
+				f = &DumpFrame{ID: id, Index: -1}
+				if id != 0 {
+					f.Index = int(num(ev.Args["frame_index"]))
+					f.RoI = frame.Rect{
+						X: int(num(ev.Args["roi_x"])), Y: int(num(ev.Args["roi_y"])),
+						W: int(num(ev.Args["roi_w"])), H: int(num(ev.Args["roi_h"])),
+					}
+					f.CodedBytes = int(num(ev.Args["coded_bytes"]))
+					f.NominalBytes = int(num(ev.Args["nominal_bytes"]))
+					f.Frozen, _ = ev.Args["frozen"].(bool)
+					f.Missed, _ = ev.Args["missed"].(bool)
+					f.Latency = time.Duration(num(ev.Args["latency_us"]) * float64(time.Microsecond))
+					f.Slack = time.Duration(num(ev.Args["slack_us"]) * float64(time.Microsecond))
+				}
+				frames[k] = f
+				forder = append(forder, k)
+			}
+			lane := lanes[[2]int{ev.Pid, ev.Tid}]
+			if lane == "" {
+				lane = fmt.Sprintf("tid %d", ev.Tid)
+			}
+			start := time.Duration(ev.Ts * float64(time.Microsecond))
+			f.Spans = append(f.Spans, Span{
+				Lane: lane, Name: ev.Name,
+				Start: start, End: start + time.Duration(ev.Dur*float64(time.Microsecond)),
+			})
+		}
+	}
+	// Frames attach to their process in frame-id order (insertion order for
+	// the pseudo-frame 0).
+	sort.SliceStable(forder, func(i, j int) bool {
+		if forder[i].pid != forder[j].pid {
+			return forder[i].pid < forder[j].pid
+		}
+		return forder[i].id < forder[j].id
+	})
+	for _, k := range forder {
+		nd := procs[k.pid]
+		nd.Dump.Frames = append(nd.Dump.Frames, *frames[k])
+	}
+	sort.Ints(order)
+	out := make([]NamedDump, 0, len(order))
+	for _, pid := range order {
+		nd := procs[pid]
+		nd.Dump.Process = nd.Name
+		out = append(out, *nd)
+	}
+	return out, nil
+}
+
+// num coerces a decoded JSON value to float64 (json numbers decode as
+// float64; absent keys give 0).
+func num(v any) float64 {
+	f, _ := v.(float64)
+	return f
+}

@@ -3,16 +3,23 @@ package pipeline
 import (
 	"runtime"
 	"testing"
+
+	"gamestreamsr/internal/frametrace"
 )
 
 // measureEngineAllocs returns the marginal heap allocations and bytes per
 // frame of a GameStream run: two runs of different lengths are measured and
 // differenced, so per-run setup cost (encoder, channels, goroutines) cancels
-// out and only the steady-state per-frame cost remains.
-func measureEngineAllocs(t testing.TB, short, long int) (allocs, bytes float64) {
+// out and only the steady-state per-frame cost remains. mutate, when
+// non-nil, adjusts the config before each run (instrumentation variants).
+func measureEngineAllocs(t testing.TB, short, long int, mutate func(*Config)) (allocs, bytes float64) {
 	t.Helper()
 	run := func(n int) (float64, float64) {
-		g, err := NewGameStream(testConfig(t))
+		cfg := testConfig(t)
+		if mutate != nil {
+			mutate(&cfg)
+		}
+		g, err := NewGameStream(cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -49,10 +56,34 @@ func TestEngineSteadyStateAllocs(t *testing.T) {
 	if testing.Short() {
 		t.Skip("alloc measurement is slow")
 	}
-	perFrame, bytesPerFrame := measureEngineAllocs(t, 6, 18)
+	perFrame, bytesPerFrame := measureEngineAllocs(t, 6, 18, nil)
 	t.Logf("engine steady-state: %.1f allocs/frame, %.0f bytes/frame", perFrame, bytesPerFrame)
 	const budget = 194 // baseline 971.8 / 5, see BENCH_alloc.json
 	if perFrame > budget {
 		t.Errorf("engine allocates %.1f objects/frame in steady state, budget %d", perFrame, budget)
+	}
+}
+
+// TestEngineSteadyStateAllocsWithFlight extends the gate to the flight
+// recorder: with a recorder attached the engine must meet the same budget
+// AND add no per-frame allocations over the unrecorded engine — the ring is
+// pre-allocated, spans live in fixed arrays and deadline accounting reuses
+// a scratch buffer. (frametrace's TestRecorderHotPathAllocs pins the
+// recorder-only path to exactly zero; this is the whole-engine check, with
+// sub-allocation tolerance for measurement noise.)
+func TestEngineSteadyStateAllocsWithFlight(t *testing.T) {
+	if testing.Short() {
+		t.Skip("alloc measurement is slow")
+	}
+	rec := frametrace.New(frametrace.Config{})
+	withFlight, bytesPerFrame := measureEngineAllocs(t, 6, 18, func(cfg *Config) { cfg.Flight = rec })
+	plain, _ := measureEngineAllocs(t, 6, 18, nil)
+	t.Logf("flight attached: %.1f allocs/frame (%.0f bytes/frame), plain: %.1f", withFlight, bytesPerFrame, plain)
+	const budget = 194 // same gate as TestEngineSteadyStateAllocs
+	if withFlight > budget {
+		t.Errorf("flight-attached engine allocates %.1f objects/frame, budget %d", withFlight, budget)
+	}
+	if delta := withFlight - plain; delta >= 1 {
+		t.Errorf("flight recorder adds %.1f allocs/frame, want 0", delta)
 	}
 }

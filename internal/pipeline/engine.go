@@ -9,6 +9,7 @@ import (
 	"gamestreamsr/internal/codec"
 	"gamestreamsr/internal/device"
 	"gamestreamsr/internal/frame"
+	"gamestreamsr/internal/frametrace"
 	"gamestreamsr/internal/geom"
 	"gamestreamsr/internal/metrics"
 	"gamestreamsr/internal/network"
@@ -41,6 +42,11 @@ import (
 type FrameJob struct {
 	// Index is the frame number within the run.
 	Index int
+	// ID is the flight recorder's monotonically increasing frame ID (0 when
+	// no recorder is attached). It is claimed on the server stage and rides
+	// the job through every stage, so spans and attributes recorded
+	// anywhere in the pipeline attach to the same per-frame record.
+	ID uint64
 	// Scene and Cam let the measure stage render the ground truth lazily
 	// (a frozen frame with nothing on screen never needs it).
 	Scene *render.Scene
@@ -205,6 +211,11 @@ type engineRun struct {
 	tl    *trace.Timeline
 	tlMu  sync.Mutex
 	start time.Time
+	// flight is the optional per-frame flight recorder; every method is a
+	// nil-safe no-op. latScratch is the measure stage's reusable buffer for
+	// deadline accounting, so ObserveDeadline costs no allocation per frame.
+	flight     *frametrace.Recorder
+	latScratch [3]frametrace.StageLatency
 
 	stop chan struct{}
 	once sync.Once
@@ -246,18 +257,22 @@ func RunEngine(cfg Config, opt EngineOptions, v Variant, nFrames int) (*Result, 
 		jobFree:   make(chan *FrameJob, 3+2*opt.Depth),
 		mets:      newEngineMetrics(cfg.Metrics),
 		tl:        cfg.Trace,
+		flight:    cfg.Flight,
 		start:     time.Now(),
 		stop:      make(chan struct{}),
 	}
 	return e.run(nFrames)
 }
 
-// observeSpan records one stage execution in the span histogram and, when a
-// live Timeline is attached, as a trace event on the stage's lane. Called
-// concurrently from every stage goroutine.
-func (e *engineRun) observeSpan(lane string, h *telemetry.Histogram, t0 time.Time) {
+// observeSpan records one stage execution in the span histogram, in the
+// flight recorder's per-frame record, and — when a live Timeline is
+// attached — as a trace event on the stage's lane. Called concurrently
+// from every stage goroutine; the recorder locks per frame slot and the
+// Timeline writes are serialised by tlMu.
+func (e *engineRun) observeSpan(id uint64, lane string, h *telemetry.Histogram, t0 time.Time) {
 	d := time.Since(t0)
 	h.ObserveDuration(d)
+	e.flight.Span(id, lane, lane, t0, d)
 	if e.tl != nil {
 		off := t0.Sub(e.start)
 		e.tlMu.Lock()
@@ -307,7 +322,7 @@ func (e *engineRun) run(nFrames int) (*Result, error) {
 				e.fail(err)
 				return
 			}
-			e.observeSpan("server", e.mets.serverSpan, t0)
+			e.observeSpan(job.ID, "server", e.mets.serverSpan, t0)
 			e.mets.frames.Inc()
 			e.mets.roiArea.Observe(float64(job.RoI.W * job.RoI.H))
 			e.mets.codedBytes.Observe(float64(job.CodedBytes))
@@ -334,7 +349,7 @@ func (e *engineRun) run(nFrames int) (*Result, error) {
 					e.fail(err)
 					return
 				}
-				e.observeSpan(st.name, st.span, t0)
+				e.observeSpan(job.ID, st.name, st.span, t0)
 				tSend := time.Now()
 				select {
 				case out <- job:
@@ -356,7 +371,7 @@ func (e *engineRun) run(nFrames int) (*Result, error) {
 			e.fail(err)
 			break
 		}
-		e.observeSpan(last.name, last.span, t0)
+		e.observeSpan(job.ID, last.name, last.span, t0)
 		// The job header is fully consumed; hand it back to the server
 		// stage (results hold their own copies of anything they keep).
 		*job = FrameJob{}
@@ -377,6 +392,10 @@ func (e *engineRun) run(nFrames int) (*Result, error) {
 // and detector/tracker state.
 func (e *engineRun) serverFrame(i int) (*FrameJob, error) {
 	cfg := e.cfg
+	// Claim the flight-recorder frame ID first so the server span and the
+	// encode attributes land inside this frame's window (0 when recording
+	// is off).
+	fid := e.flight.BeginFrame(i)
 	sc, cam := cfg.Game.Frame(cfg.StartFrame + i*cfg.FrameStride)
 	// The render targets persist across frames (every pixel is rewritten);
 	// nothing downstream references them — the color plane is consumed by
@@ -407,6 +426,7 @@ func (e *engineRun) serverFrame(i int) (*FrameJob, error) {
 	}
 	*job = FrameJob{
 		Index: i,
+		ID:    fid,
 		Scene: sc, Cam: cam,
 		Pool:         e.pool,
 		RoI:          roiRect,
@@ -415,6 +435,7 @@ func (e *engineRun) serverFrame(i int) (*FrameJob, error) {
 		NominalBytes: ModelFrameBytes(e.lrPx, cfg.GOPSize, ftype),
 		data:         data,
 	}
+	e.flight.SetEncode(fid, roiRect, job.CodedBytes, job.NominalBytes)
 	return job, nil
 }
 
@@ -456,6 +477,7 @@ func (e *engineRun) clientFrame(job *FrameJob) error {
 		job.Frozen = true
 		job.Display = e.lastUp // may be nil: nothing on screen yet
 		e.mets.frozen.Inc()
+		e.flight.SetFrozen(job.ID)
 		return nil
 	}
 	job.InputLat = e.opt.Net.UplinkLatency()
@@ -513,6 +535,7 @@ func (e *engineRun) measureFrame(job *FrameJob) (FrameResult, error) {
 	if err != nil {
 		return FrameResult{}, err
 	}
+	e.observeDeadline(job.ID, st)
 	fr := FrameResult{
 		Index:  job.Index,
 		Type:   job.Type,
@@ -528,6 +551,22 @@ func (e *engineRun) measureFrame(job *FrameJob) (FrameResult, error) {
 	}
 	e.retireUp(job)
 	return fr, nil
+}
+
+// observeDeadline accounts one delivered frame's modelled client-side
+// latency (decode + upscale + display — the work the device must finish
+// inside the 16.66 ms budget of §IV) against the flight recorder's
+// deadline. Runs on the measure stage only, in frame order, reusing the
+// engine's scratch buffer so the hot path stays allocation-free. Frozen
+// frames never reach it: they have no client-side stages.
+func (e *engineRun) observeDeadline(id uint64, st Stages) {
+	if e.flight == nil {
+		return
+	}
+	e.latScratch[0] = frametrace.StageLatency{Name: "decode", D: st.Decode}
+	e.latScratch[1] = frametrace.StageLatency{Name: "upscale", D: st.Upscale}
+	e.latScratch[2] = frametrace.StageLatency{Name: "display", D: st.Display}
+	e.flight.ObserveDeadline(id, e.latScratch[:])
 }
 
 // frozenFrame records a lost frame: the client shows the freeze frame while

@@ -19,6 +19,7 @@ import (
 	"gamestreamsr/internal/codec"
 	"gamestreamsr/internal/device"
 	"gamestreamsr/internal/frame"
+	"gamestreamsr/internal/frametrace"
 	"gamestreamsr/internal/games"
 	"gamestreamsr/internal/network"
 	"gamestreamsr/internal/render"
@@ -110,6 +111,15 @@ type Config struct {
 	// can be rendered from a live run. The engine serialises its own
 	// writes; don't write to the same Timeline concurrently elsewhere.
 	Trace *trace.Timeline
+
+	// Flight, when non-nil, attaches a per-frame flight recorder: every
+	// frame gets a monotonically increasing ID, per-stage wall-clock spans
+	// and its RoI/coded-bytes attributes in a fixed ring holding the last N
+	// frames, plus deadline/SLO accounting on the modelled client latency
+	// (see internal/frametrace and DESIGN.md §11). Recording is lock-light,
+	// allocation-free in steady state and never alters results — the
+	// determinism tests run with a recorder attached.
+	Flight *frametrace.Recorder
 }
 
 // WithDefaults returns the effective configuration.

@@ -1,25 +1,28 @@
 package pipeline_test
 
-// Overhead contract of the telemetry layer: an engine run with a live
+// Overhead contract of the observability layers: an engine run with a live
 // Registry must stay within ~2% of a nil-Registry run (the instrumentation
-// is a handful of atomics per frame against milliseconds of pixel work).
-// BENCH_telemetry.json records the measured pair.
+// is a handful of atomics per frame against milliseconds of pixel work),
+// and likewise with the flight recorder attached (a few slot-mutex writes
+// per frame). BENCH_telemetry.json and BENCH_frametrace.json record the
+// measured pairs.
 
 import (
 	"testing"
 
+	"gamestreamsr/internal/frametrace"
 	"gamestreamsr/internal/games"
 	"gamestreamsr/internal/pipeline"
 	"gamestreamsr/internal/telemetry"
 )
 
-func benchmarkEngine(b *testing.B, reg *telemetry.Registry) {
+func benchmarkEngine(b *testing.B, reg *telemetry.Registry, rec *frametrace.Recorder) {
 	b.Helper()
 	g, err := games.ByID("G3")
 	if err != nil {
 		b.Fatal(err)
 	}
-	cfg := pipeline.Config{Game: g, SimDiv: 8, GOPSize: 4, Metrics: reg}
+	cfg := pipeline.Config{Game: g, SimDiv: 8, GOPSize: 4, Metrics: reg, Flight: rec}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -33,6 +36,13 @@ func benchmarkEngine(b *testing.B, reg *telemetry.Registry) {
 	}
 }
 
-func BenchmarkEngineTelemetryNil(b *testing.B) { benchmarkEngine(b, nil) }
+func BenchmarkEngineTelemetryNil(b *testing.B) { benchmarkEngine(b, nil, nil) }
 
-func BenchmarkEngineTelemetryEnabled(b *testing.B) { benchmarkEngine(b, telemetry.NewRegistry()) }
+func BenchmarkEngineTelemetryEnabled(b *testing.B) { benchmarkEngine(b, telemetry.NewRegistry(), nil) }
+
+// BenchmarkEngineFlightEnabled is the flight recorder's overhead benchmark
+// at the default ring size — compare against BenchmarkEngineTelemetryNil
+// (methodology of BENCH_frametrace.json).
+func BenchmarkEngineFlightEnabled(b *testing.B) {
+	benchmarkEngine(b, nil, frametrace.New(frametrace.Config{}))
+}

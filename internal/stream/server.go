@@ -4,11 +4,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"log"
 	"net"
 	"sync"
 
 	"gamestreamsr/internal/frame"
+	"gamestreamsr/internal/frametrace"
 	"gamestreamsr/internal/telemetry"
 )
 
@@ -36,12 +38,31 @@ type MultiServer struct {
 	// and active session counts, plus the per-session frame/byte/latency
 	// metrics (see ServerOptions.Metrics). Nil is a no-op.
 	Metrics *telemetry.Registry
+	// FlightFrames, when > 0, attaches a flight recorder of that many
+	// frames to every session (see ServerOptions.Flight). The server keeps
+	// the recorders of live sessions plus the most recently finished ones,
+	// and WriteFlight merges their windows into one Chrome trace (one
+	// Perfetto process per session) — the MultiServer itself is the
+	// telemetry.FlightDumper behind /debug/flight.
+	FlightFrames int
 
 	mu       sync.Mutex
 	sessions map[net.Conn]struct{}
+	flights  []*sessionFlight
 	listener net.Listener
 	closed   bool
 }
+
+// sessionFlight pairs one session's flight recorder with its identity.
+type sessionFlight struct {
+	remote string
+	rec    *frametrace.Recorder
+	live   bool
+}
+
+// retiredFlights bounds how many finished sessions' recorders stay
+// dumpable after their connection closes.
+const retiredFlights = 4
 
 // errServerClosed is returned by Serve after Shutdown.
 var errServerClosed = errors.New("stream: server closed")
@@ -122,6 +143,8 @@ func (s *MultiServer) serveSession(conn net.Conn) {
 		Accept:    s.Accept,
 		MaxFrames: s.MaxFrames,
 		Metrics:   s.Metrics,
+		Flight:    s.beginFlight(remote),
+		Remote:    remote,
 		Source:    deferredSource{get: func() FrameSource { return src }},
 		OnInput: func(in InputPacket) {
 			if s.OnInput != nil {
@@ -135,6 +158,68 @@ func (s *MultiServer) serveSession(conn net.Conn) {
 		},
 	})
 	_ = err // per-session errors end that session only
+	s.endFlight(remote)
+}
+
+// beginFlight attaches a flight recorder to a new session (nil when
+// FlightFrames is off), retiring the oldest finished recorders beyond the
+// retention cap. Per-session recorders keep frame IDs independent across
+// concurrent sessions; they share the server's Metrics registry, so miss
+// counters aggregate (the streak gauges are last-writer-wins across
+// sessions).
+func (s *MultiServer) beginFlight(remote string) *frametrace.Recorder {
+	if s.FlightFrames <= 0 {
+		return nil
+	}
+	rec := frametrace.New(frametrace.Config{Frames: s.FlightFrames, Metrics: s.Metrics})
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.flights = append(s.flights, &sessionFlight{remote: remote, rec: rec, live: true})
+	retired := 0
+	for _, f := range s.flights {
+		if !f.live {
+			retired++
+		}
+	}
+	for i := 0; retired > retiredFlights && i < len(s.flights); {
+		if !s.flights[i].live {
+			s.flights = append(s.flights[:i], s.flights[i+1:]...)
+			retired--
+			continue
+		}
+		i++
+	}
+	return rec
+}
+
+// endFlight marks the most recent live recorder of remote as finished; its
+// window stays dumpable until retention evicts it.
+func (s *MultiServer) endFlight(remote string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := len(s.flights) - 1; i >= 0; i-- {
+		if f := s.flights[i]; f.live && f.remote == remote {
+			f.live = false
+			return
+		}
+	}
+}
+
+// WriteFlight merges every retained session's flight window into one
+// Chrome trace-event JSON payload, one Perfetto process per session —
+// the /debug/flight implementation (telemetry.FlightDumper).
+func (s *MultiServer) WriteFlight(w io.Writer) error {
+	s.mu.Lock()
+	dumps := make([]frametrace.NamedDump, 0, len(s.flights))
+	for _, f := range s.flights {
+		name := f.remote
+		if !f.live {
+			name += " (closed)"
+		}
+		dumps = append(dumps, frametrace.NamedDump{Name: name, Dump: f.rec.Snapshot()})
+	}
+	s.mu.Unlock()
+	return frametrace.WriteChromeTraces(w, dumps)
 }
 
 // deferredSource resolves its FrameSource lazily: the real source is only

@@ -1,15 +1,21 @@
 package stream
 
 import (
+	"bytes"
 	"context"
 	"errors"
+	"fmt"
 	"io"
+	"log"
 	"net"
+	"os"
+	"strings"
 	"sync"
 	"testing"
 	"time"
 
 	"gamestreamsr/internal/frame"
+	"gamestreamsr/internal/frametrace"
 	"gamestreamsr/internal/telemetry"
 )
 
@@ -300,5 +306,153 @@ func TestMultiServerSessionTelemetry(t *testing.T) {
 	}
 	if got := s.Gauge("stream_sessions_active"); got != 0 {
 		t.Errorf("sessions_active = %d after shutdown, want 0", got)
+	}
+}
+
+// TestMultiServerFlightRecorders asserts the per-session flight wiring:
+// with FlightFrames on, every session records its sends (span, payload
+// size, RoI, deadline verdict) and WriteFlight merges all retained windows
+// into one parseable multi-process Chrome trace.
+func TestMultiServerFlightRecorders(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	const nFrames = 5
+	srv := &MultiServer{
+		Accept:       Accept{Width: 32, Height: 32, GOPSize: 4, QStep: 6},
+		Metrics:      reg,
+		FlightFrames: 8,
+		NewSource:    func(Hello) (FrameSource, error) { return &countingSource{n: nFrames}, nil },
+	}
+	addr, done := startMulti(t, srv)
+	for i := 0; i < 2; i++ {
+		if got := runClient(t, addr, "client"); got != nFrames {
+			t.Fatalf("client got %d frames", got)
+		}
+	}
+	if err := srv.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+
+	var buf bytes.Buffer
+	if err := srv.WriteFlight(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dumps, err := frametrace.ParseChromeTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dumps) != 2 {
+		t.Fatalf("flight dump has %d sessions, want 2", len(dumps))
+	}
+	for _, nd := range dumps {
+		if !strings.Contains(nd.Name, "(closed)") {
+			t.Errorf("finished session %q not marked closed", nd.Name)
+		}
+		if len(nd.Dump.Frames) != nFrames {
+			t.Fatalf("session %q recorded %d frames, want %d", nd.Name, len(nd.Dump.Frames), nFrames)
+		}
+		for _, f := range nd.Dump.Frames {
+			if len(f.Spans) != 1 || f.Spans[0].Lane != "send" {
+				t.Errorf("frame %d spans = %+v, want one send span", f.ID, f.Spans)
+			}
+			// countingSource payloads are 1 byte, RoI 4x4.
+			if f.CodedBytes != 1 || f.RoI.W != 4 || f.RoI.H != 4 {
+				t.Errorf("frame %d attributes = %+v", f.ID, f)
+			}
+			if f.Latency <= 0 {
+				t.Errorf("frame %d send not accounted against the deadline", f.ID)
+			}
+		}
+	}
+	// The sessions' SLO instruments share the server registry.
+	if got := reg.Snapshot().Counter("frametrace_frames_total"); got != 2*nFrames {
+		t.Errorf("frametrace_frames_total = %d, want %d", got, 2*nFrames)
+	}
+}
+
+// TestMultiServerFlightRetention asserts finished sessions' recorders stay
+// dumpable only up to the retention cap.
+func TestMultiServerFlightRetention(t *testing.T) {
+	srv := &MultiServer{
+		Accept:       Accept{Width: 32, Height: 32, GOPSize: 4, QStep: 6},
+		FlightFrames: 4,
+		NewSource:    func(Hello) (FrameSource, error) { return &countingSource{n: 1}, nil },
+	}
+	addr, done := startMulti(t, srv)
+	const sessions = retiredFlights + 4
+	for i := 0; i < sessions; i++ {
+		runClient(t, addr, "client")
+	}
+	if err := srv.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+
+	srv.mu.Lock()
+	kept := len(srv.flights)
+	srv.mu.Unlock()
+	// Pruning runs at session start, so the cap can be exceeded by the
+	// sessions that finished after the last prune — but it must not grow
+	// with the session count.
+	if kept > retiredFlights+2 {
+		t.Errorf("%d recorders retained after %d sessions, cap is ~%d", kept, sessions, retiredFlights)
+	}
+	var buf bytes.Buffer
+	if err := srv.WriteFlight(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if dumps, err := frametrace.ParseChromeTrace(&buf); err != nil || len(dumps) != kept {
+		t.Errorf("dump has %d sessions (err %v), want %d", len(dumps), err, kept)
+	}
+}
+
+// TestServeFlightAndSlowSendLog asserts the session send loop records into
+// an externally owned recorder and logs send-latency outliers with the
+// flight frame ID (the log line is the server-side correlation handle).
+func TestServeFlightAndSlowSendLog(t *testing.T) {
+	rec := frametrace.New(frametrace.Config{Frames: 8})
+	var logBuf bytes.Buffer
+	log.SetOutput(&logBuf)
+	defer log.SetOutput(os.Stderr)
+
+	server, client := net.Pipe()
+	defer client.Close()
+	go func() {
+		defer server.Close()
+		Serve(server, ServerOptions{
+			Accept:   Accept{Width: 32, Height: 32, GOPSize: 4, QStep: 6},
+			Source:   &countingSource{n: 3},
+			Flight:   rec,
+			SlowSend: time.Nanosecond, // every send is an outlier
+			Remote:   "test-peer",
+		})
+	}()
+	c := NewClient(client)
+	if _, err := c.Handshake(Hello{Device: "d", RoIWindow: 8, Scale: 2}); err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for {
+		if _, err := c.RecvFrame(); err != nil {
+			break
+		}
+		n++
+	}
+	if n != 3 {
+		t.Fatalf("client got %d frames", n)
+	}
+	d := rec.Snapshot()
+	if len(d.Frames) != 3 {
+		t.Fatalf("recorder holds %d frames, want 3", len(d.Frames))
+	}
+	logs := logBuf.String()
+	for _, f := range d.Frames {
+		want := fmt.Sprintf("flight id %d", f.ID)
+		if !strings.Contains(logs, want) {
+			t.Errorf("slow-send log missing %q:\n%s", want, logs)
+		}
+	}
+	if !strings.Contains(logs, "slow send to test-peer") {
+		t.Errorf("slow-send log missing the remote tag:\n%s", logs)
 	}
 }

@@ -4,10 +4,12 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log"
 	"sync"
 	"time"
 
 	"gamestreamsr/internal/frame"
+	"gamestreamsr/internal/frametrace"
 	"gamestreamsr/internal/telemetry"
 )
 
@@ -36,7 +38,27 @@ type ServerOptions struct {
 	// payload bytes sent, and a per-frame send-latency histogram. Nil is
 	// a no-op.
 	Metrics *telemetry.Registry
+	// Flight, when non-nil, records every frame send into a flight
+	// recorder: the send span on the "send" lane plus the frame's RoI and
+	// payload size, and the send latency accounted against the recorder's
+	// deadline — so a stalled socket shows up as a deadline-miss streak and
+	// the window around it can be dumped (see internal/frametrace). The
+	// recorder's frame IDs also tag the slow-send log lines, correlating
+	// server logs with client-side traces of the same stream. Nil is a
+	// no-op.
+	Flight *frametrace.Recorder
+	// SlowSend is the send-latency threshold above which a frame's send is
+	// logged as an outlier (with its index and flight-recorder frame ID).
+	// 0 picks DefaultSlowSend; negative disables the log.
+	SlowSend time.Duration
+	// Remote tags this session's log lines (typically the client address).
+	Remote string
 }
+
+// DefaultSlowSend is the default outlier threshold for frame-send logging:
+// three 60 FPS frame budgets — a send this slow means the link, not the
+// encoder, is pacing the stream.
+const DefaultSlowSend = 50 * time.Millisecond
 
 // Serve runs one server session over conn: handshake, then frames until the
 // source is exhausted, then Bye. Client input arriving during the stream is
@@ -95,8 +117,14 @@ func Serve(conn io.ReadWriter, opt ServerOptions) error {
 	framesSent := opt.Metrics.Counter("stream_frames_sent_total")
 	bytesSent := opt.Metrics.Counter("stream_bytes_sent_total")
 	sendLat := opt.Metrics.Histogram("stream_frame_send_seconds", telemetry.LatencyBuckets())
+	slowSend := opt.SlowSend
+	if slowSend == 0 {
+		slowSend = DefaultSlowSend
+	}
 
 	var sendErr error
+	// Reused across frames so deadline accounting allocates nothing.
+	var latScratch [1]frametrace.StageLatency
 	for i := 0; opt.MaxFrames == 0 || i < opt.MaxFrames; i++ {
 		payload, key, roi, err := opt.Source.NextFrame(i)
 		if err == io.EOF {
@@ -107,12 +135,25 @@ func Serve(conn io.ReadWriter, opt ServerOptions) error {
 			break
 		}
 		pkt := FramePacket{Index: uint32(i), Keyenc: key, RoI: roi, Payload: payload}
+		fid := opt.Flight.BeginFrame(i)
+		opt.Flight.SetEncode(fid, roi, len(payload), len(payload))
 		t0 := time.Now()
 		if err := WriteFrame(conn, pkt); err != nil {
 			sendErr = fmt.Errorf("stream: writing frame %d: %w", i, err)
 			break
 		}
-		sendLat.ObserveDuration(time.Since(t0))
+		d := time.Since(t0)
+		opt.Flight.Span(fid, "send", "send", t0, d)
+		// The send latency is the server's whole per-frame budget on the
+		// wire side; accounting it against the recorder's deadline makes a
+		// stalled client socket visible as a miss streak on /metrics.
+		latScratch[0] = frametrace.StageLatency{Name: "send", D: d}
+		opt.Flight.ObserveDeadline(fid, latScratch[:])
+		if slowSend > 0 && d > slowSend {
+			log.Printf("stream: slow send to %s: frame %d (flight id %d) took %v (%d B, RoI %dx%d)",
+				opt.Remote, i, fid, d, len(payload), roi.W, roi.H)
+		}
+		sendLat.ObserveDuration(d)
 		framesSent.Inc()
 		bytesSent.Add(int64(len(payload)))
 	}

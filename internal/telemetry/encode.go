@@ -25,6 +25,7 @@ func (s Snapshot) WriteJSON(w io.Writer) error {
 		P50     float64      `json:"p50"`
 		P95     float64      `json:"p95"`
 		P99     float64      `json:"p99"`
+		P999    float64      `json:"p999"`
 		Buckets []jsonBucket `json:"buckets"`
 	}
 	out := struct {
@@ -38,6 +39,7 @@ func (s Snapshot) WriteJSON(w io.Writer) error {
 			jh.P50, _ = h.Quantile(50)
 			jh.P95, _ = h.Quantile(95)
 			jh.P99, _ = h.Quantile(99)
+			jh.P999, _ = h.Quantile(99.9)
 		}
 		for _, b := range h.Buckets {
 			jb := jsonBucket{Count: b.Count}

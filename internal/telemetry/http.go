@@ -1,19 +1,39 @@
 package telemetry
 
 import (
+	"io"
 	"net/http"
 	"net/http/pprof"
 )
 
+// FlightDumper serialises a flight-recorder window as Chrome trace-event
+// JSON. It is implemented by frametrace.Recorder and by stream.MultiServer
+// (which merges its per-session recorders); the interface lives here so
+// the HTTP layer stays free of a frametrace dependency.
+type FlightDumper interface {
+	WriteFlight(w io.Writer) error
+}
+
 // Handler returns the metrics endpoint mux:
 //
 //	/metrics         Prometheus text exposition
-//	/metrics.json    indented JSON snapshot with p50/p95/p99 per histogram
+//	/metrics.json    indented JSON snapshot with p50/p95/p99/p99.9 per histogram
+//	/debug/flight    Chrome trace-event JSON of the flight recorder's window
+//	                 (open it in ui.perfetto.dev); 404 when no recorder is wired
 //	/debug/pprof/*   the standard net/http/pprof profiles
 //
 // The handler is safe with a nil registry (it serves empty snapshots), so
 // callers can register it unconditionally and flip telemetry on later.
-func Handler(r *Registry) http.Handler {
+// flight optionally wires the /debug/flight source; when several are given
+// the first non-nil one serves the endpoint.
+func Handler(r *Registry, flight ...FlightDumper) http.Handler {
+	var fd FlightDumper
+	for _, f := range flight {
+		if f != nil {
+			fd = f
+			break
+		}
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -22,6 +42,14 @@ func Handler(r *Registry) http.Handler {
 	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		_ = r.Snapshot().WriteJSON(w)
+	})
+	mux.HandleFunc("/debug/flight", func(w http.ResponseWriter, _ *http.Request) {
+		if fd == nil {
+			http.Error(w, "no flight recorder attached (run with a flight-enabled pipeline)", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = fd.WriteFlight(w)
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

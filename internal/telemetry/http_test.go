@@ -1,0 +1,121 @@
+package telemetry
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// fakeFlight is a stand-in FlightDumper: a canned JSON payload.
+type fakeFlight struct{ payload string }
+
+func (f fakeFlight) WriteFlight(w io.Writer) error {
+	_, err := io.WriteString(w, f.payload)
+	return err
+}
+
+func handlerGet(t *testing.T, h http.Handler, path string) (int, string, string) {
+	t.Helper()
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body), resp.Header.Get("Content-Type")
+}
+
+// TestHandlerContentTypes pins the Content-Type of every endpoint: the
+// Prometheus text exposition on /metrics, explicit application/json on
+// /metrics.json and /debug/flight.
+func TestHandlerContentTypes(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("hits").Inc()
+	r.Histogram("lat_seconds", LatencyBuckets()).Observe(0.004)
+	h := Handler(r, fakeFlight{payload: `{"traceEvents":[]}`})
+
+	code, body, ct := handlerGet(t, h, "/metrics")
+	if code != http.StatusOK || !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("/metrics: code %d, Content-Type %q", code, ct)
+	}
+	if !strings.Contains(body, "hits 1") {
+		t.Errorf("/metrics body missing counter:\n%s", body)
+	}
+
+	code, body, ct = handlerGet(t, h, "/metrics.json")
+	if code != http.StatusOK || ct != "application/json" {
+		t.Errorf("/metrics.json: code %d, Content-Type %q (want application/json)", code, ct)
+	}
+	// The JSON snapshot now carries the p99.9 estimate next to p50/p95/p99.
+	for _, want := range []string{`"hits"`, `"p99"`, `"p999"`} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics.json missing %s:\n%s", want, body)
+		}
+	}
+
+	code, body, ct = handlerGet(t, h, "/debug/flight")
+	if code != http.StatusOK || ct != "application/json" {
+		t.Errorf("/debug/flight: code %d, Content-Type %q (want application/json)", code, ct)
+	}
+	if body != `{"traceEvents":[]}` {
+		t.Errorf("/debug/flight body = %q", body)
+	}
+}
+
+// TestHandlerFlightAbsent asserts /debug/flight reports 404 when no
+// recorder is wired, rather than serving an empty-but-200 payload a
+// dashboard would silently trust.
+func TestHandlerFlightAbsent(t *testing.T) {
+	for _, h := range []http.Handler{Handler(nil), Handler(nil, nil, nil)} {
+		code, body, _ := handlerGet(t, h, "/debug/flight")
+		if code != http.StatusNotFound {
+			t.Errorf("/debug/flight without recorder: code %d, want 404", code)
+		}
+		if !strings.Contains(body, "no flight recorder") {
+			t.Errorf("/debug/flight 404 body = %q", body)
+		}
+	}
+}
+
+// TestHandlerFlightPicksFirstNonNil asserts the variadic wiring: nil
+// dumpers are skipped, the first live one serves the endpoint.
+func TestHandlerFlightPicksFirstNonNil(t *testing.T) {
+	h := Handler(nil, nil, fakeFlight{payload: "a"}, fakeFlight{payload: "b"})
+	code, body, _ := handlerGet(t, h, "/debug/flight")
+	if code != http.StatusOK || body != "a" {
+		t.Errorf("/debug/flight = %d %q, want 200 \"a\"", code, body)
+	}
+}
+
+// TestHandlerUnknownPaths asserts unregistered paths 404 on the telemetry
+// mux — scrapes of typo'd paths must fail loudly, not return an empty 200.
+func TestHandlerUnknownPaths(t *testing.T) {
+	h := Handler(NewRegistry(), fakeFlight{payload: "{}"})
+	for _, path := range []string{"/", "/metrics.txt", "/metricsjson", "/debug", "/debug/flightt", "/nope"} {
+		code, _, _ := handlerGet(t, h, path)
+		if code != http.StatusNotFound {
+			t.Errorf("%s: code %d, want 404", path, code)
+		}
+	}
+}
+
+// TestHandlerNilRegistry asserts the nil-registry contract of every
+// endpoint: empty-but-valid payloads, correct content types.
+func TestHandlerNilRegistry(t *testing.T) {
+	h := Handler(nil)
+	code, _, ct := handlerGet(t, h, "/metrics")
+	if code != http.StatusOK || !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("/metrics on nil registry: code %d, Content-Type %q", code, ct)
+	}
+	code, body, ct := handlerGet(t, h, "/metrics.json")
+	if code != http.StatusOK || ct != "application/json" || !strings.Contains(body, "counters") {
+		t.Errorf("/metrics.json on nil registry: code %d, Content-Type %q, body %q", code, ct, body)
+	}
+}

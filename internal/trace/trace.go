@@ -2,6 +2,16 @@
 // paper's timeline figures — the SR execution plot across GOPs (Fig. 2) and
 // the motion-to-photon breakdown (Fig. 10c) — can be regenerated as data
 // series and rendered as ASCII Gantt charts.
+//
+// Concurrency: a Timeline is NOT safe for concurrent use — callers that
+// feed it from concurrent stages must serialise Add themselves (the
+// pipeline engine wraps it in a mutex; see engineRun.observeSpan). This is
+// deliberate: the Timeline is the simple, offline event model, while
+// internal/frametrace is the concurrent per-frame recorder. The two share
+// one event shape — frametrace converts in both directions (Dump.Timeline
+// renders a flight window through Render below; frametrace.FromTimeline
+// exports a Timeline as Perfetto-loadable Chrome trace JSON) — so ASCII
+// Gantt rendering and the Perfetto export stay two views of the same data.
 package trace
 
 import (
