@@ -90,16 +90,20 @@ func run(addr, devName string, scale int, save string) error {
 			return err
 		}
 		roiRect := pkt.RoI.Clamp(df.Image.W, df.Image.H)
-		roiImg, err := df.Image.SubImage(roiRect.X, roiRect.Y, roiRect.W, roiRect.H)
-		if err != nil {
-			return err
-		}
-		hr, err := engine.Upscale(roiImg.Compact(), scale)
-		if err != nil {
-			return err
-		}
-		if err := upscale.Merge(base, hr, roiRect, scale); err != nil {
-			return err
+		// A zero RoI is the server shedding to bilinear-only (the shed
+		// ladder, DESIGN.md §12): skip the DNN and keep the bilinear frame.
+		if roiRect.W > 0 && roiRect.H > 0 {
+			roiImg, err := df.Image.SubImage(roiRect.X, roiRect.Y, roiRect.W, roiRect.H)
+			if err != nil {
+				return err
+			}
+			hr, err := engine.Upscale(roiImg.Compact(), scale)
+			if err != nil {
+				return err
+			}
+			if err := upscale.Merge(base, hr, roiRect, scale); err != nil {
+				return err
+			}
 		}
 		lastUp = base
 		frames++

@@ -6,6 +6,7 @@
 // Usage:
 //
 //	gssr-server [-addr :7007] [-game G3] [-frames 120] [-w 320] [-h 180] [-gop 12] [-metrics :9090] [-flight 128]
+//	            [-max-sessions 16] [-admission] [-admission-slack 0] [-shed] [-shed-streak 8] [-shed-recover 240]
 //
 // With -metrics, a telemetry endpoint serves /metrics (Prometheus text),
 // /metrics.json (JSON snapshot with per-histogram quantiles), /debug/flight
@@ -16,6 +17,17 @@
 // RoI, payload size, deadline slack — into a per-session flight recorder;
 // fetch /debug/flight and open it in ui.perfetto.dev (or render it with
 // `gssr trace`) to postmortem a stall.
+//
+// Scale controls (DESIGN.md §12): every session renders through its own
+// client of the shared parallel.Scheduler, so concurrent sessions share the
+// worker pool by weighted fair queueing instead of fighting over it. With
+// -admission (requires -flight), a new connection is refused with a
+// protocol-level Busy reject once the live sessions' windowed p99 frame
+// latency leaves less than -admission-slack of headroom against the frame
+// deadline. With -shed (requires -flight), a session that accumulates
+// -shed-streak consecutive deadline misses climbs a quality ladder — RoI
+// shrink, then bilinear-only (no RoI/SR), then background scheduler
+// priority — and descends one rung after -shed-recover on-budget frames.
 package main
 
 import (
@@ -24,11 +36,13 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"sync/atomic"
 
 	"gamestreamsr/internal/bufpool"
 	"gamestreamsr/internal/codec"
 	"gamestreamsr/internal/frame"
 	"gamestreamsr/internal/games"
+	"gamestreamsr/internal/parallel"
 	"gamestreamsr/internal/render"
 	"gamestreamsr/internal/roi"
 	"gamestreamsr/internal/stream"
@@ -45,14 +59,47 @@ func main() {
 	qstep := flag.Int("q", 6, "codec quantizer")
 	metricsAddr := flag.String("metrics", "", "telemetry listen address (e.g. :9090); empty disables")
 	flight := flag.Int("flight", 0, "frames per session in the flight recorder (0 disables /debug/flight)")
+	maxSessions := flag.Int("max-sessions", 16, "concurrent session cap (excess connections get a capacity reject)")
+	admission := flag.Bool("admission", false, "refuse new sessions when live p99 slack runs out (needs -flight)")
+	admissionSlack := flag.Duration("admission-slack", 0, "minimum p99 headroom against the deadline to admit a session")
+	shed := flag.Bool("shed", false, "degrade over-budget sessions along the shed ladder (needs -flight)")
+	shedStreak := flag.Int("shed-streak", 8, "consecutive deadline misses per shed-ladder escalation")
+	shedRecover := flag.Int("shed-recover", 240, "consecutive on-budget frames per shed-ladder recovery")
 	flag.Parse()
 
-	if err := run(*addr, *gameID, *frames, *width, *height, *gop, *qstep, *metricsAddr, *flight); err != nil {
+	cfg := serverConfig{
+		addr: *addr, gameID: *gameID, frames: *frames, width: *width, height: *height,
+		gop: *gop, qstep: *qstep, metricsAddr: *metricsAddr, flight: *flight,
+		maxSessions: *maxSessions,
+	}
+	if *admission {
+		cfg.admission = &stream.AdmissionPolicy{MinSlack: *admissionSlack}
+	}
+	if *shed {
+		cfg.shed = &stream.ShedPolicy{EscalateStreak: *shedStreak, RecoverFrames: *shedRecover}
+	}
+	if err := run(cfg); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(addr, gameID string, frames, width, height, gop, qstep int, metricsAddr string, flight int) error {
+// serverConfig carries the parsed flags into run.
+type serverConfig struct {
+	addr, gameID                    string
+	frames, width, height           int
+	gop, qstep, flight, maxSessions int
+	metricsAddr                     string
+	admission                       *stream.AdmissionPolicy
+	shed                            *stream.ShedPolicy
+}
+
+func run(cfg serverConfig) error {
+	addr, gameID := cfg.addr, cfg.gameID
+	frames, width, height := cfg.frames, cfg.width, cfg.height
+	gop, qstep, metricsAddr, flight := cfg.gop, cfg.qstep, cfg.metricsAddr, cfg.flight
+	if (cfg.admission != nil || cfg.shed != nil) && flight <= 0 {
+		return fmt.Errorf("-admission and -shed need -flight (the per-session latency window is the control signal)")
+	}
 	g, err := games.ByID(gameID)
 	if err != nil {
 		return err
@@ -74,8 +121,12 @@ func run(addr, gameID string, frames, width, height, gop, qstep int, metricsAddr
 	srv := &stream.MultiServer{
 		Accept:       stream.Accept{Width: width, Height: height, GOPSize: gop, QStep: qstep},
 		MaxFrames:    frames,
+		MaxSessions:  cfg.maxSessions,
 		Metrics:      reg,
 		FlightFrames: flight,
+		Sched:        parallel.Default(),
+		Admission:    cfg.admission,
+		Shed:         cfg.shed,
 		OnInput: func(remote string, in stream.InputPacket) {
 			log.Printf("input from %s #%d: %q", remote, in.Seq, in.Payload)
 		},
@@ -100,8 +151,18 @@ func run(addr, gameID string, frames, width, height, gop, qstep int, metricsAddr
 				pool.Instrument(reg, "server")
 			}
 			enc.SetPool(pool)
+			// The shrunken-window detector backs shed level 1: half the RoI
+			// side keeps SR on the most salient region at a quarter of the
+			// NPU-path work. Falls back to the full window when the half
+			// window would be unusable.
+			detShrunk := det
+			if half := h.RoIWindow / 2; half >= 8 {
+				if d, err := roi.New(roi.Config{WindowW: half, WindowH: half}); err == nil {
+					detShrunk = d
+				}
+			}
 			log.Printf("hello from %q: RoI window %d, scale %d", h.Device, h.RoIWindow, h.Scale)
-			return &gameSource{game: g, enc: enc, det: det, rd: &render.Renderer{}, w: width, h: height}, nil
+			return &gameSource{game: g, enc: enc, det: det, detShrunk: detShrunk, rd: &render.Renderer{}, w: width, h: height}, nil
 		},
 	}
 	if metricsAddr != "" {
@@ -136,20 +197,45 @@ func serveMetrics(addr string, reg *telemetry.Registry, flight telemetry.FlightD
 // call, so the render targets and the payload buffer persist across frames
 // and the session runs with near-zero steady-state allocations.
 type gameSource struct {
-	game    *games.Workload
-	enc     *codec.Encoder
-	det     *roi.Detector
-	rd      *render.Renderer
-	w, h    int
-	out     render.Output
-	payload []byte
+	game      *games.Workload
+	enc       *codec.Encoder
+	det       *roi.Detector // full-quality detector
+	detShrunk *roi.Detector // shed level 1: half RoI window
+	rd        *render.Renderer
+	w, h      int
+	shed      atomic.Int32
+	out       render.Output
+	payload   []byte
 }
+
+// SetSched (stream.SchedAware) points the session's render kernels at its
+// scheduler client, so concurrent sessions share the worker pool fairly and
+// a shed-demoted session's work yields to on-budget ones.
+func (s *gameSource) SetSched(c *parallel.Client) { s.rd.Sched = c }
+
+// SetShedLevel (stream.Shedder) applies the server's shed ladder: level 1
+// shrinks the RoI window, level 2 drops RoI detection entirely (the client
+// falls back to its bilinear path on a zero RoI). Level 3's priority
+// demotion is handled by the server on the scheduler client.
+func (s *gameSource) SetShedLevel(level int) { s.shed.Store(int32(level)) }
 
 func (s *gameSource) NextFrame(i int) ([]byte, bool, frame.Rect, error) {
 	s.game.RenderInto(&s.out, s.rd, i, s.w, s.h)
-	rect, err := s.det.Detect(s.out.Depth)
-	if err != nil {
-		return nil, false, frame.Rect{}, err
+	var rect frame.Rect
+	switch level := int(s.shed.Load()); {
+	case level >= stream.ShedBilinearOnly:
+		// No RoI: the frame header carries a zero rect and the client
+		// upscales bilinearly — the paper's baseline path.
+	case level >= stream.ShedRoIShrink:
+		var err error
+		if rect, err = s.detShrunk.Detect(s.out.Depth); err != nil {
+			return nil, false, frame.Rect{}, err
+		}
+	default:
+		var err error
+		if rect, err = s.det.Detect(s.out.Depth); err != nil {
+			return nil, false, frame.Rect{}, err
+		}
 	}
 	data, ftype, err := s.enc.EncodeInto(s.payload[:0], s.out.Color)
 	if err != nil {

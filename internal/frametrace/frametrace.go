@@ -107,6 +107,12 @@ type Config struct {
 	// it fast — it runs on the pipeline's measure stage. Dump-on-miss
 	// policies (write a flight dump, abort the session) live here.
 	OnMiss func(id uint64, slack time.Duration)
+	// Streaks, when non-nil, exports the recorder's deadline-miss streaks
+	// through the set's aggregated (max-across-members) gauges instead of
+	// per-recorder gauges on Metrics — required when several recorders
+	// share one registry, where per-recorder gauges would be
+	// last-writer-wins.
+	Streaks *StreakSet
 }
 
 // Recorder is the flight recorder. The zero value is not useful — use New
@@ -228,6 +234,45 @@ func (r *Recorder) SetFrozen(id uint64) {
 	}
 	s.rec.Frozen = true
 	s.mu.Unlock()
+}
+
+// LastID returns the most recently issued frame ID (0 on a nil recorder
+// or before the first BeginFrame) — how control-plane decisions (admission,
+// shedding) stamp their log lines with the frame they reacted to.
+func (r *Recorder) LastID() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.next.Load()
+}
+
+// MissStreak returns the current consecutive deadline-miss streak — the
+// load-shedding controller's input (0 on a nil recorder).
+func (r *Recorder) MissStreak() int64 {
+	if r == nil {
+		return 0
+	}
+	return r.slo.curStreak.Load()
+}
+
+// WindowLatencies appends the modelled latencies of the delivered frames
+// currently in the ring to buf and returns it — the recorder's sliding
+// latency window, from which admission control computes a live p99 without
+// the shared all-time histogram. Locks one slot at a time, so it never
+// stalls the recording path for more than one slot copy.
+func (r *Recorder) WindowLatencies(buf []time.Duration) []time.Duration {
+	if r == nil {
+		return buf
+	}
+	for i := range r.ring {
+		s := &r.ring[i]
+		s.mu.Lock()
+		if s.rec.ID != 0 && !s.rec.Frozen && s.rec.Latency > 0 {
+			buf = append(buf, s.rec.Latency)
+		}
+		s.mu.Unlock()
+	}
+	return buf
 }
 
 // ObserveDeadline accounts frame id's modelled client-side latency against

@@ -51,10 +51,80 @@ func (s *slo) init(cfg Config) {
 	s.frames = s.reg.Counter("frametrace_frames_total")
 	s.delivered = s.reg.Counter("frametrace_frames_delivered_total")
 	s.misses = s.reg.Counter("frametrace_deadline_miss_total")
-	s.streak = s.reg.Gauge("frametrace_deadline_miss_streak")
-	s.streakMax = s.reg.Gauge("frametrace_deadline_miss_streak_max")
+	if cfg.Streaks != nil {
+		// Aggregated streak export: the StreakSet owns the gauges and
+		// reports the max across its member recorders, so concurrent
+		// sessions don't overwrite each other's values (the stored gauges
+		// stay nil — nil-safe no-ops in observe).
+		cfg.Streaks.add(s)
+	} else {
+		s.streak = s.reg.Gauge("frametrace_deadline_miss_streak")
+		s.streakMax = s.reg.Gauge("frametrace_deadline_miss_streak_max")
+	}
 	s.frameLat = s.reg.Histogram("frametrace_frame_latency_seconds", telemetry.LatencyBuckets())
 	s.stageMiss = make(map[string]*telemetry.Counter)
+}
+
+// StreakSet aggregates the deadline-miss streak gauges of several live
+// recorders into one pair of callback gauges reporting the max across
+// members — the fix for the last-writer-wins problem a shared registry
+// otherwise has under concurrent sessions. Register recorders by passing
+// the set in Config.Streaks; call Remove when a session ends.
+type StreakSet struct {
+	mu      sync.Mutex
+	members map[*slo]struct{}
+}
+
+// NewStreakSet builds the set and registers its aggregate gauges on reg
+// under the standard streak metric names.
+func NewStreakSet(reg *telemetry.Registry) *StreakSet {
+	ss := &StreakSet{members: map[*slo]struct{}{}}
+	reg.GaugeFunc("frametrace_deadline_miss_streak", func() int64 {
+		return ss.maxOf(func(s *slo) int64 { return s.curStreak.Load() })
+	})
+	reg.GaugeFunc("frametrace_deadline_miss_streak_max", func() int64 {
+		return ss.maxOf(func(s *slo) int64 { return s.maxStreak.Load() })
+	})
+	return ss
+}
+
+func (ss *StreakSet) add(s *slo) {
+	ss.mu.Lock()
+	ss.members[s] = struct{}{}
+	ss.mu.Unlock()
+}
+
+// Remove drops a recorder from the aggregation (call when its session
+// ends, so a dead session's final streak stops dominating the gauge).
+func (ss *StreakSet) Remove(r *Recorder) {
+	if ss == nil || r == nil {
+		return
+	}
+	ss.mu.Lock()
+	delete(ss.members, &r.slo)
+	ss.mu.Unlock()
+}
+
+// Size returns the number of member recorders.
+func (ss *StreakSet) Size() int {
+	if ss == nil {
+		return 0
+	}
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	return len(ss.members)
+}
+
+func (ss *StreakSet) maxOf(f func(*slo) int64) int64 {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	var max int64
+	for s := range ss.members {
+		if v := f(s); v > max {
+			max = v
+		}
+	}
+	return max
 }
 
 // stageMissCounter resolves (and caches) the attribution counter of one

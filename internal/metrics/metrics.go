@@ -36,6 +36,13 @@ var ErrSizeMismatch = errors.New("metrics: image sizes differ")
 
 // MSE returns the mean squared error between the luma planes of a and b.
 func MSE(a, b *frame.Image) (float64, error) {
+	return MSEOn(nil, a, b)
+}
+
+// MSEOn is MSE with the reduction attributed to the scheduler client c (nil
+// means the default client). Results are byte-identical whichever client
+// runs them — the chunk grid depends only on the plane size.
+func MSEOn(c *parallel.Client, a, b *frame.Image) (float64, error) {
 	if a.W != b.W || a.H != b.H {
 		return 0, fmt.Errorf("%w: %dx%d vs %dx%d", ErrSizeMismatch, a.W, a.H, b.W, b.H)
 	}
@@ -46,7 +53,7 @@ func MSE(a, b *frame.Image) (float64, error) {
 	lb := b.LumaInto(scratch.Float64s(b.W * b.H))
 	defer scratch.PutFloat64s(la)
 	defer scratch.PutFloat64s(lb)
-	sum := parallel.Sum(len(la), func(lo, hi int) float64 {
+	sum := c.Sum(len(la), func(lo, hi int) float64 {
 		var s float64
 		for i := lo; i < hi; i++ {
 			d := la[i] - lb[i]
@@ -60,7 +67,12 @@ func MSE(a, b *frame.Image) (float64, error) {
 // PSNR returns the peak signal-to-noise ratio in dB between the luma planes
 // of a and b. Identical images return +Inf.
 func PSNR(a, b *frame.Image) (float64, error) {
-	mse, err := MSE(a, b)
+	return PSNROn(nil, a, b)
+}
+
+// PSNROn is PSNR attributed to the scheduler client c (nil means default).
+func PSNROn(c *parallel.Client, a, b *frame.Image) (float64, error) {
+	mse, err := MSEOn(c, a, b)
 	if err != nil {
 		return 0, err
 	}
@@ -92,6 +104,11 @@ func PSNRRegion(a, b *frame.Image, r frame.Rect) (float64, error) {
 // SSIM returns the mean structural similarity index between the luma planes
 // of a and b, computed over 8×8 windows with the standard constants.
 func SSIM(a, b *frame.Image) (float64, error) {
+	return SSIMOn(nil, a, b)
+}
+
+// SSIMOn is SSIM attributed to the scheduler client c (nil means default).
+func SSIMOn(c *parallel.Client, a, b *frame.Image) (float64, error) {
 	if a.W != b.W || a.H != b.H {
 		return 0, fmt.Errorf("%w: %dx%d vs %dx%d", ErrSizeMismatch, a.W, a.H, b.W, b.H)
 	}
@@ -110,7 +127,7 @@ func SSIM(a, b *frame.Image) (float64, error) {
 	winRows := a.H / win
 	winCols := a.W / win
 	// One parallel band per row of windows; each window is self-contained.
-	total := parallel.Sum(winRows, func(r0, r1 int) float64 {
+	total := c.Sum(winRows, func(r0, r1 int) float64 {
 		var band float64
 		for r := r0; r < r1; r++ {
 			y := r * win
@@ -167,6 +184,12 @@ func TemporalStability(series []float64) (float64, error) {
 // LPIPSProxy returns a perceptual distance in [0, 1]; 0 means perceptually
 // identical. See the package comment for how it relates to LPIPS.
 func LPIPSProxy(a, b *frame.Image) (float64, error) {
+	return LPIPSProxyOn(nil, a, b)
+}
+
+// LPIPSProxyOn is LPIPSProxy attributed to the scheduler client c (nil
+// means default).
+func LPIPSProxyOn(c *parallel.Client, a, b *frame.Image) (float64, error) {
 	if a.W != b.W || a.H != b.H {
 		return 0, fmt.Errorf("%w: %dx%d vs %dx%d", ErrSizeMismatch, a.W, a.H, b.W, b.H)
 	}
@@ -187,15 +210,15 @@ func LPIPSProxy(a, b *frame.Image) (float64, error) {
 		fb[i] = scratch.Float64s(w * h)
 	}
 	for level := 0; level < 3 && w >= 4 && h >= 4; level++ {
-		featureChannelsInto(&fa, la, w, h)
-		featureChannelsInto(&fb, lb, w, h)
-		for c := range fa {
-			dist += normalisedDistance(fa[c][:w*h], fb[c][:w*h])
+		featureChannelsInto(c, &fa, la, w, h)
+		featureChannelsInto(c, &fb, lb, w, h)
+		for ch := range fa {
+			dist += normalisedDistance(c, fa[ch][:w*h], fb[ch][:w*h])
 		}
 		levels++
 		nla, nlb := scratch.Float64s(w/2*(h/2)), scratch.Float64s(w/2*(h/2))
-		downsample2Into(nla, la, w, h)
-		downsample2Into(nlb, lb, w, h)
+		downsample2Into(c, nla, la, w, h)
+		downsample2Into(c, nlb, lb, w, h)
 		scratch.PutFloat64s(la)
 		scratch.PutFloat64s(lb)
 		la, lb = nla, nlb
@@ -216,8 +239,8 @@ func LPIPSProxy(a, b *frame.Image) (float64, error) {
 // scale — local contrast, |∂x|, |∂y| and |Laplacian| — into the first w·h
 // elements of each plane of out, which must be at least that long and may
 // be dirty (every element in range is overwritten).
-func featureChannelsInto(out *[4][]float64, l []float64, w, h int) {
-	parallel.For(h, func(y0, y1 int) {
+func featureChannelsInto(c *parallel.Client, out *[4][]float64, l []float64, w, h int) {
+	c.For(h, func(y0, y1 int) {
 		for y := y0; y < y1; y++ {
 			for x := 0; x < w; x++ {
 				i := y*w + x
@@ -247,9 +270,9 @@ func featureChannelsInto(out *[4][]float64, l []float64, w, h int) {
 
 // normalisedDistance is the mean absolute difference of two feature maps
 // normalised by their pooled energy, as LPIPS normalises channel activations.
-func normalisedDistance(a, b []float64) float64 {
+func normalisedDistance(c *parallel.Client, a, b []float64) float64 {
 	var accBuf [2]float64
-	acc := parallel.SumVecInto(accBuf[:], len(a), 2, func(lo, hi int, acc []float64) {
+	acc := c.SumVecInto(accBuf[:], len(a), 2, func(lo, hi int, acc []float64) {
 		for i := lo; i < hi; i++ {
 			acc[0] += math.Abs(a[i] - b[i])
 			acc[1] += math.Abs(a[i]) + math.Abs(b[i])
@@ -264,9 +287,9 @@ func normalisedDistance(a, b []float64) float64 {
 
 // downsample2Into halves a luma plane with 2×2 box averaging, writing the
 // (w/2)·(h/2) result into out (fully overwritten; dirty pooled is fine).
-func downsample2Into(out, l []float64, w, h int) {
+func downsample2Into(c *parallel.Client, out, l []float64, w, h int) {
 	nw, nh := w/2, h/2
-	parallel.For(nh, func(y0, y1 int) {
+	c.For(nh, func(y0, y1 int) {
 		for y := y0; y < y1; y++ {
 			for x := 0; x < nw; x++ {
 				i := 2*y*w + 2*x

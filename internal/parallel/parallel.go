@@ -3,25 +3,28 @@
 // over a reusable goroutine pool, in the spirit of the renderer's internal
 // parallelism, plus deterministic reductions.
 //
-// Determinism contract: work is split into a chunk grid that depends only on
-// the problem size n — never on GOMAXPROCS, pool occupancy or scheduling.
-// Chunks may execute in any order on any worker, so plain For callbacks must
-// write disjoint output ranges (true of row-parallel kernels). Reductions
-// (Sum, SumVec) accumulate each chunk sequentially and combine the chunk
-// partials in chunk order, so floating-point results are byte-identical
-// across GOMAXPROCS settings and runs — the property the pipeline engine's
-// determinism tests assert.
+// The pool is owned by a session-aware Scheduler (sched.go): every
+// submission goes through a Client handle carrying a weight and a priority,
+// and workers dispatch chunks across concurrently submitted jobs by
+// weighted fair queueing. The package-level functions below are a facade
+// over Default()'s default client, so call sites that don't care about
+// attribution keep their signatures.
 //
-// The pool is deadlock-free under nesting: the submitting goroutine always
-// works on its own job, so a saturated (or single-CPU) pool degrades to
-// inline sequential execution rather than blocking.
+// Determinism contract: work is split into a chunk grid that depends only on
+// the problem size n — never on GOMAXPROCS, pool occupancy, scheduling,
+// client weights or priorities. Chunks may execute in any order on any
+// worker, so plain For callbacks must write disjoint output ranges (true of
+// row-parallel kernels). Reductions (Sum, SumVec) accumulate each chunk
+// sequentially and combine the chunk partials in chunk order, so
+// floating-point results are byte-identical across GOMAXPROCS settings and
+// runs — the property the pipeline engine's determinism tests assert.
+//
+// The scheduler is deadlock-free under nesting: the submitting goroutine
+// always works on its own job, so a saturated (or single-CPU) pool degrades
+// to inline sequential execution rather than blocking.
 package parallel
 
-import (
-	"runtime"
-	"sync"
-	"sync/atomic"
-)
+import "sync"
 
 // maxChunks bounds the chunk grid. It is a fixed constant — not a function
 // of GOMAXPROCS — so the grid (and therefore every reduction's association
@@ -35,93 +38,18 @@ func chunkCount(n int) int {
 	return min(maxChunks, n)
 }
 
-// job is one For/Sum invocation: a chunk grid claimed via an atomic cursor
-// by however many goroutines happen to participate.
-type job struct {
-	fn     func(chunk, lo, hi int)
-	n      int
-	chunks int32
-	next   atomic.Int32
-	wg     sync.WaitGroup
-}
-
-// runChunk claims and executes one chunk, reporting whether one was left.
-func (j *job) runChunk() bool {
-	c := int(j.next.Add(1) - 1)
-	if c >= int(j.chunks) {
-		return false
-	}
-	nc := int(j.chunks)
-	j.fn(c, c*j.n/nc, (c+1)*j.n/nc)
-	j.wg.Done()
-	return true
-}
-
-var (
-	poolOnce sync.Once
-	poolSize int
-	jobs     chan *job
-)
-
-// startPool launches the reusable workers. One "worker slot" is the
-// submitting goroutine itself, so NumCPU-1 goroutines are spawned; on a
-// single-CPU host the pool is empty and everything runs inline.
-func startPool() {
-	poolSize = runtime.NumCPU()
-	jobs = make(chan *job, poolSize)
-	for i := 0; i < poolSize-1; i++ {
-		go func() {
-			for j := range jobs {
-				for j.runChunk() {
-				}
-			}
-		}()
-	}
-}
-
-// Workers returns the size of the worker pool (including the caller's slot).
+// Workers returns the size of the default scheduler's worker pool
+// (including the caller's slot).
 func Workers() int {
-	poolOnce.Do(startPool)
-	return poolSize
-}
-
-// run executes fn over the deterministic chunk grid of [0, n), recruiting
-// idle pool workers and always participating itself.
-func run(n int, fn func(chunk, lo, hi int)) {
-	poolOnce.Do(startPool)
-	j := &job{fn: fn, n: n, chunks: int32(chunkCount(n))}
-	j.wg.Add(int(j.chunks))
-	if poolSize > 1 {
-		// Non-blocking offers: a busy pool just means the caller does more
-		// of the work itself. Queued copies drained after the job finishes
-		// exit immediately from runChunk.
-	offer:
-		for i := 0; i < poolSize-1; i++ {
-			select {
-			case jobs <- j:
-			default:
-				break offer
-			}
-		}
-	}
-	for j.runChunk() {
-	}
-	j.wg.Wait()
+	return Default().Workers()
 }
 
 // For runs fn over [0, n) split into contiguous chunks executed in
-// parallel. fn must write only within its [lo, hi) range; chunks can run in
-// any order. A single-CPU host (or n <= 1) runs inline with no goroutines.
+// parallel on the default client. fn must write only within its [lo, hi)
+// range; chunks can run in any order. A single-CPU host (or n <= 1) runs
+// inline with no goroutines.
 func For(n int, fn func(lo, hi int)) {
-	if n <= 0 {
-		return
-	}
-	poolOnce.Do(startPool)
-	if poolSize == 1 || n == 1 {
-		fn(0, n)
-		return
-	}
-	run(n, func(_, lo, hi int) { fn(lo, hi) })
+	(*Client)(nil).For(n, fn)
 }
 
 // scratchStack recycles per-worker scratch values for ForWith across calls:
@@ -174,21 +102,7 @@ func NewScratch[S any](alloc func() S) *Scratch[S] {
 // grid — and therefore determinism — is identical to For's; the scratch
 // value is the only addition. fn must treat the scratch as dirty.
 func ForWith[S any](n int, s *Scratch[S], fn func(lo, hi int, scratch S)) {
-	if n <= 0 {
-		return
-	}
-	poolOnce.Do(startPool)
-	if poolSize == 1 || n == 1 {
-		v := s.stack.get()
-		fn(0, n, v)
-		s.stack.put(v)
-		return
-	}
-	run(n, func(_, lo, hi int) {
-		v := s.stack.get()
-		fn(lo, hi, v)
-		s.stack.put(v)
-	})
+	ForWithOn(nil, n, s, fn)
 }
 
 // partsStack recycles the per-chunk partial buffers of Sum/SumVec. Buffers
@@ -218,17 +132,7 @@ func putParts(s []float64) {
 // chunk partials in chunk order, so the floating-point result is identical
 // at any GOMAXPROCS. fn must accumulate its [lo, hi) range sequentially.
 func Sum(n int, fn func(lo, hi int) float64) float64 {
-	if n <= 0 {
-		return 0
-	}
-	parts := getParts(chunkCount(n))
-	run(n, func(c, lo, hi int) { parts[c] = fn(lo, hi) })
-	total := 0.0
-	for _, p := range parts {
-		total += p
-	}
-	putParts(parts)
-	return total
+	return (*Client)(nil).Sum(n, fn)
 }
 
 // SumVec is Sum for k simultaneous accumulators: fn adds its [lo, hi)
@@ -236,25 +140,12 @@ func Sum(n int, fn func(lo, hi int) float64) float64 {
 // component-wise in chunk order. The result slice is freshly allocated and
 // owned by the caller; SumVecInto avoids even that allocation.
 func SumVec(n, k int, fn func(lo, hi int, acc []float64)) []float64 {
-	return SumVecInto(make([]float64, k), n, k, fn)
+	return (*Client)(nil).SumVec(n, k, fn)
 }
 
 // SumVecInto is SumVec writing the combined accumulators into total, which
 // must have length k and is returned. total is fully overwritten, so it may
 // be a dirty pooled buffer.
 func SumVecInto(total []float64, n, k int, fn func(lo, hi int, acc []float64)) []float64 {
-	clear(total)
-	if n <= 0 {
-		return total
-	}
-	nc := chunkCount(n)
-	parts := getParts(nc * k)
-	run(n, func(c, lo, hi int) { fn(lo, hi, parts[c*k:(c+1)*k:(c+1)*k]) })
-	for c := 0; c < nc; c++ {
-		for i := 0; i < k; i++ {
-			total[i] += parts[c*k+i]
-		}
-	}
-	putParts(parts)
-	return total
+	return (*Client)(nil).SumVecInto(total, n, k, fn)
 }

@@ -13,6 +13,7 @@ import (
 	"gamestreamsr/internal/geom"
 	"gamestreamsr/internal/metrics"
 	"gamestreamsr/internal/network"
+	"gamestreamsr/internal/parallel"
 	"gamestreamsr/internal/render"
 	"gamestreamsr/internal/telemetry"
 	"gamestreamsr/internal/trace"
@@ -75,6 +76,9 @@ type FrameJob struct {
 	// matches the sequential loops exactly.
 	InputLat    time.Duration
 	TransmitLat time.Duration
+	// Sched is the session's scheduler client (Config.Sched), riding the
+	// job so every stage's kernels are attributed to the same client.
+	Sched *parallel.Client
 
 	data []byte // coded bitstream, consumed by the client stage
 }
@@ -433,6 +437,7 @@ func (e *engineRun) serverFrame(i int) (*FrameJob, error) {
 		Type:         ftype,
 		CodedBytes:   len(data) * e.byteScale,
 		NominalBytes: ModelFrameBytes(e.lrPx, cfg.GOPSize, ftype),
+		Sched:        cfg.Sched,
 		data:         data,
 	}
 	e.flight.SetEncode(fid, roiRect, job.CodedBytes, job.NominalBytes)
@@ -519,15 +524,15 @@ func (e *engineRun) measureFrame(job *FrameJob) (FrameResult, error) {
 		return e.frozenFrame(job)
 	}
 	gt := e.renderGT(job)
-	psnr, err := metrics.PSNR(gt, job.Up)
+	psnr, err := metrics.PSNROn(job.Sched, gt, job.Up)
 	if err != nil {
 		return FrameResult{}, err
 	}
-	ssim, err := metrics.SSIM(gt, job.Up)
+	ssim, err := metrics.SSIMOn(job.Sched, gt, job.Up)
 	if err != nil {
 		return FrameResult{}, err
 	}
-	lpips, err := metrics.LPIPSProxy(gt, job.Up)
+	lpips, err := metrics.LPIPSProxyOn(job.Sched, gt, job.Up)
 	if err != nil {
 		return FrameResult{}, err
 	}
@@ -585,13 +590,13 @@ func (e *engineRun) frozenFrame(job *FrameJob) (FrameResult, error) {
 	}
 	gt := e.renderGT(job)
 	var err error
-	if fr.PSNR, err = metrics.PSNR(gt, job.Display); err != nil {
+	if fr.PSNR, err = metrics.PSNROn(job.Sched, gt, job.Display); err != nil {
 		return fr, err
 	}
-	if fr.SSIM, err = metrics.SSIM(gt, job.Display); err != nil {
+	if fr.SSIM, err = metrics.SSIMOn(job.Sched, gt, job.Display); err != nil {
 		return fr, err
 	}
-	if fr.LPIPS, err = metrics.LPIPSProxy(gt, job.Display); err != nil {
+	if fr.LPIPS, err = metrics.LPIPSProxyOn(job.Sched, gt, job.Display); err != nil {
 		return fr, err
 	}
 	if e.cfg.KeepFrames {

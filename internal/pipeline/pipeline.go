@@ -22,6 +22,7 @@ import (
 	"gamestreamsr/internal/frametrace"
 	"gamestreamsr/internal/games"
 	"gamestreamsr/internal/network"
+	"gamestreamsr/internal/parallel"
 	"gamestreamsr/internal/render"
 	"gamestreamsr/internal/roi"
 	"gamestreamsr/internal/sr"
@@ -100,6 +101,14 @@ type Config struct {
 	// Renderer controls render parallelism; nil uses defaults.
 	Renderer *render.Renderer
 
+	// Sched attributes the session's parallel kernel work (render, upscale,
+	// SR inference, quality metrics) to a scheduler client, so concurrent
+	// sessions share the process-wide worker pool by weight and priority
+	// instead of racing for it. Nil means the default client. Scheduling
+	// never alters outputs — the chunk grid depends only on problem sizes —
+	// so the determinism tests hold for any client.
+	Sched *parallel.Client
+
 	// Metrics, when non-nil, receives the engine's runtime telemetry:
 	// per-stage span histograms, channel-wait (backpressure) totals,
 	// frame/frozen counters, RoI areas and coded bytes (see DESIGN.md §9).
@@ -157,13 +166,13 @@ func (c Config) WithDefaults() Config {
 		c.QStep = 6
 	}
 	if c.Engine == nil {
-		c.Engine = sr.NewFast(sr.FastConfig{})
+		c.Engine = sr.NewFast(sr.FastConfig{Sched: c.Sched})
 	}
 	if c.FrameStride <= 0 {
 		c.FrameStride = c.SimDiv
 	}
 	if c.Renderer == nil {
-		c.Renderer = &render.Renderer{}
+		c.Renderer = &render.Renderer{Sched: c.Sched}
 	}
 	return c
 }
@@ -283,7 +292,7 @@ func (v *gameStreamVariant) Upscale(df *codec.DecodedFrame, job *FrameJob) (*fra
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
-		baseErr = upscale.ResizeInto(base, lr, upscale.Bilinear, pool)
+		baseErr = upscale.ResizeIntoOn(cfg.Sched, base, lr, upscale.Bilinear, pool)
 	}()
 
 	// NPU path: DNN SR on the RoI, overlapped with the bilinear pass.

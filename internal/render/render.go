@@ -16,11 +16,11 @@ package render
 
 import (
 	"math"
-	"runtime"
 	"sync"
 
 	"gamestreamsr/internal/frame"
 	"gamestreamsr/internal/geom"
+	"gamestreamsr/internal/parallel"
 )
 
 // Material describes how an object is shaded.
@@ -90,8 +90,14 @@ func (out *Output) ensure(w, h int) {
 // Renderer renders a Scene through a Camera. A Renderer is safe for
 // sequential reuse across frames; Render itself parallelises internally.
 type Renderer struct {
-	// Workers bounds render parallelism; 0 means GOMAXPROCS.
+	// Workers bounds render parallelism with a private per-frame goroutine
+	// crew; 0 delegates row dispatch to the shared parallel scheduler (see
+	// Sched), which is the default and lets concurrent sessions share cores
+	// fairly instead of oversubscribing them.
 	Workers int
+	// Sched attributes scheduler-dispatched render work to a client (nil
+	// means the default client). Ignored when Workers > 0.
+	Sched *parallel.Client
 	// SSAA supersamples by N×N per output pixel (1 or 0 = off). Color is
 	// box-filtered; depth keeps the per-tile minimum (nearest surviving
 	// surface), matching how a resolved Z-buffer is consumed downstream.
@@ -172,15 +178,22 @@ func (rd *Renderer) renderDirectInto(out Output, sc *Scene, cam geom.Camera, w, 
 	// World-space extent of one pixel at unit view depth.
 	pixScale := cam.PixelScale(h)
 	accel := buildAccel(sc)
-	workers := rd.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+	fwd := cam.Forward()
+	if rd.Workers <= 0 {
+		// Scheduler path: rows are disjoint, so row bands parallelise
+		// safely, and the per-frame goroutine churn of the legacy path
+		// disappears. Pixels are pure functions of (scene, camera, x, y),
+		// so output is identical however the bands are dispatched.
+		rd.Sched.For(h, func(y0, y1 int) {
+			for y := y0; y < y1; y++ {
+				renderRow(sc, accel, cam, fwd, out, y, w, h, near, far, pixScale*lodBias)
+			}
+		})
+		return
 	}
+	workers := rd.Workers
 	if workers > h {
 		workers = h
-	}
-	if workers < 1 {
-		workers = 1
 	}
 	var wg sync.WaitGroup
 	rows := make(chan int, h)
@@ -188,7 +201,6 @@ func (rd *Renderer) renderDirectInto(out Output, sc *Scene, cam geom.Camera, w, 
 		rows <- y
 	}
 	close(rows)
-	fwd := cam.Forward()
 	for i := 0; i < workers; i++ {
 		wg.Add(1)
 		go func() {

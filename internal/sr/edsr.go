@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"gamestreamsr/internal/frame"
+	"gamestreamsr/internal/parallel"
 )
 
 // Spec describes an EDSR-family network. The paper's model is the default:
@@ -60,6 +61,20 @@ type Network struct {
 	bodyEnd *Conv2D // C -> C, followed by global skip
 	up      *Conv2D // C -> C·scale²  (pixel-shuffled to C at HR)
 	tail    *Conv2D // C -> 3 at HR
+}
+
+// SetSched attributes all of the network's layer parallelism to the
+// scheduler client c (nil reverts to the default client) — how a streaming
+// session makes its inference work schedulable against other sessions.
+func (n *Network) SetSched(c *parallel.Client) {
+	n.head.Sched = c
+	for i := range n.body {
+		n.body[i].conv1.Sched = c
+		n.body[i].conv2.Sched = c
+	}
+	n.bodyEnd.Sched = c
+	n.up.Sched = c
+	n.tail.Sched = c
 }
 
 // NewNetwork allocates an EDSR network with all-zero weights; callers fill

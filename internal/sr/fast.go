@@ -5,6 +5,7 @@ import (
 
 	"gamestreamsr/internal/bufpool"
 	"gamestreamsr/internal/frame"
+	"gamestreamsr/internal/parallel"
 	"gamestreamsr/internal/upscale"
 )
 
@@ -55,6 +56,9 @@ type FastConfig struct {
 	// calibration sweep in TestSharpenSweepDefaultNearOptimal). Negative
 	// disables restoration.
 	Sharpen float64
+	// Sched attributes the kernel's parallel work to a scheduler client
+	// (nil means the default client).
+	Sched *parallel.Client
 }
 
 // Fast computes the same function class the analytically-weighted EDSR
@@ -103,7 +107,7 @@ func (f *Fast) UpscaleInto(dst, im *frame.Image, scale int, pool *bufpool.Pool) 
 	if dst.W != im.W*scale || dst.H != im.H*scale {
 		return fmt.Errorf("sr: destination %dx%d != %dx scale-%d source", dst.W, dst.H, im.W, scale)
 	}
-	if err := upscale.ResizeInto(dst, im, f.cfg.Kernel, pool); err != nil {
+	if err := upscale.ResizeIntoOn(f.cfg.Sched, dst, im, f.cfg.Kernel, pool); err != nil {
 		return err
 	}
 	if f.cfg.Sharpen == 0 || scale == 1 {

@@ -22,7 +22,7 @@ func (c *Conv2D) ForwardGEMM(in *Tensor) *Tensor {
 	}
 	H, W := in.H, in.W
 	k2 := c.K * c.K
-	cols := im2col(in, c.K)
+	cols := im2col(c.Sched, in, c.K)
 	// GEMM: out[oc][p] = Σ_j weight[oc][j] · cols[j][p] + bias[oc],
 	// where j ranges over InC·K² and p over H·W pixels.
 	out := NewTensor(c.OutC, H, W)
@@ -31,7 +31,7 @@ func (c *Conv2D) ForwardGEMM(in *Tensor) *Tensor {
 	// Output channels are independent; each writes only its own plane, and
 	// the within-channel accumulation order is unchanged, so the result is
 	// bit-identical at any worker count.
-	parallel.For(c.OutC, func(oc0, oc1 int) {
+	c.Sched.For(c.OutC, func(oc0, oc1 int) {
 		for oc := oc0; oc < oc1; oc++ {
 			op := out.Plane(oc)
 			bias := c.Bias[oc]
@@ -69,14 +69,14 @@ func axpy(dst, src []float32, a float32) {
 // im2col unfolds the input into a (C·K²) × (H·W) matrix with replicate
 // padding, row j = (channel, ky, kx) in the same order Conv2D stores
 // weights.
-func im2col(in *Tensor, k int) []float32 {
+func im2col(cl *parallel.Client, in *Tensor, k int) []float32 {
 	H, W := in.H, in.W
 	half := k / 2
 	n := H * W
 	k2 := k * k
 	out := make([]float32, in.C*k2*n)
 	// Each unfold row (channel, ky, kx) fills a disjoint slice of out.
-	parallel.For(in.C*k2, func(r0, r1 int) {
+	cl.For(in.C*k2, func(r0, r1 int) {
 		for row := r0; row < r1; row++ {
 			c := row / k2
 			ky := (row % k2) / k

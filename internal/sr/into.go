@@ -63,7 +63,7 @@ func (c *Conv2D) ForwardInto(out, in *Tensor) {
 	checkShape("conv", out, c.OutC, in.H, in.W)
 	half := c.K / 2
 	H, W := in.H, in.W
-	parallel.For(c.OutC, func(oc0, oc1 int) {
+	c.Sched.For(c.OutC, func(oc0, oc1 int) {
 		for oc := oc0; oc < oc1; oc++ {
 			c.forwardChannel(in, out, oc, half, H, W)
 		}
@@ -81,9 +81,9 @@ func (c *Conv2D) ForwardGEMMInto(out, in *Tensor, pool *bufpool.Pool) {
 	k2 := c.K * c.K
 	n := H * W
 	cols := pool.Float32s(in.C * k2 * n)
-	im2colInto(cols, in, c.K)
+	im2colInto(c.Sched, cols, in, c.K)
 	jTotal := c.InC * k2
-	parallel.For(c.OutC, func(oc0, oc1 int) {
+	c.Sched.For(c.OutC, func(oc0, oc1 int) {
 		for oc := oc0; oc < oc1; oc++ {
 			op := out.Plane(oc)
 			bias := c.Bias[oc]
@@ -104,7 +104,7 @@ func (c *Conv2D) ForwardGEMMInto(out, in *Tensor, pool *bufpool.Pool) {
 }
 
 // im2colInto unfolds in into out (length C·K²·H·W), fully overwriting it.
-func im2colInto(out []float32, in *Tensor, k int) {
+func im2colInto(cl *parallel.Client, out []float32, in *Tensor, k int) {
 	H, W := in.H, in.W
 	half := k / 2
 	n := H * W
@@ -112,7 +112,7 @@ func im2colInto(out []float32, in *Tensor, k int) {
 	if len(out) != in.C*k2*n {
 		panic(fmt.Sprintf("sr: im2col buffer length %d, want %d", len(out), in.C*k2*n))
 	}
-	parallel.For(in.C*k2, func(r0, r1 int) {
+	cl.For(in.C*k2, func(r0, r1 int) {
 		for row := r0; row < r1; row++ {
 			c := row / k2
 			ky := (row % k2) / k

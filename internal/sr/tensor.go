@@ -55,6 +55,10 @@ type Conv2D struct {
 	// Weight is laid out [outC][inC][K][K].
 	Weight []float32
 	Bias   []float32
+	// Sched attributes the layer's parallel work to a scheduler client;
+	// nil (the zero value) means the default client, so existing
+	// construction sites are unchanged. Set via Network.SetSched.
+	Sched *parallel.Client
 }
 
 // NewConv2D allocates a zero-initialised convolution layer.
@@ -87,7 +91,7 @@ func (c *Conv2D) Forward(in *Tensor) *Tensor {
 	H, W := in.H, in.W
 	// Output channels are independent (disjoint planes, unchanged
 	// within-channel order) so they parallelise deterministically.
-	parallel.For(c.OutC, func(oc0, oc1 int) {
+	c.Sched.For(c.OutC, func(oc0, oc1 int) {
 		for oc := oc0; oc < oc1; oc++ {
 			c.forwardChannel(in, out, oc, half, H, W)
 		}

@@ -178,7 +178,7 @@ func (v *variant) Cost(job *pipeline.FrameJob) (pipeline.Stages, map[device.Rail
 func (r *Runner) upscaleReference(lr *frame.Image, roiRect frame.Rect, pool *bufpool.Pool) (*frame.Image, error) {
 	cfg := r.cfg
 	base := frame.NewImagePacked(lr.W*cfg.Scale, lr.H*cfg.Scale)
-	if err := upscale.ResizeInto(base, lr, upscale.Bilinear, pool); err != nil {
+	if err := upscale.ResizeIntoOn(cfg.Sched, base, lr, upscale.Bilinear, pool); err != nil {
 		return nil, err
 	}
 	roiImg, err := lr.SubImage(roiRect.X, roiRect.Y, roiRect.W, roiRect.H)

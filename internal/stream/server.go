@@ -7,10 +7,14 @@ import (
 	"io"
 	"log"
 	"net"
+	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"gamestreamsr/internal/frame"
 	"gamestreamsr/internal/frametrace"
+	"gamestreamsr/internal/parallel"
 	"gamestreamsr/internal/telemetry"
 )
 
@@ -18,9 +22,96 @@ import (
 // its own encoder/detector state (stateful codecs cannot be shared).
 type SourceFactory func(hello Hello) (FrameSource, error)
 
+// SchedAware is an optional FrameSource capability: sources that run
+// parallel kernels (render, detect, encode) implement it to receive the
+// session's scheduler client, so their work is dispatched by the session's
+// weight/priority instead of the default client's.
+type SchedAware interface {
+	SetSched(c *parallel.Client)
+}
+
+// Shedder is an optional FrameSource capability: sources that can degrade
+// quality implement it to receive shed-ladder level changes. Levels are the
+// Shed* constants; the source applies everything up to and including the
+// given level (0 restores full quality).
+type Shedder interface {
+	SetShedLevel(level int)
+}
+
+// Shed-ladder levels, mildest first. Each level includes the ones below it.
+const (
+	// ShedNone: full quality.
+	ShedNone = 0
+	// ShedRoIShrink: halve the RoI window, cutting the NPU-path work ~4×
+	// while keeping SR on the most salient region.
+	ShedRoIShrink = 1
+	// ShedBilinearOnly: drop RoI detection and SR entirely — the client
+	// falls back to its GPU bilinear path (the paper's SOTA baseline).
+	ShedBilinearOnly = 2
+	// ShedDemoted: additionally demote the session's scheduler client to
+	// Background priority, so its remaining work only uses worker cycles
+	// the on-budget sessions leave idle.
+	ShedDemoted = 3
+)
+
+// ShedPolicy drives the per-session shed ladder from the session's
+// deadline-miss streak: EscalateStreak consecutive misses climb one rung,
+// RecoverFrames consecutive on-budget frames descend one.
+type ShedPolicy struct {
+	// EscalateStreak is the consecutive-miss count that triggers a climb
+	// (default 8 — half a 60 FPS GOP of sustained misses, long enough to
+	// ignore one-frame spikes).
+	EscalateStreak int
+	// RecoverFrames is the consecutive on-budget frame count that triggers
+	// a descent (default 240 — recovery is deliberately much slower than
+	// escalation so the ladder doesn't oscillate at the capacity edge).
+	RecoverFrames int
+	// MaxLevel caps the ladder (default ShedDemoted).
+	MaxLevel int
+}
+
+func (p ShedPolicy) withDefaults() ShedPolicy {
+	if p.EscalateStreak <= 0 {
+		p.EscalateStreak = 8
+	}
+	if p.RecoverFrames <= 0 {
+		p.RecoverFrames = 240
+	}
+	if p.MaxLevel <= 0 || p.MaxLevel > ShedDemoted {
+		p.MaxLevel = ShedDemoted
+	}
+	return p
+}
+
+// AdmissionPolicy keys new-session admission off the live sessions' SLO
+// state: a session is admitted only while the aggregate windowed p99 frame
+// latency leaves at least MinSlack of headroom against the deadline.
+// Requires FlightFrames > 0 (the per-session rings are the latency window);
+// without recorders the policy admits everything up to MaxSessions.
+type AdmissionPolicy struct {
+	// MinSlack is the minimum (deadline − aggregate p99) required to admit
+	// (default 0: reject once p99 slack goes negative, i.e. the fleet is
+	// already missing deadlines at the tail).
+	MinSlack time.Duration
+	// MinSamples is the minimum number of delivered frames across the live
+	// windows before the policy may reject (default 32) — a cold server
+	// admits; rejection needs evidence.
+	MinSamples int
+}
+
+func (p AdmissionPolicy) withDefaults() AdmissionPolicy {
+	if p.MinSamples <= 0 {
+		p.MinSamples = 32
+	}
+	return p
+}
+
 // MultiServer accepts and serves many concurrent client sessions — the
 // shape a real cloud-gaming host has (the paper's Sunshine hosts one stream
-// per machine, GeForce-Now-class services multiplex many).
+// per machine, GeForce-Now-class services multiplex many). With Sched,
+// Admission and Shed configured it is also the control plane: per-session
+// scheduler clients, SLO-keyed admission control and a per-session shed
+// ladder (see DESIGN.md §12).
 type MultiServer struct {
 	// Accept is the stream geometry announced to every client.
 	Accept Accept
@@ -29,7 +120,7 @@ type MultiServer struct {
 	// MaxFrames bounds each session (0 = until source EOF).
 	MaxFrames int
 	// MaxSessions bounds concurrent sessions (default 16); excess
-	// connections are closed immediately.
+	// connections receive a Reject(capacity) and are closed.
 	MaxSessions int
 	// OnInput receives input events from any session, tagged by remote
 	// address.
@@ -43,14 +134,42 @@ type MultiServer struct {
 	// the recorders of live sessions plus the most recently finished ones,
 	// and WriteFlight merges their windows into one Chrome trace (one
 	// Perfetto process per session) — the MultiServer itself is the
-	// telemetry.FlightDumper behind /debug/flight.
+	// telemetry.FlightDumper behind /debug/flight. Session streak gauges
+	// are aggregated max-across-sessions through a frametrace.StreakSet.
 	FlightFrames int
+	// FlightRetain overrides how many finished sessions' recorders stay
+	// dumpable (default 4). Benchmarks that read every session's window
+	// after the run raise it.
+	FlightRetain int
+	// Deadline overrides the per-frame budget the session recorders (and
+	// therefore admission and shedding) account against (default
+	// frametrace.DefaultDeadline, the 60 FPS frame time).
+	Deadline time.Duration
+	// Sched, when non-nil, gives every session its own scheduler client
+	// (weight 1, Normal priority), threaded into SchedAware sources — the
+	// isolation that makes shedding's priority demotion meaningful.
+	Sched *parallel.Scheduler
+	// Admission, when non-nil, enables SLO-keyed admission control.
+	Admission *AdmissionPolicy
+	// Shed, when non-nil, enables the per-session shed ladder; it needs
+	// FlightFrames > 0 (the recorder's miss streak is the trigger signal).
+	Shed *ShedPolicy
 
 	mu       sync.Mutex
-	sessions map[net.Conn]struct{}
+	sessions map[net.Conn]*session
 	flights  []*sessionFlight
+	streaks  *frametrace.StreakSet
 	listener net.Listener
 	closed   bool
+	serveWG  sync.WaitGroup
+}
+
+// session is the per-connection control-plane state.
+type session struct {
+	remote string
+	rec    *frametrace.Recorder
+	client *parallel.Client
+	shed   *shedSource
 }
 
 // sessionFlight pairs one session's flight recorder with its identity.
@@ -61,7 +180,7 @@ type sessionFlight struct {
 }
 
 // retiredFlights bounds how many finished sessions' recorders stay
-// dumpable after their connection closes.
+// dumpable after their connection closes (unless FlightRetain raises it).
 const retiredFlights = 4
 
 // errServerClosed is returned by Serve after Shutdown.
@@ -83,12 +202,16 @@ func (s *MultiServer) Serve(l net.Listener) error {
 		return errServerClosed
 	}
 	s.listener = l
+	if s.streaks == nil && s.Metrics != nil && s.FlightFrames > 0 {
+		s.streaks = frametrace.NewStreakSet(s.Metrics)
+	}
 	s.mu.Unlock()
+	s.Metrics.GaugeFunc("stream_shed_level_max", s.maxShedLevel)
 	accepted := s.Metrics.Counter("stream_sessions_accepted_total")
 	rejected := s.Metrics.Counter("stream_sessions_rejected_total")
+	rejectedCap := s.Metrics.Counter("stream_sessions_rejected_capacity_total")
+	rejectedBusy := s.Metrics.Counter("stream_sessions_rejected_busy_total")
 	active := s.Metrics.Gauge("stream_sessions_active")
-	var wg sync.WaitGroup
-	defer wg.Wait()
 	for {
 		conn, err := l.Accept()
 		if err != nil {
@@ -107,23 +230,45 @@ func (s *MultiServer) Serve(l net.Listener) error {
 			return errServerClosed
 		}
 		if s.sessions == nil {
-			s.sessions = make(map[net.Conn]struct{})
+			s.sessions = make(map[net.Conn]*session)
 		}
-		if len(s.sessions) >= max {
-			s.mu.Unlock()
+		overCap := len(s.sessions) >= max
+		s.mu.Unlock()
+		if overCap {
 			rejected.Inc()
+			rejectedCap.Inc()
 			log.Printf("stream: rejecting %s: session limit %d reached", conn.RemoteAddr(), max)
-			conn.Close()
+			s.rejectConn(conn, RejectCapacity, fmt.Sprintf("session limit %d reached", max))
 			continue
 		}
-		s.sessions[conn] = struct{}{}
+		if s.Admission != nil {
+			if p99, samples, deadline, ok := s.admit(); !ok {
+				rejected.Inc()
+				rejectedBusy.Inc()
+				log.Printf("stream: rejecting %s: no SLO headroom (windowed p99 %v over %d frames, deadline %v)",
+					conn.RemoteAddr(), p99, samples, deadline)
+				s.rejectConn(conn, RejectBusy, fmt.Sprintf("no SLO headroom: p99 %v", p99.Round(time.Microsecond)))
+				continue
+			}
+		}
+		sess := &session{remote: conn.RemoteAddr().String()}
+		if s.Sched != nil {
+			sess.client = s.Sched.NewClient(parallel.ClientConfig{Name: sess.remote})
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return errServerClosed
+		}
+		s.sessions[conn] = sess
 		s.mu.Unlock()
 		accepted.Inc()
 		active.Add(1)
 
-		wg.Add(1)
-		go func(conn net.Conn) {
-			defer wg.Done()
+		s.serveWG.Add(1)
+		go func(conn net.Conn, sess *session) {
+			defer s.serveWG.Done()
 			defer func() {
 				conn.Close()
 				s.mu.Lock()
@@ -131,21 +276,105 @@ func (s *MultiServer) Serve(l net.Listener) error {
 				s.mu.Unlock()
 				active.Add(-1)
 			}()
-			s.serveSession(conn)
-		}(conn)
+			s.serveSession(conn, sess)
+		}(conn, sess)
 	}
 }
 
-func (s *MultiServer) serveSession(conn net.Conn) {
-	remote := conn.RemoteAddr().String()
+// rejectConn tells the client why it is being refused, then closes. It
+// first drains the client's Hello: closing a TCP connection with unread
+// inbound data resets it, which can destroy the reject before the peer
+// reads it. Both I/O steps share a deadline so a stalled peer is bounded,
+// and the whole exchange runs off the accept loop.
+func (s *MultiServer) rejectConn(conn net.Conn, code RejectCode, reason string) {
+	s.serveWG.Add(1)
+	go func() {
+		defer s.serveWG.Done()
+		defer conn.Close()
+		conn.SetDeadline(time.Now().Add(time.Second))
+		if _, err := ReadMsg(conn); err != nil {
+			return
+		}
+		_ = WriteReject(conn, Reject{Code: code, Reason: reason})
+	}()
+}
+
+// admit computes the aggregate windowed p99 across live session recorders
+// and compares its slack against the admission policy. Returns the p99,
+// the sample count, the deadline accounted against, and the verdict.
+func (s *MultiServer) admit() (p99 time.Duration, samples int, deadline time.Duration, ok bool) {
+	pol := s.Admission.withDefaults()
+	s.mu.Lock()
+	recs := make([]*frametrace.Recorder, 0, len(s.flights))
+	for _, f := range s.flights {
+		if f.live {
+			recs = append(recs, f.rec)
+		}
+	}
+	s.mu.Unlock()
+	var lats []time.Duration
+	deadline = s.Deadline
+	if deadline <= 0 {
+		deadline = frametrace.DefaultDeadline
+	}
+	for _, rec := range recs {
+		lats = rec.WindowLatencies(lats)
+		if d := rec.Deadline(); d > 0 {
+			deadline = d
+		}
+	}
+	if len(lats) < pol.MinSamples {
+		return 0, len(lats), deadline, true // cold server: no evidence to reject on
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	p99 = lats[(len(lats)*99+99)/100-1]
+	return p99, len(lats), deadline, deadline-p99 >= pol.MinSlack
+}
+
+// maxShedLevel reports the highest shed-ladder level among live sessions —
+// the stream_shed_level_max gauge.
+func (s *MultiServer) maxShedLevel() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var max int64
+	for _, sess := range s.sessions {
+		if sess.shed == nil {
+			continue
+		}
+		if v := sess.shed.Level(); int64(v) > max {
+			max = int64(v)
+		}
+	}
+	return max
+}
+
+func (s *MultiServer) serveSession(conn net.Conn, sess *session) {
+	remote := sess.remote
+	rec := s.beginFlight(remote)
+	sess.rec = rec
 	var src FrameSource
+	var source FrameSource = deferredSource{get: func() FrameSource { return src }}
+	if s.Shed != nil && rec != nil {
+		shed := &shedSource{
+			inner:       source,
+			target:      func() Shedder { t, _ := src.(Shedder); return t },
+			client:      sess.client,
+			rec:         rec,
+			pol:         s.Shed.withDefaults(),
+			remote:      remote,
+			escalations: s.Metrics.Counter("stream_shed_escalations_total"),
+			recoveries:  s.Metrics.Counter("stream_shed_recoveries_total"),
+		}
+		sess.shed = shed
+		source = shed
+	}
 	err := Serve(conn, ServerOptions{
 		Accept:    s.Accept,
 		MaxFrames: s.MaxFrames,
 		Metrics:   s.Metrics,
-		Flight:    s.beginFlight(remote),
+		Flight:    rec,
 		Remote:    remote,
-		Source:    deferredSource{get: func() FrameSource { return src }},
+		Source:    source,
 		OnInput: func(in InputPacket) {
 			if s.OnInput != nil {
 				s.OnInput(remote, in)
@@ -154,24 +383,118 @@ func (s *MultiServer) serveSession(conn net.Conn) {
 		Validate: func(h Hello) error {
 			var err error
 			src, err = s.NewSource(h)
-			return err
+			if err != nil {
+				return err
+			}
+			if sa, ok := src.(SchedAware); ok && sess.client != nil {
+				sa.SetSched(sess.client)
+			}
+			return nil
 		},
 	})
 	_ = err // per-session errors end that session only
+	if sess.client != nil {
+		st := sess.client.Stats()
+		if st.Jobs > 0 {
+			log.Printf("stream: session %s scheduler: %d jobs, %d chunks (%d stolen), queue-wait %v",
+				remote, st.Jobs, st.Chunks, st.Stolen, st.StolenWait.Round(time.Microsecond))
+		}
+	}
 	s.endFlight(remote)
+}
+
+// shedSource wraps a session's frame source with the shed-ladder
+// controller: before each frame it reads the recorder's miss streak and
+// escalates (or, after sustained recovery, descends) the shed level,
+// applying it to the source (Shedder) and the scheduler client (priority
+// demotion at ShedDemoted). Runs on the session's send goroutine, so all
+// state except the exported level is single-goroutine.
+type shedSource struct {
+	inner  FrameSource
+	target func() Shedder // resolved lazily: the source exists only after Hello
+	client *parallel.Client
+	rec    *frametrace.Recorder
+	pol    ShedPolicy
+	remote string
+
+	level atomic.Int32
+	arm   int64 // next escalation requires a streak >= arm
+	clean int64 // consecutive on-budget frames at the current level
+
+	escalations, recoveries *telemetry.Counter
+}
+
+// Level returns the session's current shed-ladder level.
+func (ss *shedSource) Level() int { return int(ss.level.Load()) }
+
+func (ss *shedSource) NextFrame(i int) ([]byte, bool, frame.Rect, error) {
+	ss.evaluate(i)
+	return ss.inner.NextFrame(i)
+}
+
+func (ss *shedSource) evaluate(i int) {
+	streak := ss.rec.MissStreak()
+	level := int(ss.level.Load())
+	if streak == 0 {
+		ss.arm = int64(ss.pol.EscalateStreak)
+		if level > 0 {
+			ss.clean++
+			if ss.clean >= int64(ss.pol.RecoverFrames) {
+				ss.setLevel(i, level-1)
+				ss.clean = 0
+				ss.recoveries.Inc()
+			}
+		}
+		return
+	}
+	ss.clean = 0
+	if ss.arm == 0 {
+		ss.arm = int64(ss.pol.EscalateStreak)
+	}
+	if streak >= ss.arm && level < ss.pol.MaxLevel {
+		ss.setLevel(i, level+1)
+		// Re-arm relative to the current streak, so a streak that keeps
+		// growing climbs one rung per EscalateStreak further misses
+		// instead of one rung per frame.
+		ss.arm = streak + int64(ss.pol.EscalateStreak)
+		ss.escalations.Inc()
+	}
+}
+
+func (ss *shedSource) setLevel(i, level int) {
+	old := int(ss.level.Swap(int32(level)))
+	if t := ss.target(); t != nil {
+		t.SetShedLevel(level)
+	}
+	if ss.client != nil {
+		if level >= ShedDemoted {
+			ss.client.SetPriority(parallel.Background)
+		} else {
+			ss.client.SetPriority(parallel.Normal)
+		}
+	}
+	log.Printf("stream: shed %s: level %d -> %d at frame %d (flight id %d, miss streak %d)",
+		ss.remote, old, level, i, ss.rec.LastID(), ss.rec.MissStreak())
 }
 
 // beginFlight attaches a flight recorder to a new session (nil when
 // FlightFrames is off), retiring the oldest finished recorders beyond the
 // retention cap. Per-session recorders keep frame IDs independent across
 // concurrent sessions; they share the server's Metrics registry, so miss
-// counters aggregate (the streak gauges are last-writer-wins across
-// sessions).
+// counters aggregate, and the streak gauges go through the server's
+// StreakSet (max across live sessions) instead of racing last-writer-wins.
 func (s *MultiServer) beginFlight(remote string) *frametrace.Recorder {
 	if s.FlightFrames <= 0 {
 		return nil
 	}
-	rec := frametrace.New(frametrace.Config{Frames: s.FlightFrames, Metrics: s.Metrics})
+	s.mu.Lock()
+	streaks := s.streaks
+	s.mu.Unlock()
+	rec := frametrace.New(frametrace.Config{Frames: s.FlightFrames, Deadline: s.Deadline, Metrics: s.Metrics, Streaks: streaks})
+	retain := s.FlightRetain
+	if retain <= 0 {
+		retain = retiredFlights
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.flights = append(s.flights, &sessionFlight{remote: remote, rec: rec, live: true})
@@ -181,7 +504,7 @@ func (s *MultiServer) beginFlight(remote string) *frametrace.Recorder {
 			retired++
 		}
 	}
-	for i := 0; retired > retiredFlights && i < len(s.flights); {
+	for i := 0; retired > retain && i < len(s.flights); {
 		if !s.flights[i].live {
 			s.flights = append(s.flights[:i], s.flights[i+1:]...)
 			retired--
@@ -193,13 +516,16 @@ func (s *MultiServer) beginFlight(remote string) *frametrace.Recorder {
 }
 
 // endFlight marks the most recent live recorder of remote as finished; its
-// window stays dumpable until retention evicts it.
+// window stays dumpable until retention evicts it. The recorder leaves the
+// streak aggregation so a dead session's final streak stops dominating the
+// gauge.
 func (s *MultiServer) endFlight(remote string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for i := len(s.flights) - 1; i >= 0; i-- {
 		if f := s.flights[i]; f.live && f.remote == remote {
 			f.live = false
+			s.streaks.Remove(f.rec)
 			return
 		}
 	}
@@ -222,6 +548,24 @@ func (s *MultiServer) WriteFlight(w io.Writer) error {
 	return frametrace.WriteChromeTraces(w, dumps)
 }
 
+// SessionLatencies returns the modelled frame latencies currently in every
+// retained session recorder's ring, keyed "remote#k" (k disambiguates
+// successive sessions from one address) — what the saturation benchmark
+// reads to compute per-session tail latency.
+func (s *MultiServer) SessionLatencies() map[string][]time.Duration {
+	s.mu.Lock()
+	flights := append([]*sessionFlight(nil), s.flights...)
+	s.mu.Unlock()
+	out := make(map[string][]time.Duration, len(flights))
+	seen := map[string]int{}
+	for _, f := range flights {
+		key := fmt.Sprintf("%s#%d", f.remote, seen[f.remote])
+		seen[f.remote]++
+		out[key] = f.rec.WindowLatencies(nil)
+	}
+	return out
+}
+
 // deferredSource resolves its FrameSource lazily: the real source is only
 // known after the client's Hello has been validated.
 type deferredSource struct {
@@ -236,9 +580,9 @@ func (d deferredSource) NextFrame(i int) ([]byte, bool, frame.Rect, error) {
 	return src.NextFrame(i)
 }
 
-// Shutdown stops accepting and closes every live session. The Serve call
-// returns once in-flight sessions finish (their connections are closed, so
-// they finish promptly).
+// Shutdown stops accepting and closes every live session, then waits for
+// the session goroutines to drain (they finish promptly — their
+// connections are closed) or for ctx to expire, whichever comes first.
 func (s *MultiServer) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	s.closed = true
@@ -249,11 +593,16 @@ func (s *MultiServer) Shutdown(ctx context.Context) error {
 		conn.Close()
 	}
 	s.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.serveWG.Wait()
+		close(done)
+	}()
 	select {
+	case <-done:
+		return nil
 	case <-ctx.Done():
 		return ctx.Err()
-	default:
-		return nil
 	}
 }
 

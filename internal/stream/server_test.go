@@ -16,6 +16,7 @@ import (
 
 	"gamestreamsr/internal/frame"
 	"gamestreamsr/internal/frametrace"
+	"gamestreamsr/internal/parallel"
 	"gamestreamsr/internal/telemetry"
 )
 
@@ -135,12 +136,15 @@ func TestMultiServerRejectsBadHello(t *testing.T) {
 	}
 	defer conn.Close()
 	c := NewClient(conn)
-	if err := WriteHello(conn, Hello{Device: "tiny", RoIWindow: 8, Scale: 2}); err != nil {
-		t.Fatal(err)
+	// The server answers a bad Hello with a protocol-level reject carrying
+	// the validation error, so the client knows why it was turned away.
+	_, err = c.Handshake(Hello{Device: "tiny", RoIWindow: 8, Scale: 2})
+	var rej *RejectedError
+	if !errors.As(err, &rej) {
+		t.Fatalf("Handshake error = %v, want *RejectedError", err)
 	}
-	// The server rejects and closes; the client sees EOF or a reset.
-	if _, err := c.RecvFrame(); err == nil {
-		t.Fatal("rejected session should not deliver frames")
+	if rej.Code != RejectBadHello || !strings.Contains(rej.Reason, "window too small") {
+		t.Errorf("reject = %+v, want bad-hello with the validation reason", rej)
 	}
 }
 
@@ -241,7 +245,7 @@ func TestMultiServerSessionCap(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	// Second client is turned away (connection closed without handshake).
+	// Second client is turned away with a protocol-level capacity reject.
 	conn2, err := net.Dial("tcp", addr)
 	if err != nil {
 		t.Fatal(err)
@@ -255,8 +259,12 @@ func TestMultiServerSessionCap(t *testing.T) {
 	}()
 	select {
 	case err := <-errc:
-		if err == nil {
-			t.Fatal("second session should be rejected at the cap")
+		var rej *RejectedError
+		if !errors.As(err, &rej) {
+			t.Fatalf("second session got %v, want *RejectedError", err)
+		}
+		if rej.Code != RejectCapacity || !strings.Contains(rej.Reason, "session limit") {
+			t.Errorf("reject = %+v, want capacity with the limit in the reason", rej)
 		}
 	case <-time.After(3 * time.Second):
 		t.Fatal("second client hung instead of being rejected")
@@ -266,6 +274,9 @@ func TestMultiServerSessionCap(t *testing.T) {
 	s := reg.Snapshot()
 	if got := s.Counter("stream_sessions_rejected_total"); got != 1 {
 		t.Errorf("rejected_total = %d, want 1", got)
+	}
+	if got := s.Counter("stream_sessions_rejected_capacity_total"); got != 1 {
+		t.Errorf("rejected_capacity_total = %d, want 1", got)
 	}
 	if got := s.Counter("stream_sessions_accepted_total"); got != 1 {
 		t.Errorf("accepted_total = %d, want 1", got)
@@ -352,8 +363,8 @@ func TestMultiServerFlightRecorders(t *testing.T) {
 			t.Fatalf("session %q recorded %d frames, want %d", nd.Name, len(nd.Dump.Frames), nFrames)
 		}
 		for _, f := range nd.Dump.Frames {
-			if len(f.Spans) != 1 || f.Spans[0].Lane != "send" {
-				t.Errorf("frame %d spans = %+v, want one send span", f.ID, f.Spans)
+			if len(f.Spans) != 2 || f.Spans[0].Lane != "source" || f.Spans[1].Lane != "send" {
+				t.Errorf("frame %d spans = %+v, want source+send spans", f.ID, f.Spans)
 			}
 			// countingSource payloads are 1 byte, RoI 4x4.
 			if f.CodedBytes != 1 || f.RoI.W != 4 || f.RoI.H != 4 {
@@ -454,5 +465,209 @@ func TestServeFlightAndSlowSendLog(t *testing.T) {
 	}
 	if !strings.Contains(logs, "slow send to test-peer") {
 		t.Errorf("slow-send log missing the remote tag:\n%s", logs)
+	}
+}
+
+// TestMultiServerShutdownWaitsForSessions: Shutdown must block on in-flight
+// session goroutines (or the context), not return immediately.
+func TestMultiServerShutdownWaitsForSessions(t *testing.T) {
+	release := make(chan struct{})
+	inSession := make(chan struct{})
+	var once sync.Once
+	srv := &MultiServer{
+		Accept: Accept{Width: 32, Height: 32, GOPSize: 4, QStep: 6},
+		NewSource: func(Hello) (FrameSource, error) {
+			return frameFunc(func(i int) ([]byte, bool, frame.Rect, error) {
+				if i == 0 {
+					return []byte{0}, true, frame.Rect{}, nil
+				}
+				once.Do(func() { close(inSession) })
+				<-release // stuck in the source: ignores the closed conn
+				return nil, false, frame.Rect{}, io.EOF
+			}), nil
+		},
+	}
+	addr, done := startMulti(t, srv)
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	c := NewClient(conn)
+	if _, err := c.Handshake(Hello{Device: "a", RoIWindow: 8, Scale: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.RecvFrame(); err != nil {
+		t.Fatal(err)
+	}
+	<-inSession
+
+	// The session goroutine is wedged in NextFrame, so a bounded Shutdown
+	// must report the deadline rather than pretending the drain finished.
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	if err := srv.Shutdown(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Shutdown with a wedged session = %v, want deadline exceeded", err)
+	}
+
+	close(release)
+	if err := srv.Shutdown(context.Background()); err != nil {
+		t.Fatalf("Shutdown after release = %v", err)
+	}
+	<-done
+	if srv.SessionCount() != 0 {
+		t.Errorf("%d sessions left after shutdown", srv.SessionCount())
+	}
+}
+
+// TestMultiServerAdmissionControl: once the live sessions' windowed p99
+// leaves less than MinSlack of headroom, new sessions get a Busy reject.
+func TestMultiServerAdmissionControl(t *testing.T) {
+	release := make(chan struct{})
+	reg := telemetry.NewRegistry()
+	srv := &MultiServer{
+		Accept:       Accept{Width: 32, Height: 32, GOPSize: 4, QStep: 6},
+		Metrics:      reg,
+		FlightFrames: 8,
+		// MinSlack of an hour cannot be met, so the policy rejects as soon
+		// as it has MinSamples of evidence — deterministic without having
+		// to manufacture real deadline misses.
+		Admission: &AdmissionPolicy{MinSlack: time.Hour, MinSamples: 2},
+		NewSource: func(Hello) (FrameSource, error) {
+			return frameFunc(func(i int) ([]byte, bool, frame.Rect, error) {
+				if i < 5 {
+					return []byte{byte(i)}, i == 0, frame.Rect{}, nil
+				}
+				<-release // hold the session (and its window) live
+				return nil, false, frame.Rect{}, io.EOF
+			}), nil
+		},
+	}
+	addr, done := startMulti(t, srv)
+	defer func() {
+		close(release)
+		srv.Shutdown(context.Background())
+		<-done
+	}()
+
+	// First client is admitted cold (no evidence yet) and fills the window.
+	conn1, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn1.Close()
+	c1 := NewClient(conn1)
+	if _, err := c1.Handshake(Hello{Device: "a", RoIWindow: 8, Scale: 2}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := c1.RecvFrame(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Second client is refused with the live p99 in the reason.
+	conn2, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn2.Close()
+	_, err = NewClient(conn2).Handshake(Hello{Device: "b", RoIWindow: 8, Scale: 2})
+	var rej *RejectedError
+	if !errors.As(err, &rej) {
+		t.Fatalf("Handshake error = %v, want *RejectedError", err)
+	}
+	if rej.Code != RejectBusy || !strings.Contains(rej.Reason, "no SLO headroom") {
+		t.Errorf("reject = %+v, want busy with the headroom reason", rej)
+	}
+	if got := reg.Snapshot().Counter("stream_sessions_rejected_busy_total"); got != 1 {
+		t.Errorf("rejected_busy_total = %d, want 1", got)
+	}
+}
+
+// shedProbe is a FrameSource implementing both optional capabilities: it
+// records shed-level transitions and the session scheduler client, and
+// sleeps past the deadline for the first slowFrames frames.
+type shedProbe struct {
+	mu         sync.Mutex
+	levels     []int
+	sched      *parallel.Client
+	slowFrames int
+	sleep      time.Duration
+	frames     int
+}
+
+func (p *shedProbe) SetShedLevel(level int) {
+	p.mu.Lock()
+	p.levels = append(p.levels, level)
+	p.mu.Unlock()
+}
+
+func (p *shedProbe) SetSched(c *parallel.Client) { p.sched = c }
+
+func (p *shedProbe) NextFrame(i int) ([]byte, bool, frame.Rect, error) {
+	if i >= p.frames {
+		return nil, false, frame.Rect{}, io.EOF
+	}
+	if i < p.slowFrames {
+		time.Sleep(p.sleep)
+	}
+	return []byte{byte(i)}, i == 0, frame.Rect{}, nil
+}
+
+// TestMultiServerShedLadder drives a session past its deadline until the
+// shed ladder climbs to priority demotion, then lets it recover and checks
+// the ladder descends.
+func TestMultiServerShedLadder(t *testing.T) {
+	probe := &shedProbe{slowFrames: 8, sleep: 3 * time.Millisecond, frames: 16}
+	reg := telemetry.NewRegistry()
+	sched := parallel.NewScheduler(2)
+	defer sched.Close()
+	srv := &MultiServer{
+		Accept:       Accept{Width: 32, Height: 32, GOPSize: 4, QStep: 6},
+		Metrics:      reg,
+		FlightFrames: 8,
+		Deadline:     time.Millisecond, // every slow frame misses
+		Sched:        sched,
+		Shed:         &ShedPolicy{EscalateStreak: 2, RecoverFrames: 3},
+		NewSource:    func(Hello) (FrameSource, error) { return probe, nil },
+	}
+	addr, done := startMulti(t, srv)
+	if got := runClient(t, addr, "shed"); got != probe.frames {
+		t.Fatalf("client got %d frames, want %d", got, probe.frames)
+	}
+	srv.Shutdown(context.Background())
+	<-done
+
+	probe.mu.Lock()
+	levels := append([]int(nil), probe.levels...)
+	probe.mu.Unlock()
+	// Misses at frames 0..7 build streaks 1..8; with EscalateStreak 2 the
+	// ladder climbs at streaks 2, 4 and 6. Frames 8..15 are on budget, so
+	// after RecoverFrames=3 clean frames it descends at least once.
+	want := []int{1, 2, 3}
+	if len(levels) < 4 {
+		t.Fatalf("shed levels = %v, want 3 escalations then recovery", levels)
+	}
+	for i, l := range want {
+		if levels[i] != l {
+			t.Fatalf("shed levels = %v, want prefix %v", levels, want)
+		}
+	}
+	if last := levels[len(levels)-1]; last >= 3 {
+		t.Errorf("shed levels = %v, want a recovery below ShedDemoted at the end", levels)
+	}
+	if probe.sched == nil {
+		t.Errorf("SchedAware source never received the session's scheduler client")
+	} else if probe.sched.Priority() != parallel.Normal {
+		t.Errorf("session client priority = %v after recovery, want Normal", probe.sched.Priority())
+	}
+	s := reg.Snapshot()
+	if got := s.Counter("stream_shed_escalations_total"); got != 3 {
+		t.Errorf("shed_escalations_total = %d, want 3", got)
+	}
+	if got := s.Counter("stream_shed_recoveries_total"); got < 1 {
+		t.Errorf("shed_recoveries_total = %d, want >= 1", got)
 	}
 }

@@ -78,6 +78,15 @@ func Serve(conn io.ReadWriter, opt ServerOptions) error {
 	}
 	if opt.Validate != nil {
 		if err := opt.Validate(*msg.Hello); err != nil {
+			// Tell the client why before closing — a silent close is
+			// indistinguishable from a network fault on their side. The
+			// write is bounded: a peer that never reads must not wedge
+			// the session goroutine.
+			if c, ok := conn.(interface{ SetWriteDeadline(time.Time) error }); ok {
+				c.SetWriteDeadline(time.Now().Add(time.Second))
+				defer c.SetWriteDeadline(time.Time{})
+			}
+			_ = WriteReject(conn, Reject{Code: RejectBadHello, Reason: err.Error()})
 			return fmt.Errorf("stream: rejecting client: %w", err)
 		}
 	}
@@ -124,9 +133,11 @@ func Serve(conn io.ReadWriter, opt ServerOptions) error {
 
 	var sendErr error
 	// Reused across frames so deadline accounting allocates nothing.
-	var latScratch [1]frametrace.StageLatency
+	var latScratch [2]frametrace.StageLatency
 	for i := 0; opt.MaxFrames == 0 || i < opt.MaxFrames; i++ {
+		tSrc := time.Now()
 		payload, key, roi, err := opt.Source.NextFrame(i)
+		dSrc := time.Since(tSrc)
 		if err == io.EOF {
 			break
 		}
@@ -137,6 +148,7 @@ func Serve(conn io.ReadWriter, opt ServerOptions) error {
 		pkt := FramePacket{Index: uint32(i), Keyenc: key, RoI: roi, Payload: payload}
 		fid := opt.Flight.BeginFrame(i)
 		opt.Flight.SetEncode(fid, roi, len(payload), len(payload))
+		opt.Flight.Span(fid, "source", "source", tSrc, dSrc)
 		t0 := time.Now()
 		if err := WriteFrame(conn, pkt); err != nil {
 			sendErr = fmt.Errorf("stream: writing frame %d: %w", i, err)
@@ -144,10 +156,13 @@ func Serve(conn io.ReadWriter, opt ServerOptions) error {
 		}
 		d := time.Since(t0)
 		opt.Flight.Span(fid, "send", "send", t0, d)
-		// The send latency is the server's whole per-frame budget on the
-		// wire side; accounting it against the recorder's deadline makes a
-		// stalled client socket visible as a miss streak on /metrics.
-		latScratch[0] = frametrace.StageLatency{Name: "send", D: d}
+		// Frame production (render + detect + encode) plus the send are the
+		// server's whole per-frame budget; accounting both against the
+		// recorder's deadline makes an overloaded scheduler or a stalled
+		// client socket visible as a miss streak on /metrics — the signal
+		// the shed ladder and admission control key off.
+		latScratch[0] = frametrace.StageLatency{Name: "source", D: dSrc}
+		latScratch[1] = frametrace.StageLatency{Name: "send", D: d}
 		opt.Flight.ObserveDeadline(fid, latScratch[:])
 		if slowSend > 0 && d > slowSend {
 			log.Printf("stream: slow send to %s: frame %d (flight id %d) took %v (%d B, RoI %dx%d)",
@@ -184,6 +199,9 @@ func (c *Client) Handshake(h Hello) (Accept, error) {
 	msg, err := ReadMsg(c.conn)
 	if err != nil {
 		return Accept{}, fmt.Errorf("stream: reading accept: %w", err)
+	}
+	if msg.Type == MsgReject {
+		return Accept{}, &RejectedError{Code: msg.Reject.Code, Reason: msg.Reject.Reason}
 	}
 	if msg.Type != MsgAccept {
 		return Accept{}, fmt.Errorf("%w: expected accept, got %v", ErrProtocol, msg.Type)

@@ -5,6 +5,7 @@
 //
 //	client → server  Hello   (device name, negotiated RoI window, scale)
 //	server → client  Accept  (stream geometry: resolution, GOP, quantizer)
+//	server → client  Reject  (refusal: reason code + detail, then close)
 //	server → client  Frame   (index, codec frame type, RoI coords, payload)
 //	client → server  Input   (sequence number, opaque input event payload)
 //	either direction Bye     (clean shutdown)
@@ -33,6 +34,7 @@ const (
 	MsgFrame
 	MsgInput
 	MsgBye
+	MsgReject
 )
 
 func (t MsgType) String() string {
@@ -47,6 +49,8 @@ func (t MsgType) String() string {
 		return "input"
 	case MsgBye:
 		return "bye"
+	case MsgReject:
+		return "reject"
 	default:
 		return fmt.Sprintf("MsgType(%d)", uint8(t))
 	}
@@ -64,6 +68,54 @@ type Hello struct {
 	Device    string
 	RoIWindow int
 	Scale     int
+}
+
+// RejectCode classifies why the server refused a session.
+type RejectCode uint8
+
+// Reject codes.
+const (
+	// RejectBusy: admission control found no SLO headroom — retry later.
+	RejectBusy RejectCode = iota + 1
+	// RejectCapacity: the hard session cap is reached.
+	RejectCapacity
+	// RejectBadHello: the Hello failed validation.
+	RejectBadHello
+)
+
+func (c RejectCode) String() string {
+	switch c {
+	case RejectBusy:
+		return "busy"
+	case RejectCapacity:
+		return "capacity"
+	case RejectBadHello:
+		return "bad-hello"
+	default:
+		return fmt.Sprintf("RejectCode(%d)", uint8(c))
+	}
+}
+
+// Reject is the server's refusal: sent instead of Accept (or instead of a
+// silent close before the handshake), then the connection closes.
+type Reject struct {
+	Code   RejectCode
+	Reason string
+}
+
+// RejectedError is what Client.Handshake returns when the server answered
+// with a Reject — typed so callers can distinguish "busy, retry later"
+// from protocol failures.
+type RejectedError struct {
+	Code   RejectCode
+	Reason string
+}
+
+func (e *RejectedError) Error() string {
+	if e.Reason == "" {
+		return fmt.Sprintf("stream: rejected (%v)", e.Code)
+	}
+	return fmt.Sprintf("stream: rejected (%v): %s", e.Code, e.Reason)
 }
 
 // Accept is the server's handshake reply describing the stream.
@@ -195,6 +247,29 @@ func parseAccept(body []byte) (Accept, error) {
 	return a, nil
 }
 
+// WriteReject sends a Reject message.
+func WriteReject(w io.Writer, rej Reject) error {
+	if len(rej.Reason) > 255 {
+		rej.Reason = rej.Reason[:255]
+	}
+	body := []byte{byte(rej.Code), byte(len(rej.Reason))}
+	body = append(body, rej.Reason...)
+	return writeMsg(w, MsgReject, body)
+}
+
+func parseReject(body []byte) (Reject, error) {
+	if len(body) < 2 {
+		return Reject{}, fmt.Errorf("%w: truncated reject", ErrProtocol)
+	}
+	rej := Reject{Code: RejectCode(body[0])}
+	n := int(body[1])
+	if len(body) != 2+n {
+		return Reject{}, fmt.Errorf("%w: reject reason length %d != %d", ErrProtocol, n, len(body)-2)
+	}
+	rej.Reason = string(body[2:])
+	return rej, nil
+}
+
 // WriteFrame sends a FramePacket.
 func WriteFrame(w io.Writer, f FramePacket) error {
 	body := binary.AppendUvarint(nil, uint64(f.Index))
@@ -293,6 +368,7 @@ type Msg struct {
 	Accept *Accept
 	Frame  *FramePacket
 	Input  *InputPacket
+	Reject *Reject
 }
 
 // ReadMsg reads and decodes the next message from r.
@@ -328,6 +404,12 @@ func ReadMsg(r io.Reader) (Msg, error) {
 		}
 		out.Input = &in
 	case MsgBye:
+	case MsgReject:
+		rej, err := parseReject(body)
+		if err != nil {
+			return Msg{}, err
+		}
+		out.Reject = &rej
 	default:
 		return Msg{}, fmt.Errorf("%w: unknown message type %d", ErrProtocol, t)
 	}

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"gamestreamsr/internal/frame"
+	"strings"
 )
 
 func TestMsgTypeString(t *testing.T) {
@@ -372,5 +373,40 @@ func TestClientRejectsWrongHandshakeReply(t *testing.T) {
 	c := NewClient(client)
 	if _, err := c.Handshake(Hello{Device: "x", RoIWindow: 16, Scale: 2}); err == nil {
 		t.Fatal("wrong handshake reply should fail")
+	}
+}
+
+func TestRejectRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	in := Reject{Code: RejectBusy, Reason: "no SLO headroom: p99 21ms"}
+	if err := WriteReject(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	msg, err := ReadMsg(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg.Type != MsgReject || msg.Reject == nil {
+		t.Fatalf("message = %+v, want a reject", msg)
+	}
+	if *msg.Reject != in {
+		t.Errorf("round trip = %+v, want %+v", *msg.Reject, in)
+	}
+	if got := in.Code.String(); got != "busy" {
+		t.Errorf("RejectBusy.String() = %q", got)
+	}
+
+	// Oversized reasons are truncated to the wire limit, not an error.
+	long := Reject{Code: RejectCapacity, Reason: strings.Repeat("x", 300)}
+	buf.Reset()
+	if err := WriteReject(&buf, long); err != nil {
+		t.Fatal(err)
+	}
+	msg, err = ReadMsg(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(msg.Reject.Reason); n != 255 {
+		t.Errorf("truncated reason length = %d, want 255", n)
 	}
 }

@@ -148,18 +148,20 @@ func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
 // NewRegistry — but a nil *Registry is a fully functional no-op, which is
 // how instrumentation stays optional.
 type Registry struct {
-	mu     sync.Mutex
-	counts map[string]*Counter
-	gauges map[string]*Gauge
-	hists  map[string]*Histogram
+	mu       sync.Mutex
+	counts   map[string]*Counter
+	gauges   map[string]*Gauge
+	gaugeFns map[string]func() int64
+	hists    map[string]*Histogram
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{
-		counts: map[string]*Counter{},
-		gauges: map[string]*Gauge{},
-		hists:  map[string]*Histogram{},
+		counts:   map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		gaugeFns: map[string]func() int64{},
+		hists:    map[string]*Histogram{},
 	}
 }
 
@@ -193,6 +195,23 @@ func (r *Registry) Gauge(name string) *Gauge {
 		r.gauges[name] = g
 	}
 	return g
+}
+
+// GaugeFunc registers a callback gauge: fn is evaluated at every Snapshot
+// and its result appears among the gauges under name. This is how derived
+// values — aggregates over live sessions, say — are exported without a
+// writer updating a stored gauge. First registration wins; fn must be
+// concurrency-safe and must not call back into the registry. No-op on a
+// nil registry.
+func (r *Registry) GaugeFunc(name string, fn func() int64) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.gaugeFns[name]; !ok {
+		r.gaugeFns[name] = fn
+	}
 }
 
 // Histogram returns the named histogram, creating it with the given bucket
@@ -337,6 +356,9 @@ func (r *Registry) Snapshot() Snapshot {
 	}
 	for name, g := range r.gauges {
 		s.Gauges = append(s.Gauges, GaugeValue{Name: name, Value: g.Value()})
+	}
+	for name, fn := range r.gaugeFns {
+		s.Gauges = append(s.Gauges, GaugeValue{Name: name, Value: fn()})
 	}
 	for name, h := range r.hists {
 		hv := HistogramValue{

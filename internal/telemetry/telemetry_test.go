@@ -5,6 +5,7 @@ import (
 	"net/http/httptest"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -237,4 +238,24 @@ func TestBucketLadders(t *testing.T) {
 	if len(bytes) == 0 || bytes[0] != 256 || bytes[len(bytes)-1] != 4<<20 {
 		t.Errorf("byte buckets = %v", bytes)
 	}
+}
+
+func TestGaugeFunc(t *testing.T) {
+	r := NewRegistry()
+	var v atomic.Int64
+	v.Store(7)
+	r.GaugeFunc("callback_gauge", v.Load)
+	// First registration wins; a duplicate must not replace it.
+	r.GaugeFunc("callback_gauge", func() int64 { return -1 })
+	if got := r.Snapshot().Gauge("callback_gauge"); got != 7 {
+		t.Fatalf("callback gauge = %d, want 7", got)
+	}
+	v.Store(9)
+	if got := r.Snapshot().Gauge("callback_gauge"); got != 9 {
+		t.Fatalf("callback gauge after update = %d, want 9", got)
+	}
+	// Nil-safe on both receiver and function.
+	var nilReg *Registry
+	nilReg.GaugeFunc("x", v.Load)
+	r.GaugeFunc("nil_fn", nil)
 }

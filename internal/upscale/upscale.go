@@ -138,6 +138,12 @@ func Resize(src *frame.Image, dstW, dstH int, k Kind) (*frame.Image, error) {
 // image; dst must not alias src. The optional pool supplies the intermediate
 // buffer of the separable pass (nil allocates it).
 func ResizeInto(dst, src *frame.Image, k Kind, pool *bufpool.Pool) error {
+	return ResizeIntoOn(nil, dst, src, k, pool)
+}
+
+// ResizeIntoOn is ResizeInto with the row-parallel passes attributed to the
+// scheduler client c (nil means the default client).
+func ResizeIntoOn(c *parallel.Client, dst, src *frame.Image, k Kind, pool *bufpool.Pool) error {
 	if src.W <= 0 || src.H <= 0 {
 		return fmt.Errorf("upscale: empty source image %dx%d", src.W, src.H)
 	}
@@ -152,8 +158,8 @@ func ResizeInto(dst, src *frame.Image, k Kind, pool *bufpool.Pool) error {
 	hw := cachedWeights(src.W, dst.W, k)
 	vw := cachedWeights(src.H, dst.H, k)
 	mid := pool.Image(dst.W, src.H)
-	resampleRows(src, mid, hw)
-	resampleCols(mid, dst, vw)
+	resampleRows(c, src, mid, hw)
+	resampleCols(c, mid, dst, vw)
 	pool.PutImage(mid)
 	return nil
 }
@@ -263,9 +269,9 @@ func clampInt(v, lo, hi int) int {
 	return v
 }
 
-func resampleRows(src, dst *frame.Image, taps []tapSet) {
+func resampleRows(c *parallel.Client, src, dst *frame.Image, taps []tapSet) {
 	// Destination rows are disjoint, so row bands parallelise safely.
-	parallel.For(src.H, func(y0, y1 int) {
+	c.For(src.H, func(y0, y1 int) {
 		for y := y0; y < y1; y++ {
 			srow := y * src.Stride
 			drow := y * dst.Stride
@@ -291,8 +297,8 @@ func resampleRows(src, dst *frame.Image, taps []tapSet) {
 // across chunks, calls and frames (the buffers grow to the largest row seen).
 var colScratch = parallel.NewScratch(func() *[]float64 { return new([]float64) })
 
-func resampleCols(src, dst *frame.Image, taps []tapSet) {
-	parallel.ForWith(dst.H, colScratch, func(y0, y1 int, sp *[]float64) {
+func resampleCols(c *parallel.Client, src, dst *frame.Image, taps []tapSet) {
+	parallel.ForWithOn(c, dst.H, colScratch, func(y0, y1 int, sp *[]float64) {
 		// Tap-outer accumulation: each contributing source row is streamed
 		// sequentially into a row accumulator, which is cache-friendlier than
 		// striding down columns. Per destination pixel the additions still
@@ -385,6 +391,12 @@ func ResizePlane(src []float64, srcW, srcH, dstW, dstH int, k Kind) ([]float64, 
 // dstW*dstH and is fully overwritten (a dirty pooled buffer is fine; dst
 // must not alias src). The optional pool supplies the intermediate buffer.
 func ResizePlaneInto(dst, src []float64, srcW, srcH, dstW, dstH int, k Kind, pool *bufpool.Pool) error {
+	return ResizePlaneIntoOn(nil, dst, src, srcW, srcH, dstW, dstH, k, pool)
+}
+
+// ResizePlaneIntoOn is ResizePlaneInto attributed to the scheduler client c
+// (nil means the default client).
+func ResizePlaneIntoOn(c *parallel.Client, dst, src []float64, srcW, srcH, dstW, dstH int, k Kind, pool *bufpool.Pool) error {
 	if len(src) != srcW*srcH {
 		return fmt.Errorf("upscale: plane length %d != %dx%d", len(src), srcW, srcH)
 	}
@@ -397,7 +409,7 @@ func ResizePlaneInto(dst, src []float64, srcW, srcH, dstW, dstH int, k Kind, poo
 	hw := cachedWeights(srcW, dstW, k)
 	vw := cachedWeights(srcH, dstH, k)
 	mid := pool.Float64s(dstW * srcH)
-	parallel.For(srcH, func(y0, y1 int) {
+	c.For(srcH, func(y0, y1 int) {
 		for y := y0; y < y1; y++ {
 			for x := 0; x < dstW; x++ {
 				t := &hw[x]
@@ -409,7 +421,7 @@ func ResizePlaneInto(dst, src []float64, srcW, srcH, dstW, dstH int, k Kind, poo
 			}
 		}
 	})
-	parallel.For(dstH, func(y0, y1 int) {
+	c.For(dstH, func(y0, y1 int) {
 		for y := y0; y < y1; y++ {
 			t := &vw[y]
 			for x := 0; x < dstW; x++ {
