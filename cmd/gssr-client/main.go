@@ -4,65 +4,183 @@
 // and performs the RoI-assisted upscale (DNN SR on the RoI, bilinear
 // elsewhere, merged), reporting per-frame statistics.
 //
+// Observability (DESIGN.md §13): the client carries its own flight
+// recorder with recv/decode/upscale/sr/merge/present spans per frame,
+// adopting the server's flight IDs from v2 FramePackets so a client dump
+// and the server's merge into one distributed trace (`gssr trace -merge`).
+// The handshake's Cristian-style timestamp exchange yields a clock-offset
+// estimate (error ≤ RTT/2) from which every frame's end-to-end age
+// (server send → client present) is computed, and a periodic Stats message
+// reports windowed client-side percentiles back to the server.
+//
 // Usage:
 //
 //	gssr-client [-addr localhost:7007] [-device s8] [-scale 2] [-save out.ppm]
+//	            [-metrics :9091] [-flight client-flight.json] [-stats-every 60]
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"log"
 	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"gamestreamsr/internal/codec"
 	"gamestreamsr/internal/device"
 	"gamestreamsr/internal/frame"
+	"gamestreamsr/internal/frametrace"
 	"gamestreamsr/internal/sr"
+	"gamestreamsr/internal/stats"
 	"gamestreamsr/internal/stream"
+	"gamestreamsr/internal/telemetry"
 	"gamestreamsr/internal/upscale"
 )
 
 func main() {
-	addr := flag.String("addr", "localhost:7007", "server address")
-	devName := flag.String("device", "s8", "device profile (s8 or pixel)")
-	scale := flag.Int("scale", 2, "upscale factor")
-	save := flag.String("save", "", "save the last upscaled frame to this PPM path")
+	cfg := clientConfig{}
+	flag.StringVar(&cfg.addr, "addr", "localhost:7007", "server address")
+	flag.StringVar(&cfg.devName, "device", "s8", "device profile (s8 or pixel)")
+	flag.IntVar(&cfg.scale, "scale", 2, "upscale factor")
+	flag.StringVar(&cfg.save, "save", "", "save the last upscaled frame to this PPM path")
+	flag.StringVar(&cfg.metricsAddr, "metrics", "", "serve /metrics, /metrics.json and /debug/flight on this address")
+	flag.StringVar(&cfg.flightPath, "flight", "", "write the flight-recorder window to this file on exit (Chrome trace JSON)")
+	flag.IntVar(&cfg.flightFrames, "flight-frames", frametrace.DefaultFrames, "flight-recorder ring size in frames")
+	flag.IntVar(&cfg.statsEvery, "stats-every", 60, "send a Stats backchannel report every N frames (0 disables)")
 	flag.Parse()
 
-	if err := run(*addr, *devName, *scale, *save); err != nil {
+	// SIGINT/SIGTERM end the session cleanly: the signal context triggers a
+	// protocol Bye before the connection drops, so the server logs a clean
+	// close, not a network failure.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, cfg); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(addr, devName string, scale int, save string) error {
-	dev, err := device.ProfileByName(devName)
-	if err != nil {
-		return err
-	}
+type clientConfig struct {
+	addr, devName            string
+	scale                    int
+	save                     string
+	metricsAddr, flightPath  string
+	flightFrames, statsEvery int
+}
+
+// connect dials addr and performs the handshake, closing the connection on
+// failure.
+func connect(addr string, h stream.Hello) (net.Conn, *stream.Client, stream.Accept, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
+		return nil, nil, stream.Accept{}, err
+	}
+	c := stream.NewClient(conn)
+	cfg, err := c.Handshake(h)
+	if err != nil {
+		conn.Close()
+		return nil, nil, stream.Accept{}, err
+	}
+	return conn, c, cfg, nil
+}
+
+// dialHandshake connects with the newest protocol and falls back to a v1
+// hello on a non-Reject handshake failure: a pre-versioning server parses
+// the Hello strictly and drops the connection on the trailing version
+// fields, so one redial with the original encoding keeps
+// new-client↔old-server interop. A typed Reject (busy, capacity, bad
+// hello) is final — no retry will change the server's mind.
+func dialHandshake(addr string, hello stream.Hello) (net.Conn, *stream.Client, stream.Accept, error) {
+	conn, c, cfg, err := connect(addr, hello)
+	if err == nil {
+		return conn, c, cfg, nil
+	}
+	var rej *stream.RejectedError
+	if errors.As(err, &rej) || hello.Version < stream.ProtocolV2 {
+		return nil, nil, stream.Accept{}, err
+	}
+	log.Printf("v2 handshake failed (%v); retrying with a v1 hello", err)
+	hello.Version, hello.SendUnixMicro = 0, 0
+	return connect(addr, hello)
+}
+
+func run(ctx context.Context, cc clientConfig) error {
+	dev, err := device.ProfileByName(cc.devName)
+	if err != nil {
 		return err
 	}
-	defer conn.Close()
-
-	c := stream.NewClient(conn)
 	// Step ❶ of Fig. 6: the capability probe determines the largest RoI the
 	// NPU can super-resolve in real time; it is announced in the Hello. For
 	// the small demo streams we also clamp to a fraction of the frame.
 	roiWin := dev.MaxRoIWindow(device.RealTimeDeadline)
-	cfg, err := c.Handshake(stream.Hello{Device: dev.Name, RoIWindow: min(roiWin, 64), Scale: scale})
+	hello := stream.Hello{
+		Device: dev.Name, RoIWindow: min(roiWin, 64), Scale: cc.scale,
+		Version: stream.ProtocolVersion,
+	}
+	conn, c, cfg, err := dialHandshake(cc.addr, hello)
 	if err != nil {
 		return err
 	}
-	log.Printf("stream: %dx%d, GOP %d, q %d", cfg.Width, cfg.Height, cfg.GOPSize, cfg.QStep)
+	defer conn.Close()
+	v2 := cfg.Version >= stream.ProtocolV2
+	clock := c.Clock()
+	log.Printf("stream: %dx%d, GOP %d, q %d (protocol v%d)", cfg.Width, cfg.Height, cfg.GOPSize, cfg.QStep, max(cfg.Version, 1))
+	if clock.Synced {
+		log.Printf("clock sync: offset %v, rtt %v (offset error ≤ %v)",
+			clock.Offset.Round(time.Microsecond), clock.RTT.Round(time.Microsecond), (clock.RTT / 2).Round(time.Microsecond))
+	}
+
+	// The client-side half of the distributed frame trace: a flight
+	// recorder whose frame IDs are the server's flight IDs, plus an e2e
+	// frame-age histogram on the registry.
+	reg := telemetry.NewRegistry()
+	rec := frametrace.New(frametrace.Config{Frames: cc.flightFrames, Metrics: reg})
+	rec.SetProcess("client")
+	if clock.Synced {
+		rec.SetClockSync(clock.Offset, clock.RTT)
+	}
+	ageHist := reg.Histogram("client_frame_age_seconds", telemetry.LatencyBuckets())
+	if cc.metricsAddr != "" {
+		if err := serveMetrics(cc.metricsAddr, reg, rec); err != nil {
+			return err
+		}
+	}
+
+	// A signal mid-stream sends the Bye and closes the connection,
+	// unblocking the receive loop; a session that ends first retires the
+	// watcher via sessionDone.
+	interrupted := make(chan struct{})
+	sessionDone := make(chan struct{})
+	defer close(sessionDone)
+	go func() {
+		select {
+		case <-sessionDone:
+		case <-ctx.Done():
+			select {
+			case <-sessionDone: // session already over; nothing to interrupt
+			default:
+				close(interrupted)
+				log.Printf("interrupted: sending bye")
+				_ = c.Bye()
+				conn.Close()
+			}
+		}
+	}()
 
 	dec := codec.NewDecoder()
 	engine := sr.NewFast(sr.FastConfig{})
 	var lastUp *frame.Image
 	frames, bytes := 0, 0
+	var dropped, misses, statsSeq uint32
+	// Per-window samples (µs) for the backchannel percentiles.
+	var wDecode, wSR, wAge []float64
+	deadline := rec.Deadline()
 	start := time.Now()
 
 	// Send a few demo input events (the interactive path).
@@ -72,61 +190,197 @@ func run(addr, devName string, scale int, save string) error {
 		}
 	}
 
+	var latScratch [4]frametrace.StageLatency
 	for {
+		tRecv := time.Now()
 		pkt, err := c.RecvFrame()
+		dRecv := time.Since(tRecv)
 		if err == io.EOF {
 			break
 		}
 		if err != nil {
-			return err
+			select {
+			case <-interrupted:
+				err = nil // clean interactive shutdown, not a stream failure
+			default:
+			}
+			if err != nil {
+				return err
+			}
+			break
 		}
+		// Adopt the server's flight ID (v1 servers send none; fall back to
+		// local IDs) so both processes' dumps correlate by frame identity.
+		fid := rec.BeginFrameAt(pkt.FlightID, int(pkt.Index))
+		rec.Span(fid, "recv", "recv", tRecv, dRecv)
+
+		tDec := time.Now()
 		df, err := dec.Decode(pkt.Payload)
+		dDec := time.Since(tDec)
 		if err != nil {
-			return fmt.Errorf("frame %d: %w", pkt.Index, err)
+			// A corrupt frame is dropped, not fatal: the display freezes one
+			// frame and the drop rides the next Stats report to the server.
+			log.Printf("frame %d: dropped: %v", pkt.Index, err)
+			rec.SetFrozen(fid)
+			dropped++
+			continue
 		}
+		rec.Span(fid, "decode", "decode", tDec, dDec)
+
 		// RoI-assisted upscale (Fig. 9).
-		base, err := upscale.Resize(df.Image, df.Image.W*scale, df.Image.H*scale, upscale.Bilinear)
+		tUp := time.Now()
+		base, err := upscale.Resize(df.Image, df.Image.W*cc.scale, df.Image.H*cc.scale, upscale.Bilinear)
+		dUp := time.Since(tUp)
 		if err != nil {
 			return err
 		}
+		rec.Span(fid, "upscale", "upscale", tUp, dUp)
 		roiRect := pkt.RoI.Clamp(df.Image.W, df.Image.H)
 		// A zero RoI is the server shedding to bilinear-only (the shed
 		// ladder, DESIGN.md §12): skip the DNN and keep the bilinear frame.
+		var dSR, dMerge time.Duration
 		if roiRect.W > 0 && roiRect.H > 0 {
+			tSR := time.Now()
 			roiImg, err := df.Image.SubImage(roiRect.X, roiRect.Y, roiRect.W, roiRect.H)
 			if err != nil {
 				return err
 			}
-			hr, err := engine.Upscale(roiImg.Compact(), scale)
+			hr, err := engine.Upscale(roiImg.Compact(), cc.scale)
+			dSR = time.Since(tSR)
 			if err != nil {
 				return err
 			}
-			if err := upscale.Merge(base, hr, roiRect, scale); err != nil {
+			rec.Span(fid, "sr", "sr", tSR, dSR)
+			tMerge := time.Now()
+			if err := upscale.Merge(base, hr, roiRect, cc.scale); err != nil {
 				return err
 			}
+			dMerge = time.Since(tMerge)
+			rec.Span(fid, "merge", "merge", tMerge, dMerge)
 		}
+		// Present: the merged frame is ready for the display at this instant.
+		tPresent := time.Now()
+		rec.Span(fid, "present", "present", tPresent, 0)
+
+		// End-to-end frame age, on the server's clock via the handshake
+		// offset: how stale this frame is as the user sees it (Fig. 9's
+		// end-to-end latency, extended over the wire).
+		if pkt.SendUnixMicro != 0 && clock.Synced {
+			age := tPresent.Sub(clock.ServerTime(pkt.SendUnixMicro))
+			if age < 0 {
+				age = 0
+			}
+			rec.SetAge(fid, age)
+			ageHist.ObserveDuration(age)
+			wAge = append(wAge, float64(age.Microseconds()))
+		}
+
+		// Client-side deadline accounting: decode through merge must fit the
+		// frame budget (recv excluded — it is the server's pacing, not this
+		// device's work).
+		latScratch[0] = frametrace.StageLatency{Name: "decode", D: dDec}
+		latScratch[1] = frametrace.StageLatency{Name: "upscale", D: dUp}
+		latScratch[2] = frametrace.StageLatency{Name: "sr", D: dSR}
+		latScratch[3] = frametrace.StageLatency{Name: "merge", D: dMerge}
+		rec.ObserveDeadline(fid, latScratch[:])
+		if dDec+dUp+dSR+dMerge > deadline {
+			misses++
+		}
+		wDecode = append(wDecode, float64(dDec.Microseconds()))
+		wSR = append(wSR, float64(dSR.Microseconds()))
+
 		lastUp = base
 		frames++
 		bytes += len(pkt.Payload)
 		if pkt.Keyenc {
 			log.Printf("frame %d (reference): %d B, RoI %v", pkt.Index, len(pkt.Payload), pkt.RoI)
 		}
+
+		// The telemetry backchannel: windowed percentiles every N frames,
+		// piggybacked on the input path (v2 sessions only — a v1 server
+		// stops reading input at the first unknown message).
+		if v2 && cc.statsEvery > 0 && frames%cc.statsEvery == 0 {
+			st := stream.StatsPacket{
+				Seq: statsSeq, WindowFrames: uint32(len(wDecode)),
+				Dropped: dropped, Misses: misses,
+				DecodeP50: pctDur(wDecode, 50), DecodeP99: pctDur(wDecode, 99),
+				SRP50: pctDur(wSR, 50), SRP99: pctDur(wSR, 99),
+				AgeP50: pctDur(wAge, 50), AgeP99: pctDur(wAge, 99),
+			}
+			statsSeq++
+			wDecode, wSR, wAge = wDecode[:0], wSR[:0], wAge[:0]
+			if err := c.SendStats(st); err != nil {
+				// Not fatal: a report can race the server's end-of-stream
+				// close. A real disconnect surfaces on the receive path.
+				log.Printf("stats report %d not delivered: %v", st.Seq, err)
+			}
+		}
 	}
 	elapsed := time.Since(start)
-	log.Printf("received %d frames, %.1f KB total, %.1f FPS wall-clock",
-		frames, float64(bytes)/1024, float64(frames)/elapsed.Seconds())
-	if save != "" && lastUp != nil {
-		if err := lastUp.SavePPM(save); err != nil {
+	// Clean shutdown: say goodbye before dropping the connection (the
+	// interrupt path already did).
+	select {
+	case <-interrupted:
+	default:
+		_ = c.Bye()
+	}
+	log.Printf("received %d frames, %.1f KB total, %.1f FPS wall-clock (%d dropped, %d deadline misses)",
+		frames, float64(bytes)/1024, float64(frames)/elapsed.Seconds(), dropped, misses)
+	if cc.flightPath != "" {
+		if err := writeFlight(cc.flightPath, rec); err != nil {
 			return err
 		}
-		log.Printf("last upscaled frame saved to %s", save)
+		log.Printf("flight dump written to %s", cc.flightPath)
+	}
+	if cc.save != "" && lastUp != nil {
+		if err := lastUp.SavePPM(cc.save); err != nil {
+			return err
+		}
+		log.Printf("last upscaled frame saved to %s", cc.save)
 	}
 	return nil
 }
 
-func min(a, b int) int {
-	if a < b {
-		return a
+// pctDur computes the p-th percentile of a window of µs samples.
+func pctDur(xs []float64, p float64) time.Duration {
+	s, err := stats.NewSummary(xs)
+	if err != nil {
+		return 0
 	}
-	return b
+	v, err := s.Percentile(p)
+	if err != nil {
+		return 0
+	}
+	return time.Duration(v) * time.Microsecond
+}
+
+// writeFlight dumps the recorder window as Chrome trace JSON — one half of
+// the merged two-process trace (`gssr trace -merge server.json client.json`).
+func writeFlight(path string, rec *frametrace.Recorder) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rec.WriteFlight(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// serveMetrics starts the telemetry endpoint (/metrics, /metrics.json,
+// /debug/flight, /debug/pprof) on addr — the same surface gssr-server
+// exposes, fed by the client's registry and flight recorder.
+func serveMetrics(addr string, reg *telemetry.Registry, flight telemetry.FlightDumper) error {
+	ml, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("metrics listener: %w", err)
+	}
+	log.Printf("telemetry on http://%s/metrics (JSON at /metrics.json, flight dumps at /debug/flight, profiles at /debug/pprof/)", ml.Addr())
+	go func() {
+		if err := http.Serve(ml, telemetry.Handler(reg, flight)); err != nil {
+			log.Printf("telemetry server stopped: %v", err)
+		}
+	}()
+	return nil
 }

@@ -18,6 +18,14 @@
 // fetch /debug/flight and open it in ui.perfetto.dev (or render it with
 // `gssr trace`) to postmortem a stall.
 //
+// V2 clients (gssr-client) additionally report client-side telemetry on the
+// input path every ~60 frames; the server folds each session's latest report
+// into /metrics (stream_client_age_p99_us_<remote> and friends, plus
+// cumulative drop/deadline-miss counters) and pins it to the in-flight frame
+// in that session's flight recorder. Merge a session's server dump with the
+// client's `-flight` dump via `gssr trace -merge` for one clock-aligned
+// two-process timeline (DESIGN.md §13).
+//
 // Scale controls (DESIGN.md §12): every session renders through its own
 // client of the shared parallel.Scheduler, so concurrent sessions share the
 // worker pool by weighted fair queueing instead of fighting over it. With

@@ -8,6 +8,7 @@
 //	gssr run <id> [flags]              run one experiment (or "all")
 //	gssr sim [flags]                   run a pipeline; -json archives the result
 //	gssr trace [-width N] <flight>     render a flight-recorder dump offline
+//	gssr trace -merge <srv> <cli> [-o]  merge server+client dumps into one timeline
 //	gssr report <out.md> [flags]       regenerate every experiment into Markdown
 //	gssr render <game> <frame> <out>   render a game frame to PPM (+depth PGM)
 //	gssr roi <game> <frame> <out-dir>  dump RoI detection stages as PGM/PPM
@@ -92,6 +93,7 @@ func usage() {
   gssr run <experiment-id|all> [-simdiv N] [-gop N] [-frames N] [-games G1,G3] [-out DIR] [-metrics :9090] [-flight out.json]
   gssr sim [-game G3] [-device s8] [-pipeline ours|nemo|srdec] [-frames N] [-gop N] [-simdiv N] [-json out.json] [-metrics :9090] [-flight out.json]
   gssr trace [-width N] <flight.json>
+  gssr trace -merge [-o merged.json] <server.json> <client.json>
   gssr report <out.md> [-simdiv N] [-gop N] [-games G1,G3]
   gssr render <game> <frame> <out.ppm>
   gssr roi <game> <frame> <out-dir>`)
@@ -375,12 +377,22 @@ func cmdSim(args []string) error {
 // cmdTrace renders a flight-recorder dump offline: the ASCII Gantt chart of
 // every session's window plus a per-frame table (RoI, coded bytes, deadline
 // slack) — the postmortem view of a /debug/flight or -flight capture without
-// leaving the terminal.
+// leaving the terminal. With -merge it instead fuses a server dump and a
+// client dump into one clock-aligned two-process Perfetto trace
+// (DESIGN.md §13).
 func cmdTrace(args []string) error {
 	fs := flag.NewFlagSet("trace", flag.ContinueOnError)
 	width := fs.Int("width", 72, "Gantt chart width in columns")
+	merge := fs.Bool("merge", false, "merge <server.json> <client.json> onto one clock-aligned timeline")
+	out := fs.String("o", "merged-trace.json", "merged trace output path (with -merge)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *merge {
+		if fs.NArg() != 2 {
+			return fmt.Errorf("trace -merge: want <server.json> <client.json> (from /debug/flight and `gssr-client -flight`)")
+		}
+		return mergeTraces(fs.Arg(0), fs.Arg(1), *out, os.Stdout)
 	}
 	if fs.NArg() != 1 {
 		return fmt.Errorf("trace: want one <flight.json> (from `gssr sim -flight` or /debug/flight)")
@@ -408,6 +420,90 @@ func cmdTrace(args []string) error {
 		}
 		fmt.Println()
 	}
+	return nil
+}
+
+// mergeTraces fuses a server flight dump and a client flight dump into one
+// Chrome/Perfetto trace: every process from both files is rebased onto one
+// reference clock (frametrace.AlignDumps — client epochs corrected by their
+// handshake-measured offset), written to outPath, and the frames the two
+// sides share are tabulated by flight ID with their wire-to-present age.
+func mergeTraces(serverPath, clientPath, outPath string, w io.Writer) error {
+	load := func(path string) ([]frametrace.NamedDump, error) {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		dumps, err := frametrace.ParseChromeTrace(f)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		return dumps, nil
+	}
+	serverDumps, err := load(serverPath)
+	if err != nil {
+		return err
+	}
+	clientDumps, err := load(clientPath)
+	if err != nil {
+		return err
+	}
+	if len(serverDumps) == 0 || len(clientDumps) == 0 {
+		return fmt.Errorf("trace -merge: empty trace (server %d processes, client %d)", len(serverDumps), len(clientDumps))
+	}
+	for _, nd := range clientDumps {
+		if off, rtt := nd.Dump.ClockOffsetMicro, nd.Dump.ClockRTTMicro; off != 0 || rtt != 0 {
+			fmt.Fprintf(w, "clock: %s offset %v, rtt %v (alignment error ≤ %v)\n", nd.Name,
+				time.Duration(off)*time.Microsecond, time.Duration(rtt)*time.Microsecond,
+				time.Duration(rtt/2)*time.Microsecond)
+		}
+	}
+	aligned := frametrace.AlignDumps(append(append([]frametrace.NamedDump{}, serverDumps...), clientDumps...))
+	f, err := os.Create(outPath)
+	if err != nil {
+		return err
+	}
+	if err := frametrace.WriteChromeTraces(f, aligned); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	// Correlate each client process against the server process sharing the
+	// most frame IDs (a multi-session server dump has one process per
+	// session; only one streamed to this client).
+	alignedServer := aligned[:len(serverDumps)]
+	alignedClient := aligned[len(serverDumps):]
+	total := 0
+	for _, cd := range alignedClient {
+		var best []frametrace.FrameCorrelation
+		bestName := ""
+		for _, sd := range alignedServer {
+			if corr := frametrace.Correlate(sd.Dump, cd.Dump); len(corr) > len(best) {
+				best, bestName = corr, sd.Name
+			}
+		}
+		if len(best) == 0 {
+			continue
+		}
+		total += len(best)
+		fmt.Fprintf(w, "%d frames correlated: %s ↔ %s\n", len(best), bestName, cd.Name)
+		tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "frame\tindex\tserver send(ms)\tclient present(ms)\te2e age(ms)")
+		for _, fc := range best {
+			fmt.Fprintf(tw, "%d\t%d\t%.2f\t%.2f\t%.2f\n",
+				fc.ID, fc.Index, msf(fc.ServerSend), msf(fc.ClientPresent), msf(fc.Age))
+		}
+		if err := tw.Flush(); err != nil {
+			return err
+		}
+	}
+	if total == 0 {
+		fmt.Fprintln(w, "no frames correlated (v1 capture without flight IDs?)")
+	}
+	fmt.Fprintf(w, "merged trace written to %s (open in ui.perfetto.dev)\n", outPath)
 	return nil
 }
 

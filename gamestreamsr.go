@@ -266,6 +266,12 @@ type (
 	StreamFrame = stream.FramePacket
 	// StreamInput is a user-input event packet.
 	StreamInput = stream.InputPacket
+	// StreamStats is the client→server telemetry backchannel report
+	// (client-side decode/SR percentiles and end-to-end frame age).
+	StreamStats = stream.StatsPacket
+	// StreamClock is the handshake-time clock-offset estimate a client
+	// uses to place server timestamps on its own clock.
+	StreamClock = stream.ClockSync
 	// FrameSource supplies coded frames to a server session.
 	FrameSource = stream.FrameSource
 )

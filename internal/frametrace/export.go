@@ -29,6 +29,10 @@ type DumpFrame struct {
 	Missed       bool
 	Latency      time.Duration
 	Slack        time.Duration
+	Age          time.Duration // e2e server-send → present age (client dumps)
+	ClientAgeP99 time.Duration // backchannel-reported e2e p99 (server dumps)
+	ClientDrops  uint32
+	ClientMisses uint32
 	Spans        []Span
 }
 
@@ -37,7 +41,16 @@ type Dump struct {
 	// Process labels the Perfetto process lane ("pipeline", a session's
 	// remote address, ...).
 	Process string
-	Frames  []DumpFrame
+	// EpochUnixMicro is the recorder's epoch (span offset 0) as wall-clock
+	// UnixMicro — what lets two processes' dumps share one timeline.
+	EpochUnixMicro int64
+	// ClockOffsetMicro is this process's clock minus the reference (peer)
+	// clock in µs, measured Cristian-style at handshake; ClockRTTMicro is
+	// the RTT of that estimate, bounding the offset error by RTT/2. Both
+	// zero on a dump from an unsynced recorder (the server side).
+	ClockOffsetMicro int64
+	ClockRTTMicro    int64
+	Frames           []DumpFrame
 }
 
 // Snapshot copies the ring's live window — the last Cap() frames, oldest
@@ -48,6 +61,12 @@ func (r *Recorder) Snapshot() *Dump {
 	if r == nil {
 		return d
 	}
+	if p := r.process.Load(); p != nil {
+		d.Process = *p
+	}
+	d.EpochUnixMicro = r.epochUnix
+	d.ClockOffsetMicro = r.clockOff.Load()
+	d.ClockRTTMicro = r.clockRTT.Load()
 	newest := r.next.Load()
 	if newest == 0 {
 		return d
@@ -73,6 +92,9 @@ func (r *Recorder) Snapshot() *Dump {
 			CodedBytes: rec.CodedBytes, NominalBytes: rec.NominalBytes,
 			Frozen: rec.Frozen, Missed: rec.Missed,
 			Latency: rec.Latency, Slack: rec.Slack,
+			Age:          rec.Age,
+			ClientAgeP99: rec.ClientAgeP99,
+			ClientDrops:  rec.ClientDrops, ClientMisses: rec.ClientMisses,
 			Spans: append([]Span(nil), rec.Spans[:rec.NSpans]...),
 		}
 		d.Frames = append(d.Frames, df)
@@ -171,6 +193,18 @@ func WriteChromeTraces(w io.Writer, dumps []NamedDump) error {
 			Name: "process_name", Ph: "M", Pid: pid,
 			Args: map[string]any{"name": nd.Name},
 		})
+		if nd.Dump.EpochUnixMicro != 0 || nd.Dump.ClockOffsetMicro != 0 || nd.Dump.ClockRTTMicro != 0 {
+			// Per-process clock metadata so ParseChromeTrace + AlignDumps can
+			// rebase a two-process trace onto one reference clock offline.
+			ct.TraceEvents = append(ct.TraceEvents, chromeEvent{
+				Name: "clock_sync", Ph: "M", Pid: pid,
+				Args: map[string]any{
+					"epoch_unix_us":   nd.Dump.EpochUnixMicro,
+					"clock_offset_us": nd.Dump.ClockOffsetMicro,
+					"clock_rtt_us":    nd.Dump.ClockRTTMicro,
+				},
+			})
+		}
 		// Lanes map to tids in first-appearance order.
 		tids := map[string]int{}
 		laneTid := func(lane string) int {
@@ -207,6 +241,14 @@ func WriteChromeTraces(w io.Writer, dumps []NamedDump) error {
 						"missed":        f.Missed,
 						"latency_us":    usec(f.Latency),
 						"slack_us":      usec(f.Slack),
+					}
+					if f.Age != 0 {
+						ev.Args["age_us"] = usec(f.Age)
+					}
+					if f.ClientAgeP99 != 0 || f.ClientDrops != 0 || f.ClientMisses != 0 {
+						ev.Args["client_age_p99_us"] = usec(f.ClientAgeP99)
+						ev.Args["client_drops"] = f.ClientDrops
+						ev.Args["client_misses"] = f.ClientMisses
 					}
 				}
 				ct.TraceEvents = append(ct.TraceEvents, ev)
@@ -255,6 +297,11 @@ func ParseChromeTrace(r io.Reader) ([]NamedDump, error) {
 				proc(ev.Pid).Name = name
 			case "thread_name":
 				lanes[[2]int{ev.Pid, ev.Tid}] = name
+			case "clock_sync":
+				nd := proc(ev.Pid)
+				nd.Dump.EpochUnixMicro = int64(num(ev.Args["epoch_unix_us"]))
+				nd.Dump.ClockOffsetMicro = int64(num(ev.Args["clock_offset_us"]))
+				nd.Dump.ClockRTTMicro = int64(num(ev.Args["clock_rtt_us"]))
 			}
 		case "X":
 			proc(ev.Pid)
@@ -275,6 +322,10 @@ func ParseChromeTrace(r io.Reader) ([]NamedDump, error) {
 					f.Missed, _ = ev.Args["missed"].(bool)
 					f.Latency = time.Duration(num(ev.Args["latency_us"]) * float64(time.Microsecond))
 					f.Slack = time.Duration(num(ev.Args["slack_us"]) * float64(time.Microsecond))
+					f.Age = time.Duration(num(ev.Args["age_us"]) * float64(time.Microsecond))
+					f.ClientAgeP99 = time.Duration(num(ev.Args["client_age_p99_us"]) * float64(time.Microsecond))
+					f.ClientDrops = uint32(num(ev.Args["client_drops"]))
+					f.ClientMisses = uint32(num(ev.Args["client_misses"]))
 				}
 				frames[k] = f
 				forder = append(forder, k)

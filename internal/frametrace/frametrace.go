@@ -80,6 +80,10 @@ type record struct {
 	Missed       bool
 	Latency      time.Duration // modelled frame latency (ObserveDeadline)
 	Slack        time.Duration // deadline − latency; negative on a miss
+	Age          time.Duration // e2e frame age: server send → present (SetAge)
+	ClientAgeP99 time.Duration // client-reported e2e p99 (SetClientStats)
+	ClientDrops  uint32        // client-reported cumulative drops
+	ClientMisses uint32        // client-reported cumulative deadline misses
 	NSpans       int
 	Spans        [MaxSpans]Span
 }
@@ -118,11 +122,19 @@ type Config struct {
 // Recorder is the flight recorder. The zero value is not useful — use New
 // — but a nil *Recorder is a fully functional no-op.
 type Recorder struct {
-	epoch time.Time
-	ring  []slot
-	mask  uint64
-	next  atomic.Uint64 // last issued frame ID (IDs start at 1)
-	slo   slo
+	epoch     time.Time
+	epochUnix int64 // epoch as wall-clock UnixMicro, for cross-process alignment
+	ring      []slot
+	mask      uint64
+	next      atomic.Uint64 // last issued frame ID (IDs start at 1)
+	slo       slo
+
+	// Cross-process identity (SetProcess/SetClockSync). Written once at
+	// setup, read by Snapshot; atomics keep a late SetClockSync (after the
+	// handshake) race-free against a concurrent dump.
+	process  atomic.Pointer[string]
+	clockOff atomic.Int64 // local clock − reference clock, µs
+	clockRTT atomic.Int64 // RTT of the offset estimate, µs (error ≤ RTT/2)
 }
 
 // New builds a recorder. See Config for defaults.
@@ -136,10 +148,12 @@ func New(cfg Config) *Recorder {
 	for size < n {
 		size <<= 1
 	}
+	now := time.Now()
 	r := &Recorder{
-		epoch: time.Now(),
-		ring:  make([]slot, size),
-		mask:  uint64(size - 1),
+		epoch:     now,
+		epochUnix: now.UnixMicro(),
+		ring:      make([]slot, size),
+		mask:      uint64(size - 1),
 	}
 	r.slo.init(cfg)
 	return r
@@ -175,6 +189,80 @@ func (r *Recorder) BeginFrame(index int) uint64 {
 	s.mu.Unlock()
 	r.slo.frames.Inc()
 	return id
+}
+
+// BeginFrameAt claims a specific frame ID — the client-side half of the
+// distributed trace adopts the server's flight ID from the FramePacket so
+// the two processes' dumps correlate by identity (DESIGN.md §13). The
+// recorder's ID counter advances to at least id so a later BeginFrame never
+// reissues it. Falls back to BeginFrame when id is 0 (a v1 server that sent
+// no flight ID). Returns 0 on a nil recorder.
+func (r *Recorder) BeginFrameAt(id uint64, index int) uint64 {
+	if r == nil {
+		return 0
+	}
+	if id == 0 {
+		return r.BeginFrame(index)
+	}
+	for {
+		cur := r.next.Load()
+		if cur >= id || r.next.CompareAndSwap(cur, id) {
+			break
+		}
+	}
+	s := &r.ring[id&r.mask]
+	s.mu.Lock()
+	s.rec = record{ID: id, Index: index, Begin: time.Since(r.epoch)}
+	s.mu.Unlock()
+	r.slo.frames.Inc()
+	return id
+}
+
+// SetProcess names the process track this recorder's dump renders under in
+// a merged trace ("server", "client"). No-op on a nil recorder.
+func (r *Recorder) SetProcess(name string) {
+	if r == nil {
+		return
+	}
+	r.process.Store(&name)
+}
+
+// SetClockSync records the handshake-measured clock offset (local − peer)
+// and the RTT of the estimate, so merged dumps can rebase this recorder's
+// wall-clock epoch onto the peer's clock with error bounded by RTT/2.
+// No-op on a nil recorder.
+func (r *Recorder) SetClockSync(offset, rtt time.Duration) {
+	if r == nil {
+		return
+	}
+	r.clockOff.Store(offset.Microseconds())
+	r.clockRTT.Store(rtt.Microseconds())
+}
+
+// SetAge records frame id's end-to-end age: server send → client present,
+// clock-offset-corrected. No-op on a nil recorder or id 0.
+func (r *Recorder) SetAge(id uint64, age time.Duration) {
+	s := r.slotFor(id)
+	if s == nil {
+		return
+	}
+	s.rec.Age = age
+	s.mu.Unlock()
+}
+
+// SetClientStats annotates frame id with the latest client-reported
+// backchannel stats (the server session pins them to the frame in flight
+// when the Stats message arrived), so a flight dump shows what the client
+// was experiencing around a server-side event. No-op on a nil recorder.
+func (r *Recorder) SetClientStats(id uint64, ageP99 time.Duration, dropped, misses uint32) {
+	s := r.slotFor(id)
+	if s == nil {
+		return
+	}
+	s.rec.ClientAgeP99 = ageP99
+	s.rec.ClientDrops = dropped
+	s.rec.ClientMisses = misses
+	s.mu.Unlock()
 }
 
 // slotFor returns the locked slot for id, or nil when the slot has been

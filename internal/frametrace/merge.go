@@ -1,0 +1,138 @@
+package frametrace
+
+import (
+	"sort"
+	"time"
+)
+
+// This file merges flight dumps captured by different processes — the
+// server's session recorder and gssr-client's recorder — onto one shared
+// timeline (DESIGN.md §13). Each dump's spans are offsets from its own
+// recorder epoch; AlignDumps rebases them all onto the earliest epoch after
+// correcting each client dump by its handshake-measured clock offset, so a
+// frame's server-side encode/send spans and client-side decode/SR/present
+// spans line up with error bounded by RTT/2. Correlate then pairs frames
+// across two dumps by flight ID for the `gssr trace -merge` summary table.
+
+// AlignDumps rebases the dumps onto one shared timeline. For every dump
+// with a wall-clock epoch, the dump's reference-clock epoch is
+// EpochUnixMicro − ClockOffsetMicro (the offset is "local − reference", so
+// subtracting it maps local wall time onto the reference clock). The
+// earliest reference epoch becomes time zero; every span shifts by its
+// dump's distance from it. Dumps without an epoch (legacy traces) pass
+// through unshifted. The input is not mutated; returned dumps share no
+// frame or span storage with it. Alignment is idempotent: aligned dumps
+// carry the common epoch with a zero offset.
+func AlignDumps(dumps []NamedDump) []NamedDump {
+	base := int64(0)
+	for _, nd := range dumps {
+		if nd.Dump == nil || nd.Dump.EpochUnixMicro == 0 {
+			continue
+		}
+		ref := nd.Dump.EpochUnixMicro - nd.Dump.ClockOffsetMicro
+		if base == 0 || ref < base {
+			base = ref
+		}
+	}
+	out := make([]NamedDump, len(dumps))
+	for i, nd := range dumps {
+		cp := nd
+		if nd.Dump != nil {
+			d := *nd.Dump
+			d.Frames = make([]DumpFrame, len(nd.Dump.Frames))
+			shift := time.Duration(0)
+			if base != 0 && nd.Dump.EpochUnixMicro != 0 {
+				ref := nd.Dump.EpochUnixMicro - nd.Dump.ClockOffsetMicro
+				shift = time.Duration(ref-base) * time.Microsecond
+				d.EpochUnixMicro = base
+				d.ClockOffsetMicro = 0
+			}
+			for j, f := range nd.Dump.Frames {
+				fc := f
+				fc.Spans = make([]Span, len(f.Spans))
+				for k, s := range f.Spans {
+					s.Start += shift
+					s.End += shift
+					fc.Spans[k] = s
+				}
+				d.Frames[j] = fc
+			}
+			cp.Dump = &d
+		}
+		out[i] = cp
+	}
+	return out
+}
+
+// FrameCorrelation is one frame matched across an aligned server dump and
+// an aligned client dump — the row of `gssr trace -merge`'s summary table.
+// Times are offsets on the shared (aligned) timeline.
+type FrameCorrelation struct {
+	ID            uint64
+	Index         int
+	ServerSend    time.Duration // start of the server's send span (or last span)
+	ClientPresent time.Duration // end of the client's present span (or last span)
+	Age           time.Duration // ClientPresent − ServerSend
+}
+
+// Correlate pairs frames by flight ID across two aligned dumps: for each
+// ID present in both, the server send time is the start of the server
+// frame's "send" span (falling back to its last span) and the client
+// present time is the end of the client frame's "present" span (falling
+// back to its last span). Frames with no spans on either side are skipped.
+// Results are in ascending frame-ID order.
+func Correlate(server, client *Dump) []FrameCorrelation {
+	if server == nil || client == nil {
+		return nil
+	}
+	clientByID := make(map[uint64]*DumpFrame, len(client.Frames))
+	for i := range client.Frames {
+		f := &client.Frames[i]
+		if f.ID != 0 {
+			clientByID[f.ID] = f
+		}
+	}
+	var out []FrameCorrelation
+	for i := range server.Frames {
+		sf := &server.Frames[i]
+		cf := clientByID[sf.ID]
+		if sf.ID == 0 || cf == nil || len(sf.Spans) == 0 || len(cf.Spans) == 0 {
+			continue
+		}
+		send := spanStart(sf.Spans, "send")
+		present := spanEnd(cf.Spans, "present")
+		out = append(out, FrameCorrelation{
+			ID: sf.ID, Index: sf.Index,
+			ServerSend: send, ClientPresent: present,
+			Age: present - send,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// spanStart returns the start of the first span named name, or of the last
+// span when absent.
+func spanStart(spans []Span, name string) time.Duration {
+	for _, s := range spans {
+		if s.Name == name {
+			return s.Start
+		}
+	}
+	return spans[len(spans)-1].Start
+}
+
+// spanEnd returns the end of the last span named name, or of the last span
+// when absent.
+func spanEnd(spans []Span, name string) time.Duration {
+	end, found := time.Duration(0), false
+	for _, s := range spans {
+		if s.Name == name {
+			end, found = s.End, true
+		}
+	}
+	if found {
+		return end
+	}
+	return spans[len(spans)-1].End
+}

@@ -3,6 +3,8 @@ package stream
 import (
 	"bytes"
 	"testing"
+	"testing/quick"
+	"time"
 
 	"gamestreamsr/internal/frame"
 )
@@ -10,13 +12,18 @@ import (
 // FuzzReadMsg drives the wire-format parser with arbitrary bytes; the
 // invariant is no panic and a well-formed message on success.
 func FuzzReadMsg(f *testing.F) {
-	var hello, accept, fr, input, bye bytes.Buffer
+	var hello, helloV2, accept, acceptV2, fr, frExt, input, st, bye bytes.Buffer
 	WriteHello(&hello, Hello{Device: "seed", RoIWindow: 300, Scale: 2})
+	WriteHello(&helloV2, Hello{Device: "seed", RoIWindow: 300, Scale: 2, Version: ProtocolV2, SendUnixMicro: 1700000000000000})
 	WriteAccept(&accept, Accept{Width: 1280, Height: 720, GOPSize: 60, QStep: 6})
+	WriteAccept(&acceptV2, Accept{Width: 1280, Height: 720, GOPSize: 60, QStep: 6, Version: ProtocolV2, RecvUnixMicro: 1, SendUnixMicro: 2})
 	WriteFrame(&fr, FramePacket{Index: 7, Keyenc: true, RoI: frame.Rect{X: 1, Y: 2, W: 3, H: 4}, Payload: []byte("data")})
+	WriteFrame(&frExt, FramePacket{Index: 7, FlightID: 8, SendUnixMicro: 1700000000000000, Payload: []byte("data")})
 	WriteInput(&input, InputPacket{Seq: 9, Payload: []byte("in")})
+	WriteStats(&st, StatsPacket{Seq: 1, WindowFrames: 60, AgeP99: 20 * time.Millisecond})
 	WriteBye(&bye)
-	for _, b := range [][]byte{hello.Bytes(), accept.Bytes(), fr.Bytes(), input.Bytes(), bye.Bytes(), {}, {0xFF}} {
+	for _, b := range [][]byte{hello.Bytes(), helloV2.Bytes(), accept.Bytes(), acceptV2.Bytes(),
+		fr.Bytes(), frExt.Bytes(), input.Bytes(), st.Bytes(), bye.Bytes(), {}, {0xFF}} {
 		f.Add(b)
 	}
 
@@ -42,9 +49,253 @@ func FuzzReadMsg(f *testing.F) {
 			if msg.Input == nil {
 				t.Fatal("input without body")
 			}
+		case MsgStats:
+			if msg.Stats == nil {
+				t.Fatal("stats without body")
+			}
+		case MsgReject:
+			if msg.Reject == nil {
+				t.Fatal("reject without body")
+			}
 		case MsgBye:
 		default:
 			t.Fatalf("unknown type %v accepted", msg.Type)
 		}
 	})
+}
+
+// --- Round-trip fuzz + property tests ----------------------------------------
+//
+// Every message type must decode back to what was encoded (after
+// normalisation: version-gated fields drop below v2, timestamps clamp at 0,
+// durations truncate to the wire's µs granularity) and re-encode to
+// identical bytes — the canonical-form property interop leans on.
+
+// roundTrip encodes with enc, decodes via ReadMsg, asserts the decoded
+// message re-encodes byte-identically, and returns it.
+func roundTrip(t *testing.T, enc func(*bytes.Buffer) error, reenc func(*bytes.Buffer, *Msg) error) *Msg {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := enc(&buf); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	wire := append([]byte(nil), buf.Bytes()...)
+	msg, err := ReadMsg(&buf)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	var again bytes.Buffer
+	if err := reenc(&again, &msg); err != nil {
+		t.Fatalf("re-encode: %v", err)
+	}
+	if !bytes.Equal(wire, again.Bytes()) {
+		t.Fatalf("not canonical:\n first %v\nsecond %v", wire, again.Bytes())
+	}
+	return &msg
+}
+
+// sanitizePos maps an arbitrary int into [1, 1<<20] (uvarint fields that
+// must be positive).
+func sanitizePos(v int) int {
+	if v < 0 {
+		v = -(v + 1)
+	}
+	return v%(1<<20) + 1
+}
+
+// sanitizeNonNeg maps an arbitrary int into [0, 1<<20].
+func sanitizeNonNeg(v int) int {
+	if v < 0 {
+		v = -(v + 1)
+	}
+	return v % (1<<20 + 1)
+}
+
+func helloRoundTrip(t *testing.T, h Hello) {
+	if len(h.Device) > 255 {
+		h.Device = h.Device[:255]
+	}
+	h.RoIWindow, h.Scale = sanitizePos(h.RoIWindow), sanitizePos(h.Scale)
+	h.Version = sanitizeNonNeg(h.Version)
+	want := h
+	if h.Version < ProtocolV2 {
+		want.Version, want.SendUnixMicro = 0, 0
+	} else if want.SendUnixMicro < 0 {
+		want.SendUnixMicro = 0
+	}
+	msg := roundTrip(t,
+		func(b *bytes.Buffer) error { return WriteHello(b, h) },
+		func(b *bytes.Buffer, m *Msg) error { return WriteHello(b, *m.Hello) })
+	if *msg.Hello != want {
+		t.Fatalf("hello = %+v, want %+v", *msg.Hello, want)
+	}
+}
+
+func FuzzHelloRoundTrip(f *testing.F) {
+	f.Add("s8", 64, 2, 2, int64(1700000000000000))
+	f.Add("", 1, 1, 0, int64(0))
+	f.Add("pixel", 300, 4, 7, int64(-5))
+	f.Fuzz(func(t *testing.T, dev string, roi, scale, ver int, sendUS int64) {
+		helloRoundTrip(t, Hello{Device: dev, RoIWindow: roi, Scale: scale, Version: ver, SendUnixMicro: sendUS})
+	})
+}
+
+func acceptRoundTrip(t *testing.T, a Accept) {
+	a.Width, a.Height = sanitizePos(a.Width), sanitizePos(a.Height)
+	a.GOPSize, a.QStep = sanitizePos(a.GOPSize), sanitizePos(a.QStep)
+	a.Version = sanitizeNonNeg(a.Version)
+	want := a
+	if a.Version < ProtocolV2 {
+		want.Version, want.RecvUnixMicro, want.SendUnixMicro = 0, 0, 0
+	} else {
+		want.RecvUnixMicro = max(want.RecvUnixMicro, 0)
+		want.SendUnixMicro = max(want.SendUnixMicro, 0)
+	}
+	msg := roundTrip(t,
+		func(b *bytes.Buffer) error { return WriteAccept(b, a) },
+		func(b *bytes.Buffer, m *Msg) error { return WriteAccept(b, *m.Accept) })
+	if *msg.Accept != want {
+		t.Fatalf("accept = %+v, want %+v", *msg.Accept, want)
+	}
+}
+
+func FuzzAcceptRoundTrip(f *testing.F) {
+	f.Add(1280, 720, 60, 6, 2, int64(10), int64(20))
+	f.Add(1, 1, 1, 1, 0, int64(0), int64(0))
+	f.Fuzz(func(t *testing.T, w, h, gop, q, ver int, recvUS, sendUS int64) {
+		acceptRoundTrip(t, Accept{Width: w, Height: h, GOPSize: gop, QStep: q, Version: ver, RecvUnixMicro: recvUS, SendUnixMicro: sendUS})
+	})
+}
+
+func frameRoundTrip(t *testing.T, p FramePacket) {
+	p.RoI = frame.Rect{X: sanitizeNonNeg(p.RoI.X), Y: sanitizeNonNeg(p.RoI.Y), W: sanitizeNonNeg(p.RoI.W), H: sanitizeNonNeg(p.RoI.H)}
+	// A negative timestamp would flip the extension bit on encode but clamp
+	// to an unextended-looking packet on decode; the writer API contract is
+	// "0 means absent", so normalise before encoding.
+	p.SendUnixMicro = max(p.SendUnixMicro, 0)
+	want := p
+	msg := roundTrip(t,
+		func(b *bytes.Buffer) error { return WriteFrame(b, p) },
+		func(b *bytes.Buffer, m *Msg) error { return WriteFrame(b, *m.Frame) })
+	got := *msg.Frame
+	if !bytes.Equal(got.Payload, want.Payload) {
+		t.Fatalf("payload = %q, want %q", got.Payload, want.Payload)
+	}
+	if got.Index != want.Index || got.Keyenc != want.Keyenc || got.FlightID != want.FlightID ||
+		got.SendUnixMicro != want.SendUnixMicro || got.RoI != want.RoI {
+		t.Fatalf("frame = %+v, want %+v", got, want)
+	}
+}
+
+func FuzzFrameRoundTrip(f *testing.F) {
+	f.Add(uint32(7), true, uint64(0), int64(0), 1, 2, 3, 4, []byte("data"))
+	f.Add(uint32(9), false, uint64(12), int64(1700000000000000), 0, 0, 64, 64, []byte{})
+	f.Add(uint32(0), false, uint64(0), int64(-3), 0, 0, 0, 0, []byte("x"))
+	f.Fuzz(func(t *testing.T, idx uint32, key bool, fid uint64, sendUS int64, x, y, w, h int, payload []byte) {
+		frameRoundTrip(t, FramePacket{Index: idx, Keyenc: key, FlightID: fid, SendUnixMicro: sendUS,
+			RoI: frame.Rect{X: x, Y: y, W: w, H: h}, Payload: payload})
+	})
+}
+
+func inputRoundTrip(t *testing.T, in InputPacket) {
+	msg := roundTrip(t,
+		func(b *bytes.Buffer) error { return WriteInput(b, in) },
+		func(b *bytes.Buffer, m *Msg) error { return WriteInput(b, *m.Input) })
+	if msg.Input.Seq != in.Seq || !bytes.Equal(msg.Input.Payload, in.Payload) {
+		t.Fatalf("input = %+v, want %+v", *msg.Input, in)
+	}
+}
+
+func FuzzInputRoundTrip(f *testing.F) {
+	f.Add(uint32(9), []byte("in"))
+	f.Add(uint32(0), []byte{})
+	f.Fuzz(func(t *testing.T, seq uint32, payload []byte) {
+		inputRoundTrip(t, InputPacket{Seq: seq, Payload: payload})
+	})
+}
+
+// sanitizeDur maps an arbitrary µs count into a non-negative duration of
+// whole µs — the wire's granularity.
+func sanitizeDur(us int64) time.Duration {
+	if us < 0 {
+		return 0
+	}
+	return time.Duration(us%(1<<40)) * time.Microsecond
+}
+
+func statsRoundTrip(t *testing.T, st StatsPacket) {
+	st.DecodeP50, st.DecodeP99 = sanitizeDur(int64(st.DecodeP50)), sanitizeDur(int64(st.DecodeP99))
+	st.SRP50, st.SRP99 = sanitizeDur(int64(st.SRP50)), sanitizeDur(int64(st.SRP99))
+	st.AgeP50, st.AgeP99 = sanitizeDur(int64(st.AgeP50)), sanitizeDur(int64(st.AgeP99))
+	msg := roundTrip(t,
+		func(b *bytes.Buffer) error { return WriteStats(b, st) },
+		func(b *bytes.Buffer, m *Msg) error { return WriteStats(b, *m.Stats) })
+	if *msg.Stats != st {
+		t.Fatalf("stats = %+v, want %+v", *msg.Stats, st)
+	}
+}
+
+func FuzzStatsRoundTrip(f *testing.F) {
+	f.Add(uint32(1), uint32(60), uint32(0), uint32(2), int64(3000), int64(7000), int64(4000), int64(9000), int64(18000), int64(31000))
+	f.Add(uint32(0), uint32(0), uint32(0), uint32(0), int64(0), int64(0), int64(0), int64(0), int64(0), int64(-1))
+	f.Fuzz(func(t *testing.T, seq, wf, drop, miss uint32, d50, d99, s50, s99, a50, a99 int64) {
+		statsRoundTrip(t, StatsPacket{Seq: seq, WindowFrames: wf, Dropped: drop, Misses: miss,
+			DecodeP50: time.Duration(d50), DecodeP99: time.Duration(d99),
+			SRP50: time.Duration(s50), SRP99: time.Duration(s99),
+			AgeP50: time.Duration(a50), AgeP99: time.Duration(a99)})
+	})
+}
+
+func rejectRoundTrip(t *testing.T, rej Reject) {
+	if len(rej.Reason) > 255 {
+		rej.Reason = rej.Reason[:255]
+	}
+	msg := roundTrip(t,
+		func(b *bytes.Buffer) error { return WriteReject(b, rej) },
+		func(b *bytes.Buffer, m *Msg) error { return WriteReject(b, *m.Reject) })
+	if *msg.Reject != rej {
+		t.Fatalf("reject = %+v, want %+v", *msg.Reject, rej)
+	}
+}
+
+func FuzzRejectRoundTrip(f *testing.F) {
+	f.Add(uint8(1), "busy")
+	f.Add(uint8(0), "")
+	f.Fuzz(func(t *testing.T, code uint8, reason string) {
+		rejectRoundTrip(t, Reject{Code: RejectCode(code), Reason: reason})
+	})
+}
+
+// TestWireProperties drives the same round-trip invariants with
+// testing/quick's generator — the property-test complement to the fuzz
+// corpus, run on every plain `go test`.
+func TestWireProperties(t *testing.T) {
+	if err := quick.Check(func(dev string, roi, scale, ver int, sendUS int64) bool {
+		helloRoundTrip(t, Hello{Device: dev, RoIWindow: roi, Scale: scale, Version: ver, SendUnixMicro: sendUS})
+		return !t.Failed()
+	}, nil); err != nil {
+		t.Error(err)
+	}
+	if err := quick.Check(func(w, h, gop, q, ver int, recvUS, sendUS int64) bool {
+		acceptRoundTrip(t, Accept{Width: w, Height: h, GOPSize: gop, QStep: q, Version: ver, RecvUnixMicro: recvUS, SendUnixMicro: sendUS})
+		return !t.Failed()
+	}, nil); err != nil {
+		t.Error(err)
+	}
+	if err := quick.Check(func(idx uint32, key bool, fid uint64, sendUS int64, x, y, w, h int, payload []byte) bool {
+		frameRoundTrip(t, FramePacket{Index: idx, Keyenc: key, FlightID: fid, SendUnixMicro: sendUS,
+			RoI: frame.Rect{X: x, Y: y, W: w, H: h}, Payload: payload})
+		return !t.Failed()
+	}, nil); err != nil {
+		t.Error(err)
+	}
+	if err := quick.Check(func(seq, wf, drop, miss uint32, d50, d99, s50, s99, a50, a99 int64) bool {
+		statsRoundTrip(t, StatsPacket{Seq: seq, WindowFrames: wf, Dropped: drop, Misses: miss,
+			DecodeP50: time.Duration(d50), DecodeP99: time.Duration(d99),
+			SRP50: time.Duration(s50), SRP99: time.Duration(s99),
+			AgeP50: time.Duration(a50), AgeP99: time.Duration(a99)})
+		return !t.Failed()
+	}, nil); err != nil {
+		t.Error(err)
+	}
 }

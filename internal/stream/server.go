@@ -368,6 +368,7 @@ func (s *MultiServer) serveSession(conn net.Conn, sess *session) {
 		sess.shed = shed
 		source = shed
 	}
+	sink := &statsSink{metrics: s.Metrics, remote: remote, rec: rec}
 	err := Serve(conn, ServerOptions{
 		Accept:    s.Accept,
 		MaxFrames: s.MaxFrames,
@@ -375,6 +376,7 @@ func (s *MultiServer) serveSession(conn net.Conn, sess *session) {
 		Flight:    rec,
 		Remote:    remote,
 		Source:    source,
+		OnStats:   sink.handle,
 		OnInput: func(in InputPacket) {
 			if s.OnInput != nil {
 				s.OnInput(remote, in)
@@ -401,6 +403,62 @@ func (s *MultiServer) serveSession(conn net.Conn, sess *session) {
 		}
 	}
 	s.endFlight(remote)
+}
+
+// statsSink folds one session's backchannel Stats reports (DESIGN.md §13)
+// into the server's telemetry and flight recorder: per-session gauges
+// expose the client-observed e2e/decode/SR percentiles on /metrics, the
+// cumulative drop/miss counts feed aggregate counters by delta, and the
+// session's flight recorder pins the report to the frame in flight so a
+// server-side dump shows what the client was experiencing. Called
+// synchronously from the session's read loop, so all state is
+// single-goroutine.
+type statsSink struct {
+	metrics *telemetry.Registry
+	remote  string
+	rec     *frametrace.Recorder
+
+	seen                    bool
+	lastDropped, lastMisses uint32
+}
+
+func (k *statsSink) handle(st StatsPacket) {
+	m := k.metrics
+	m.Counter("stream_client_stats_total").Inc()
+	suffix := metricLabel(k.remote)
+	m.Gauge("stream_client_age_p50_us_" + suffix).Set(st.AgeP50.Microseconds())
+	m.Gauge("stream_client_age_p99_us_" + suffix).Set(st.AgeP99.Microseconds())
+	m.Gauge("stream_client_decode_p99_us_" + suffix).Set(st.DecodeP99.Microseconds())
+	m.Gauge("stream_client_sr_p99_us_" + suffix).Set(st.SRP99.Microseconds())
+	// Dropped/Misses are cumulative on the wire; counters get the deltas
+	// (guarded against a client restart resetting its counters).
+	if st.Dropped >= k.lastDropped {
+		m.Counter("stream_client_dropped_total").Add(int64(st.Dropped - k.lastDropped))
+	}
+	k.lastDropped = st.Dropped
+	if st.Misses >= k.lastMisses {
+		m.Counter("stream_client_deadline_misses_total").Add(int64(st.Misses - k.lastMisses))
+	}
+	k.lastMisses = st.Misses
+	k.rec.SetClientStats(k.rec.LastID(), st.AgeP99, st.Dropped, st.Misses)
+	if !k.seen {
+		k.seen = true
+		log.Printf("stream: %s backchannel up: e2e age p50 %v p99 %v, decode p99 %v, sr p99 %v (%d frames)",
+			k.remote, st.AgeP50.Round(time.Microsecond), st.AgeP99.Round(time.Microsecond),
+			st.DecodeP99.Round(time.Microsecond), st.SRP99.Round(time.Microsecond), st.WindowFrames)
+	}
+}
+
+// metricLabel sanitises a remote address into a metric-name suffix
+// ([a-zA-Z0-9_] only) — the registry has flat names, not labels.
+func metricLabel(remote string) string {
+	b := []byte(remote)
+	for i, c := range b {
+		if !(c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9') {
+			b[i] = '_'
+		}
+	}
+	return string(b)
 }
 
 // shedSource wraps a session's frame source with the shed-ladder

@@ -6,6 +6,7 @@ import (
 	"io"
 	"log"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"gamestreamsr/internal/frame"
@@ -32,6 +33,10 @@ type ServerOptions struct {
 	MaxFrames int
 	// OnInput, if non-nil, receives client input events.
 	OnInput func(InputPacket)
+	// OnStats, if non-nil, receives the client's periodic telemetry
+	// backchannel reports (v2 sessions only; see StatsPacket). Called from
+	// the session's read goroutine — keep it fast.
+	OnStats func(StatsPacket)
 	// Validate, if non-nil, vets the client's Hello before accepting.
 	Validate func(Hello) error
 	// Metrics, when non-nil, receives per-session telemetry: frames and
@@ -70,6 +75,7 @@ func Serve(conn io.ReadWriter, opt ServerOptions) error {
 		return errors.New("stream: server needs a frame source")
 	}
 	msg, err := ReadMsg(conn)
+	tHello := time.Now() // T1 of the client's Cristian offset estimate
 	if err != nil {
 		return fmt.Errorf("stream: reading hello: %w", err)
 	}
@@ -90,11 +96,25 @@ func Serve(conn io.ReadWriter, opt ServerOptions) error {
 			return fmt.Errorf("stream: rejecting client: %w", err)
 		}
 	}
-	if err := WriteAccept(conn, opt.Accept); err != nil {
+	// Version negotiation: min of what both sides speak. A v1 client gets
+	// an Accept (and frames) in the original unversioned encoding.
+	ver := NegotiateVersion(msg.Hello.Version)
+	acc := opt.Accept
+	if ver >= ProtocolV2 {
+		acc.Version = ver
+		acc.RecvUnixMicro = tHello.UnixMicro()
+		acc.SendUnixMicro = time.Now().UnixMicro()
+	} else {
+		acc.Version, acc.RecvUnixMicro, acc.SendUnixMicro = 0, 0, 0
+	}
+	if err := WriteAccept(conn, acc); err != nil {
 		return fmt.Errorf("stream: writing accept: %w", err)
 	}
 
-	// Drain client messages (input events, bye) concurrently.
+	// Drain client messages (input events, stats reports, bye)
+	// concurrently. clientBye distinguishes a clean protocol close from a
+	// network failure in the session's closing log line.
+	var clientBye atomic.Bool
 	var wg sync.WaitGroup
 	stopRead := make(chan struct{})
 	wg.Add(1)
@@ -110,7 +130,13 @@ func Serve(conn io.ReadWriter, opt ServerOptions) error {
 				if opt.OnInput != nil {
 					opt.OnInput(*m.Input)
 				}
+			case MsgStats:
+				if opt.OnStats != nil {
+					opt.OnStats(*m.Stats)
+				}
 			case MsgBye:
+				clientBye.Store(true)
+				opt.Metrics.Counter("stream_client_bye_total").Inc()
 				return
 			default:
 				return // protocol violation: stop reading
@@ -150,6 +176,14 @@ func Serve(conn io.ReadWriter, opt ServerOptions) error {
 		opt.Flight.SetEncode(fid, roi, len(payload), len(payload))
 		opt.Flight.Span(fid, "source", "source", tSrc, dSrc)
 		t0 := time.Now()
+		if ver >= ProtocolV2 {
+			// The frame's wire identity: the server's flight ID (the
+			// client recorder adopts it, so both dumps correlate) and the
+			// server clock at send, from which the client computes the
+			// clock-corrected end-to-end frame age.
+			pkt.FlightID = fid
+			pkt.SendUnixMicro = t0.UnixMicro()
+		}
 		if err := WriteFrame(conn, pkt); err != nil {
 			sendErr = fmt.Errorf("stream: writing frame %d: %w", i, err)
 			break
@@ -176,27 +210,87 @@ func Serve(conn io.ReadWriter, opt ServerOptions) error {
 		sendErr = WriteBye(conn)
 	}
 	close(stopRead)
+	// A session that dies mid-send is either the client leaving politely
+	// (its Bye raced our next frame) or the network failing; the closing
+	// log line tells them apart so session logs are diagnosable.
+	if opt.Remote != "" && sendErr != nil {
+		if clientBye.Load() {
+			log.Printf("stream: session %s: client closed cleanly (bye received)", opt.Remote)
+		} else {
+			log.Printf("stream: session %s: ended without bye: %v", opt.Remote, sendErr)
+		}
+	}
 	// The read goroutine exits when the client sends Bye or the caller
 	// closes the connection; do not block on it here.
 	return sendErr
 }
 
-// Client is the Moonlight-analogue session endpoint.
+// NegotiateVersion returns the protocol version a server session runs at
+// for a client that announced clientVer: the minimum of both sides, with 0
+// (an unversioned v1 hello) mapping to v1.
+func NegotiateVersion(clientVer int) int {
+	if clientVer < ProtocolV2 {
+		return ProtocolV1
+	}
+	return min(ProtocolVersion, clientVer)
+}
+
+// ClockSync is the client's Cristian-style estimate of the server clock,
+// taken from the v2 handshake's timestamp exchange: Offset estimates
+// serverClock − clientClock, and the estimate's error is bounded by RTT/2
+// (the classic bound — the true offset lies within ±RTT/2 of the
+// estimate, since the request and reply legs split the round trip
+// unknowably).
+type ClockSync struct {
+	// Offset is the estimated serverClock − clientClock.
+	Offset time.Duration
+	// RTT is the handshake round trip minus the server's hold time — the
+	// network component only, which bounds the offset estimate's error.
+	RTT time.Duration
+	// Synced reports whether a v2 timestamp exchange happened (false on
+	// v1 sessions, where no correction is available).
+	Synced bool
+}
+
+// ServerTime converts a server-clock timestamp (µs since the Unix epoch,
+// as carried by v2 FramePackets) into the client's clock.
+func (cs ClockSync) ServerTime(unixMicro int64) time.Time {
+	return time.UnixMicro(unixMicro).Add(-cs.Offset)
+}
+
+// Client is the Moonlight-analogue session endpoint. Its write methods
+// (SendInput, SendStats, Bye) are safe to call from different goroutines —
+// a shutdown path sending Bye must not interleave bytes with a stats
+// report in flight.
 type Client struct {
-	conn io.ReadWriter
-	cfg  Accept
+	conn    io.ReadWriter
+	writeMu sync.Mutex
+	cfg     Accept
+	sync    ClockSync
 }
 
 // NewClient wraps an established connection.
 func NewClient(conn io.ReadWriter) *Client { return &Client{conn: conn} }
 
 // Handshake sends the Hello (the device's capability probe result) and
-// returns the server's stream geometry.
+// returns the server's stream geometry. When the Hello announces v2 or
+// later, the handshake also performs the clock exchange: the client's send
+// time rides in the Hello, the server's receive/send pair rides back in
+// the Accept, and the resulting offset + RTT estimate is available from
+// Clock.
 func (c *Client) Handshake(h Hello) (Accept, error) {
-	if err := WriteHello(c.conn, h); err != nil {
+	t0 := time.Now()
+	if h.Version >= ProtocolV2 && h.SendUnixMicro == 0 {
+		h.SendUnixMicro = t0.UnixMicro()
+	}
+	c.writeMu.Lock()
+	err := WriteHello(c.conn, h)
+	c.writeMu.Unlock()
+	if err != nil {
 		return Accept{}, fmt.Errorf("stream: writing hello: %w", err)
 	}
 	msg, err := ReadMsg(c.conn)
+	t3 := time.Now()
 	if err != nil {
 		return Accept{}, fmt.Errorf("stream: reading accept: %w", err)
 	}
@@ -207,11 +301,31 @@ func (c *Client) Handshake(h Hello) (Accept, error) {
 		return Accept{}, fmt.Errorf("%w: expected accept, got %v", ErrProtocol, msg.Type)
 	}
 	c.cfg = *msg.Accept
+	if h.Version >= ProtocolV2 && c.cfg.Version >= ProtocolV2 && c.cfg.RecvUnixMicro > 0 {
+		// NTP-style two-sample estimate: T0/T3 on the client clock, T1/T2
+		// on the server's.
+		t1 := c.cfg.RecvUnixMicro
+		t2 := c.cfg.SendUnixMicro
+		offUS := ((t1 - h.SendUnixMicro) + (t2 - t3.UnixMicro())) / 2
+		rttUS := (t3.UnixMicro() - h.SendUnixMicro) - (t2 - t1)
+		if rttUS < 0 {
+			rttUS = 0
+		}
+		c.sync = ClockSync{
+			Offset: time.Duration(offUS) * time.Microsecond,
+			RTT:    time.Duration(rttUS) * time.Microsecond,
+			Synced: true,
+		}
+	}
 	return c.cfg, nil
 }
 
 // Config returns the negotiated stream geometry (zero before Handshake).
 func (c *Client) Config() Accept { return c.cfg }
+
+// Clock returns the handshake's clock-sync estimate (Synced false on v1
+// sessions or before Handshake).
+func (c *Client) Clock() ClockSync { return c.sync }
 
 // RecvFrame returns the next frame packet, or io.EOF after the server's Bye.
 func (c *Client) RecvFrame() (FramePacket, error) {
@@ -231,5 +345,26 @@ func (c *Client) RecvFrame() (FramePacket, error) {
 
 // SendInput ships a user-input event to the server.
 func (c *Client) SendInput(in InputPacket) error {
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
 	return WriteInput(c.conn, in)
+}
+
+// SendStats ships a telemetry backchannel report to the server. Only
+// meaningful on v2 sessions — a v1 server stops reading its input path at
+// the first message it does not understand, so callers should gate on
+// Config().Version.
+func (c *Client) SendStats(st StatsPacket) error {
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	return WriteStats(c.conn, st)
+}
+
+// Bye announces a clean shutdown to the server, so its session log can
+// distinguish a deliberate close from a network failure. The connection
+// stays open; the caller closes it.
+func (c *Client) Bye() error {
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	return WriteBye(c.conn)
 }

@@ -3,16 +3,35 @@
 // protocol) play in the paper's software setup (§V-A). It is a small
 // length-prefixed message protocol over any reliable byte stream:
 //
-//	client → server  Hello   (device name, negotiated RoI window, scale)
-//	server → client  Accept  (stream geometry: resolution, GOP, quantizer)
+//	client → server  Hello   (device name, negotiated RoI window, scale,
+//	                          protocol version + client clock, v2)
+//	server → client  Accept  (stream geometry: resolution, GOP, quantizer,
+//	                          negotiated version + server clock pair, v2)
 //	server → client  Reject  (refusal: reason code + detail, then close)
-//	server → client  Frame   (index, codec frame type, RoI coords, payload)
+//	server → client  Frame   (index, codec frame type, RoI coords, payload;
+//	                          v2 adds the server's flight ID + send time)
 //	client → server  Input   (sequence number, opaque input event payload)
+//	client → server  Stats   (periodic client-side latency/age percentiles
+//	                          and drop counts — the telemetry backchannel)
 //	either direction Bye     (clean shutdown)
 //
 // The RoI coordinates riding alongside each frame are the paper's Fig. 6
 // step ❺: the depth-guided RoI is computed on the server and shipped with
 // the compressed frame so the client knows which region to route to the NPU.
+//
+// # Versioning (DESIGN.md §13)
+//
+// The handshake negotiates a protocol version. A v2 client appends its
+// version and a send timestamp to the Hello as trailing uvarints; a v2
+// server answers with the negotiated version (min of both sides) plus a
+// receive/send server-clock pair, giving the client a Cristian-style
+// clock-offset + RTT estimate in a single round trip. The v1 encodings are
+// byte-identical to the pre-versioning wire format, and the v2 parsers
+// accept (and ignore) unknown trailing fields, so a v1 peer on either side
+// of a v2 peer negotiates down to a pure-v1 session. Frame extensions
+// (flight ID, send timestamp) are flagged in the frame's flags byte and
+// only sent on sessions that negotiated v2, so a v1 client never sees
+// bytes it cannot parse.
 package stream
 
 import (
@@ -20,8 +39,19 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"time"
 
 	"gamestreamsr/internal/frame"
+)
+
+// Protocol versions. Version 1 is the original unversioned wire format;
+// version 2 adds handshake clock exchange, per-frame flight IDs + send
+// timestamps, and the Stats backchannel.
+const (
+	ProtocolV1 = 1
+	ProtocolV2 = 2
+	// ProtocolVersion is the highest version this build speaks.
+	ProtocolVersion = ProtocolV2
 )
 
 // MsgType identifies a protocol message.
@@ -35,6 +65,7 @@ const (
 	MsgInput
 	MsgBye
 	MsgReject
+	MsgStats
 )
 
 func (t MsgType) String() string {
@@ -51,6 +82,8 @@ func (t MsgType) String() string {
 		return "bye"
 	case MsgReject:
 		return "reject"
+	case MsgStats:
+		return "stats"
 	default:
 		return fmt.Sprintf("MsgType(%d)", uint8(t))
 	}
@@ -63,11 +96,20 @@ const MaxBody = 16 << 20
 var ErrProtocol = errors.New("stream: protocol error")
 
 // Hello is the client's opening message: its identity and the §IV-B1
-// capability probe result (Fig. 6 step ❶).
+// capability probe result (Fig. 6 step ❶). Version ≤ 1 produces the
+// original wire encoding; version ≥ 2 appends the version and the client's
+// send timestamp, which the server echoes into the Accept's clock pair.
 type Hello struct {
 	Device    string
 	RoIWindow int
 	Scale     int
+	// Version is the highest protocol version the client speaks (0 and 1
+	// both mean the original unversioned format).
+	Version int
+	// SendUnixMicro is the client's clock (µs since the Unix epoch) when
+	// the Hello was written — T0 of the Cristian offset estimate. Filled
+	// by Client.Handshake on v2 handshakes; 0 on v1.
+	SendUnixMicro int64
 }
 
 // RejectCode classifies why the server refused a session.
@@ -118,25 +160,69 @@ func (e *RejectedError) Error() string {
 	return fmt.Sprintf("stream: rejected (%v): %s", e.Code, e.Reason)
 }
 
-// Accept is the server's handshake reply describing the stream.
+// Accept is the server's handshake reply describing the stream. Version 0
+// produces the original wire encoding (what a v1 session uses); version ≥ 2
+// appends the negotiated version and the server's receive/send clock pair
+// (T1, T2), completing the client's offset + RTT estimate.
 type Accept struct {
 	Width, Height int
 	GOPSize       int
 	QStep         int
+	// Version is the negotiated protocol version (0 on v1 sessions).
+	Version int
+	// RecvUnixMicro is the server's clock when the Hello arrived (T1).
+	RecvUnixMicro int64
+	// SendUnixMicro is the server's clock when the Accept was written (T2).
+	SendUnixMicro int64
 }
 
-// FramePacket carries one coded frame plus its RoI coordinates.
+// FramePacket carries one coded frame plus its RoI coordinates. On v2
+// sessions it also carries the server's flight-recorder frame ID and the
+// server clock at send time, so the frame keeps one identity from the
+// server's encode spans to the client's present span and the client can
+// compute a clock-corrected end-to-end frame age.
 type FramePacket struct {
-	Index   uint32
-	Keyenc  bool // reference (intra) frame
-	RoI     frame.Rect
-	Payload []byte
+	Index  uint32
+	Keyenc bool // reference (intra) frame
+	// FlightID is the server flight recorder's ID for this frame (0 when
+	// the server records no flight, or on v1 sessions). The client's
+	// recorder adopts it, so the two processes' dumps correlate by ID.
+	FlightID uint64
+	// SendUnixMicro is the server's clock (µs since the Unix epoch) just
+	// before the frame hit the socket; 0 on v1 sessions.
+	SendUnixMicro int64
+	RoI           frame.Rect
+	Payload       []byte
 }
+
+// frame flags-byte bits.
+const (
+	frameFlagKey      = 1 << 0 // reference (intra) frame
+	frameFlagExtended = 1 << 1 // flight ID + send timestamp follow
+)
 
 // InputPacket carries one user-input event.
 type InputPacket struct {
 	Seq     uint32
 	Payload []byte
+}
+
+// StatsPacket is the telemetry backchannel: a periodic client → server
+// report of client-observed quality, piggybacked on the input path. The
+// percentiles are computed over the client's recent window (WindowFrames
+// frames); Dropped and Misses are cumulative for the session, so the
+// server can difference successive reports.
+type StatsPacket struct {
+	Seq          uint32
+	WindowFrames uint32 // frames in the percentile window of this report
+	Dropped      uint32 // cumulative frames lost (index gaps + decode failures)
+	Misses       uint32 // cumulative client-side deadline misses
+	// Client-side stage latencies over the window.
+	DecodeP50, DecodeP99 time.Duration
+	SRP50, SRP99         time.Duration
+	// End-to-end frame age (server send → client present, clock-offset
+	// corrected) over the window.
+	AgeP50, AgeP99 time.Duration
 }
 
 // writeMsg frames a message body.
@@ -190,7 +276,10 @@ func (b *byteReader) ReadByte() (byte, error) {
 
 // --- message bodies -----------------------------------------------------------
 
-// WriteHello sends a Hello message.
+// WriteHello sends a Hello message. Version ≤ 1 emits the original v1
+// encoding (exactly the pre-versioning bytes); version ≥ 2 appends the
+// version and send timestamp as trailing uvarints, which v1-era parsers of
+// this package reject but the v2 parser accepts from either era.
 func WriteHello(w io.Writer, h Hello) error {
 	if len(h.Device) > 255 {
 		return fmt.Errorf("%w: device name too long", ErrProtocol)
@@ -199,6 +288,10 @@ func WriteHello(w io.Writer, h Hello) error {
 	body = append(body, h.Device...)
 	body = binary.AppendUvarint(body, uint64(h.RoIWindow))
 	body = binary.AppendUvarint(body, uint64(h.Scale))
+	if h.Version >= ProtocolV2 {
+		body = binary.AppendUvarint(body, uint64(h.Version))
+		body = binary.AppendUvarint(body, clampMicro(h.SendUnixMicro))
+	}
 	return writeMsg(w, MsgHello, body)
 }
 
@@ -214,37 +307,70 @@ func parseHello(body []byte) (Hello, error) {
 	}
 	h.Device = string(body[:n])
 	body = body[n:]
-	vals, err := readUvarints(body, 2)
+	vals, err := readUvarintsAll(body, 2)
 	if err != nil {
 		return h, err
 	}
 	h.RoIWindow = int(vals[0])
 	h.Scale = int(vals[1])
+	// Trailing fields are the v2 extension: version, then the client's
+	// send timestamp (a v1 hello leaves Version 0, meaning unversioned).
+	// Anything beyond is a future version's business — ignored, the same
+	// leniency future extensions will rely on.
+	if len(vals) >= 3 {
+		h.Version = int(vals[2])
+	}
+	if len(vals) >= 4 {
+		h.SendUnixMicro = int64(vals[3])
+	}
 	if h.RoIWindow <= 0 || h.Scale <= 0 {
 		return h, fmt.Errorf("%w: non-positive hello fields", ErrProtocol)
 	}
 	return h, nil
 }
 
-// WriteAccept sends an Accept message.
+// WriteAccept sends an Accept message. Version 0 (and 1) emits the
+// original v1 encoding; version ≥ 2 appends the negotiated version and the
+// server's receive/send clock pair.
 func WriteAccept(w io.Writer, a Accept) error {
 	var body []byte
 	for _, v := range []int{a.Width, a.Height, a.GOPSize, a.QStep} {
 		body = binary.AppendUvarint(body, uint64(v))
 	}
+	if a.Version >= ProtocolV2 {
+		body = binary.AppendUvarint(body, uint64(a.Version))
+		body = binary.AppendUvarint(body, clampMicro(a.RecvUnixMicro))
+		body = binary.AppendUvarint(body, clampMicro(a.SendUnixMicro))
+	}
 	return writeMsg(w, MsgAccept, body)
 }
 
 func parseAccept(body []byte) (Accept, error) {
-	vals, err := readUvarints(body, 4)
+	vals, err := readUvarintsAll(body, 4)
 	if err != nil {
 		return Accept{}, err
 	}
 	a := Accept{Width: int(vals[0]), Height: int(vals[1]), GOPSize: int(vals[2]), QStep: int(vals[3])}
+	if len(vals) >= 5 {
+		a.Version = int(vals[4])
+	}
+	if len(vals) >= 7 {
+		a.RecvUnixMicro = int64(vals[5])
+		a.SendUnixMicro = int64(vals[6])
+	}
 	if a.Width <= 0 || a.Height <= 0 || a.GOPSize <= 0 || a.QStep <= 0 {
 		return Accept{}, fmt.Errorf("%w: non-positive accept fields", ErrProtocol)
 	}
 	return a, nil
+}
+
+// clampMicro guards timestamp encoding: timestamps ride as uvarints, so a
+// negative (pre-epoch, i.e. corrupt) value encodes as 0 rather than 2^64-µs.
+func clampMicro(v int64) uint64 {
+	if v < 0 {
+		return 0
+	}
+	return uint64(v)
 }
 
 // WriteReject sends a Reject message.
@@ -270,14 +396,25 @@ func parseReject(body []byte) (Reject, error) {
 	return rej, nil
 }
 
-// WriteFrame sends a FramePacket.
+// WriteFrame sends a FramePacket. When the packet carries trace identity
+// (a flight ID or send timestamp — set only on v2 sessions), the flags
+// byte's extension bit is set and the two fields ride between the flags
+// and the RoI; a plain packet is byte-identical to the v1 encoding.
 func WriteFrame(w io.Writer, f FramePacket) error {
 	body := binary.AppendUvarint(nil, uint64(f.Index))
-	key := byte(0)
+	extended := f.FlightID != 0 || f.SendUnixMicro != 0
+	var flags byte
 	if f.Keyenc {
-		key = 1
+		flags |= frameFlagKey
 	}
-	body = append(body, key)
+	if extended {
+		flags |= frameFlagExtended
+	}
+	body = append(body, flags)
+	if extended {
+		body = binary.AppendUvarint(body, f.FlightID)
+		body = binary.AppendUvarint(body, clampMicro(f.SendUnixMicro))
+	}
 	for _, v := range []int{f.RoI.X, f.RoI.Y, f.RoI.W, f.RoI.H} {
 		body = binary.AppendUvarint(body, uint64(v))
 	}
@@ -297,8 +434,18 @@ func parseFrame(body []byte) (FramePacket, error) {
 	if len(body) < 1 {
 		return f, fmt.Errorf("%w: truncated frame flags", ErrProtocol)
 	}
-	f.Keyenc = body[0] == 1
+	flags := body[0]
+	f.Keyenc = flags&frameFlagKey != 0
 	body = body[1:]
+	if flags&frameFlagExtended != 0 {
+		vals, rest, err := readUvarintsRest(body, 2)
+		if err != nil {
+			return f, err
+		}
+		f.FlightID = vals[0]
+		f.SendUnixMicro = int64(vals[1])
+		body = rest
+	}
 	vals, rest, err := readUvarintsRest(body, 5)
 	if err != nil {
 		return f, err
@@ -337,6 +484,35 @@ func parseInput(body []byte) (InputPacket, error) {
 // WriteBye sends a Bye message.
 func WriteBye(w io.Writer) error { return writeMsg(w, MsgBye, nil) }
 
+// WriteStats sends a StatsPacket (the client → server backchannel).
+func WriteStats(w io.Writer, st StatsPacket) error {
+	body := binary.AppendUvarint(nil, uint64(st.Seq))
+	body = binary.AppendUvarint(body, uint64(st.WindowFrames))
+	body = binary.AppendUvarint(body, uint64(st.Dropped))
+	body = binary.AppendUvarint(body, uint64(st.Misses))
+	for _, d := range []time.Duration{st.DecodeP50, st.DecodeP99, st.SRP50, st.SRP99, st.AgeP50, st.AgeP99} {
+		body = binary.AppendUvarint(body, clampMicro(int64(d/time.Microsecond)))
+	}
+	return writeMsg(w, MsgStats, body)
+}
+
+func parseStats(body []byte) (StatsPacket, error) {
+	vals, err := readUvarints(body, 10)
+	if err != nil {
+		return StatsPacket{}, err
+	}
+	us := func(v uint64) time.Duration { return time.Duration(v) * time.Microsecond }
+	return StatsPacket{
+		Seq:          uint32(vals[0]),
+		WindowFrames: uint32(vals[1]),
+		Dropped:      uint32(vals[2]),
+		Misses:       uint32(vals[3]),
+		DecodeP50:    us(vals[4]), DecodeP99: us(vals[5]),
+		SRP50: us(vals[6]), SRP99: us(vals[7]),
+		AgeP50: us(vals[8]), AgeP99: us(vals[9]),
+	}, nil
+}
+
 func readUvarints(body []byte, n int) ([]uint64, error) {
 	vals, rest, err := readUvarintsRest(body, n)
 	if err != nil {
@@ -344,6 +520,25 @@ func readUvarints(body []byte, n int) ([]uint64, error) {
 	}
 	if len(rest) != 0 {
 		return nil, fmt.Errorf("%w: %d trailing bytes", ErrProtocol, len(rest))
+	}
+	return vals, nil
+}
+
+// readUvarintsAll reads at least min uvarints and then as many more as the
+// body holds — the lenient shape versioned messages use, where trailing
+// fields belong to newer versions and must parse cleanly, not fatally.
+func readUvarintsAll(body []byte, min int) ([]uint64, error) {
+	var vals []uint64
+	for len(body) > 0 {
+		v, m := binary.Uvarint(body)
+		if m <= 0 {
+			return nil, fmt.Errorf("%w: truncated varint field %d", ErrProtocol, len(vals))
+		}
+		vals = append(vals, v)
+		body = body[m:]
+	}
+	if len(vals) < min {
+		return nil, fmt.Errorf("%w: %d fields, want at least %d", ErrProtocol, len(vals), min)
 	}
 	return vals, nil
 }
@@ -369,6 +564,7 @@ type Msg struct {
 	Frame  *FramePacket
 	Input  *InputPacket
 	Reject *Reject
+	Stats  *StatsPacket
 }
 
 // ReadMsg reads and decodes the next message from r.
@@ -410,6 +606,12 @@ func ReadMsg(r io.Reader) (Msg, error) {
 			return Msg{}, err
 		}
 		out.Reject = &rej
+	case MsgStats:
+		st, err := parseStats(body)
+		if err != nil {
+			return Msg{}, err
+		}
+		out.Stats = &st
 	default:
 		return Msg{}, fmt.Errorf("%w: unknown message type %d", ErrProtocol, t)
 	}
