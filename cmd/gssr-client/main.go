@@ -17,6 +17,15 @@
 //
 //	gssr-client [-addr localhost:7007] [-device s8] [-scale 2] [-save out.ppm]
 //	            [-metrics :9091] [-flight client-flight.json] [-stats-every 60]
+//	            [-channel arena | -spectate arena]
+//
+// Spectating (DESIGN.md §14): with -channel, the session publishes its
+// encoded stream under that name on the server's relay; any number of
+// spectators can then join with -spectate <name>, receiving the cached
+// keyframe immediately (no wait for the next GOP boundary) followed by the
+// live tail of the same encode. A spectator session is receive-only — it
+// sends no input events — but keeps the full decode/upscale/SR path, the
+// flight recorder and the Stats backchannel.
 package main
 
 import (
@@ -54,7 +63,12 @@ func main() {
 	flag.StringVar(&cfg.flightPath, "flight", "", "write the flight-recorder window to this file on exit (Chrome trace JSON)")
 	flag.IntVar(&cfg.flightFrames, "flight-frames", frametrace.DefaultFrames, "flight-recorder ring size in frames")
 	flag.IntVar(&cfg.statsEvery, "stats-every", 60, "send a Stats backchannel report every N frames (0 disables)")
+	flag.StringVar(&cfg.channel, "channel", "", "publish this session's stream under a channel name for spectators")
+	flag.StringVar(&cfg.spectate, "spectate", "", "join an existing channel as a spectator instead of opening a game session")
 	flag.Parse()
+	if cfg.channel != "" && cfg.spectate != "" {
+		log.Fatal("-channel and -spectate are mutually exclusive: publish or spectate, not both")
+	}
 
 	// SIGINT/SIGTERM end the session cleanly: the signal context triggers a
 	// protocol Bye before the connection drops, so the server logs a clean
@@ -72,6 +86,7 @@ type clientConfig struct {
 	save                     string
 	metricsAddr, flightPath  string
 	flightFrames, statsEvery int
+	channel, spectate        string
 }
 
 // connect dials addr and performs the handshake, closing the connection on
@@ -106,8 +121,25 @@ func dialHandshake(addr string, hello stream.Hello) (net.Conn, *stream.Client, s
 		return nil, nil, stream.Accept{}, err
 	}
 	log.Printf("v2 handshake failed (%v); retrying with a v1 hello", err)
-	hello.Version, hello.SendUnixMicro = 0, 0
+	hello.Version, hello.SendUnixMicro, hello.Channel = 0, 0, ""
 	return connect(addr, hello)
+}
+
+// dialSubscribe dials addr and joins channel as a spectator. Subscribe is a
+// v3-only message, so there is no v1 redial: a pre-relay server answers with
+// a protocol error and the session fails loudly.
+func dialSubscribe(addr string, sub stream.Subscribe) (net.Conn, *stream.Client, stream.Accept, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, nil, stream.Accept{}, err
+	}
+	c := stream.NewClient(conn)
+	cfg, err := c.Subscribe(sub)
+	if err != nil {
+		conn.Close()
+		return nil, nil, stream.Accept{}, err
+	}
+	return conn, c, cfg, nil
 }
 
 func run(ctx context.Context, cc clientConfig) error {
@@ -119,18 +151,33 @@ func run(ctx context.Context, cc clientConfig) error {
 	// NPU can super-resolve in real time; it is announced in the Hello. For
 	// the small demo streams we also clamp to a fraction of the frame.
 	roiWin := dev.MaxRoIWindow(device.RealTimeDeadline)
-	hello := stream.Hello{
-		Device: dev.Name, RoIWindow: min(roiWin, 64), Scale: cc.scale,
-		Version: stream.ProtocolVersion,
+	var (
+		conn net.Conn
+		c    *stream.Client
+		cfg  stream.Accept
+	)
+	if cc.spectate != "" {
+		conn, c, cfg, err = dialSubscribe(cc.addr, stream.Subscribe{Channel: cc.spectate, Device: dev.Name})
+	} else {
+		conn, c, cfg, err = dialHandshake(cc.addr, stream.Hello{
+			Device: dev.Name, RoIWindow: min(roiWin, 64), Scale: cc.scale,
+			Version: stream.ProtocolVersion, Channel: cc.channel,
+		})
 	}
-	conn, c, cfg, err := dialHandshake(cc.addr, hello)
 	if err != nil {
 		return err
 	}
 	defer conn.Close()
 	v2 := cfg.Version >= stream.ProtocolV2
 	clock := c.Clock()
-	log.Printf("stream: %dx%d, GOP %d, q %d (protocol v%d)", cfg.Width, cfg.Height, cfg.GOPSize, cfg.QStep, max(cfg.Version, 1))
+	switch {
+	case cc.spectate != "":
+		log.Printf("spectating %q: %dx%d, GOP %d, q %d (protocol v%d)", cc.spectate, cfg.Width, cfg.Height, cfg.GOPSize, cfg.QStep, max(cfg.Version, 1))
+	case cc.channel != "":
+		log.Printf("publishing %q: %dx%d, GOP %d, q %d (protocol v%d)", cc.channel, cfg.Width, cfg.Height, cfg.GOPSize, cfg.QStep, max(cfg.Version, 1))
+	default:
+		log.Printf("stream: %dx%d, GOP %d, q %d (protocol v%d)", cfg.Width, cfg.Height, cfg.GOPSize, cfg.QStep, max(cfg.Version, 1))
+	}
 	if clock.Synced {
 		log.Printf("clock sync: offset %v, rtt %v (offset error ≤ %v)",
 			clock.Offset.Round(time.Microsecond), clock.RTT.Round(time.Microsecond), (clock.RTT / 2).Round(time.Microsecond))
@@ -183,10 +230,13 @@ func run(ctx context.Context, cc clientConfig) error {
 	deadline := rec.Deadline()
 	start := time.Now()
 
-	// Send a few demo input events (the interactive path).
-	for i := 0; i < 3; i++ {
-		if err := c.SendInput(stream.InputPacket{Seq: uint32(i), Payload: []byte("move-forward")}); err != nil {
-			return err
+	// Send a few demo input events (the interactive path). Spectators are
+	// receive-only: they have no say in the game.
+	if cc.spectate == "" {
+		for i := 0; i < 3; i++ {
+			if err := c.SendInput(stream.InputPacket{Seq: uint32(i), Payload: []byte("move-forward")}); err != nil {
+				return err
+			}
 		}
 	}
 

@@ -6,7 +6,8 @@
 // Usage:
 //
 //	gssr-server [-addr :7007] [-game G3] [-frames 120] [-w 320] [-h 180] [-gop 12] [-metrics :9090] [-flight 128]
-//	            [-max-sessions 16] [-admission] [-admission-slack 0] [-shed] [-shed-streak 8] [-shed-recover 240]
+//	            [-max-sessions 16] [-max-subscribers 16] [-sub-queue 32]
+//	            [-admission] [-admission-slack 0] [-shed] [-shed-streak 8] [-shed-recover 240]
 //
 // With -metrics, a telemetry endpoint serves /metrics (Prometheus text),
 // /metrics.json (JSON snapshot with per-histogram quantiles), /debug/flight
@@ -36,6 +37,14 @@
 // -shed-streak consecutive deadline misses climbs a quality ladder — RoI
 // shrink, then bilinear-only (no RoI/SR), then background scheduler
 // priority — and descends one rung after -shed-recover on-budget frames.
+//
+// Spectating (DESIGN.md §14): a publisher whose Hello names a channel
+// (gssr-client -channel <name>) is fanned out 1:many — spectators join with
+// `gssr-client -spectate <name>` and get the channel's cached geometry, the
+// cached keyframe and the live GOP tail without a second encode.
+// -max-subscribers caps spectators per channel; -sub-queue sizes each
+// spectator's bounded send queue (a reader that overflows it is dropped to
+// the next keyframe, then disconnected if it makes no progress).
 package main
 
 import (
@@ -68,6 +77,8 @@ func main() {
 	metricsAddr := flag.String("metrics", "", "telemetry listen address (e.g. :9090); empty disables")
 	flight := flag.Int("flight", 0, "frames per session in the flight recorder (0 disables /debug/flight)")
 	maxSessions := flag.Int("max-sessions", 16, "concurrent session cap (excess connections get a capacity reject)")
+	maxSubs := flag.Int("max-subscribers", 16, "spectator cap per publish channel (excess get a capacity reject)")
+	subQueue := flag.Int("sub-queue", 32, "per-spectator send-queue depth in frames (overflow drops to keyframe)")
 	admission := flag.Bool("admission", false, "refuse new sessions when live p99 slack runs out (needs -flight)")
 	admissionSlack := flag.Duration("admission-slack", 0, "minimum p99 headroom against the deadline to admit a session")
 	shed := flag.Bool("shed", false, "degrade over-budget sessions along the shed ladder (needs -flight)")
@@ -78,7 +89,7 @@ func main() {
 	cfg := serverConfig{
 		addr: *addr, gameID: *gameID, frames: *frames, width: *width, height: *height,
 		gop: *gop, qstep: *qstep, metricsAddr: *metricsAddr, flight: *flight,
-		maxSessions: *maxSessions,
+		maxSessions: *maxSessions, maxSubs: *maxSubs, subQueue: *subQueue,
 	}
 	if *admission {
 		cfg.admission = &stream.AdmissionPolicy{MinSlack: *admissionSlack}
@@ -96,6 +107,7 @@ type serverConfig struct {
 	addr, gameID                    string
 	frames, width, height           int
 	gop, qstep, flight, maxSessions int
+	maxSubs, subQueue               int
 	metricsAddr                     string
 	admission                       *stream.AdmissionPolicy
 	shed                            *stream.ShedPolicy
@@ -127,14 +139,16 @@ func run(cfg serverConfig) error {
 	// window its Hello announced (Fig. 6 step ❶); sessions run
 	// concurrently.
 	srv := &stream.MultiServer{
-		Accept:       stream.Accept{Width: width, Height: height, GOPSize: gop, QStep: qstep},
-		MaxFrames:    frames,
-		MaxSessions:  cfg.maxSessions,
-		Metrics:      reg,
-		FlightFrames: flight,
-		Sched:        parallel.Default(),
-		Admission:    cfg.admission,
-		Shed:         cfg.shed,
+		Accept:          stream.Accept{Width: width, Height: height, GOPSize: gop, QStep: qstep},
+		MaxFrames:       frames,
+		MaxSessions:     cfg.maxSessions,
+		MaxSubscribers:  cfg.maxSubs,
+		SubscriberQueue: cfg.subQueue,
+		Metrics:         reg,
+		FlightFrames:    flight,
+		Sched:           parallel.Default(),
+		Admission:       cfg.admission,
+		Shed:            cfg.shed,
 		OnInput: func(remote string, in stream.InputPacket) {
 			log.Printf("input from %s #%d: %q", remote, in.Seq, in.Payload)
 		},

@@ -10,6 +10,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -27,15 +28,16 @@ import (
 // the shed ladder scales each session's work the way the real ladder scales
 // the RoI/SR path (shrunken RoI ≈ ½, bilinear-only ≈ ⅕, demoted ≈ ⅒).
 
-var spinSink uint64
+var spinSink atomic.Uint64
 
-// spin burns roughly iters loop iterations of CPU.
+// spin burns roughly iters loop iterations of CPU. The sink keeping the
+// loop alive is atomic: concurrent sessions spin at the same time.
 func spin(iters int) {
 	var acc uint64
 	for i := 0; i < iters; i++ {
 		acc = acc*6364136223846793005 + 1442695040888963407
 	}
-	spinSink += acc
+	spinSink.Add(acc)
 }
 
 // calibrateSpin measures loop iterations per millisecond, single-threaded.

@@ -331,6 +331,12 @@ func (e *engineRun) run(nFrames int) (*Result, error) {
 			e.mets.roiArea.Observe(float64(job.RoI.W * job.RoI.H))
 			e.mets.codedBytes.Observe(float64(job.CodedBytes))
 			e.mets.codedBytesTotal.Add(int64(job.CodedBytes))
+			if e.cfg.Tap != nil {
+				// Encode-once fan-out: the tap sees the bitstream here and
+				// must copy what it keeps — job.data is recycled once the
+				// client stage decodes it.
+				e.cfg.Tap.PublishFrame(job.Index, job.data, job.Type == codec.Intra, job.RoI)
+			}
 			tSend := time.Now()
 			select {
 			case chans[0] <- job:

@@ -129,6 +129,22 @@ type Config struct {
 	// allocation-free in steady state and never alters results — the
 	// determinism tests run with a recorder attached.
 	Flight *frametrace.Recorder
+
+	// Tap, when non-nil, observes every encoded frame as it leaves the
+	// server stage (before the simulated link), in frame order — the
+	// encode-once fan-out point a broadcast relay attaches to: one encode
+	// feeds the run and every subscriber. The payload slice is only valid
+	// during the call (it rides the job and is recycled downstream);
+	// implementations that keep it must copy. Tapping never alters
+	// results — the determinism tests run with a tap attached.
+	Tap PacketTap
+}
+
+// PacketTap receives the server stage's encoded output, frame by frame.
+// Implemented by stream.Channel (the broadcast relay); see Config.Tap for
+// the payload-lifetime contract.
+type PacketTap interface {
+	PublishFrame(index int, payload []byte, key bool, roi frame.Rect)
 }
 
 // WithDefaults returns the effective configuration.

@@ -2,11 +2,13 @@ package pipeline
 
 import (
 	"math"
+	"sync"
 	"testing"
 	"time"
 
 	"gamestreamsr/internal/codec"
 	"gamestreamsr/internal/device"
+	"gamestreamsr/internal/frame"
 	"gamestreamsr/internal/games"
 	"gamestreamsr/internal/roi"
 )
@@ -113,6 +115,77 @@ func TestGameStreamRun(t *testing.T) {
 		}
 		if f.Upscaled != nil {
 			t.Error("frames retained without KeepFrames")
+		}
+	}
+}
+
+// recordingTap captures every PublishFrame call, copying payloads the way
+// real taps (the stream relay) must — the engine recycles its buffer.
+type recordingTap struct {
+	mu    sync.Mutex
+	idx   []int
+	keys  []bool
+	sizes []int
+}
+
+func (r *recordingTap) PublishFrame(index int, payload []byte, key bool, _ frame.Rect) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.idx = append(r.idx, index)
+	r.keys = append(r.keys, key)
+	r.sizes = append(r.sizes, len(payload))
+}
+
+// TestEncodeTap: the tap sees every encoded frame exactly once, in encode
+// order, with the GOP's intra cadence — and tapping does not perturb the
+// pipeline's results (same frame bytes as an untapped run).
+func TestEncodeTap(t *testing.T) {
+	const nFrames = 8
+	base, err := NewGameStream(testConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline, err := base.Run(nFrames)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tap := &recordingTap{}
+	cfg := testConfig(t)
+	cfg.Tap = tap
+	gs, err := NewGameStream(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := gs.Run(nFrames)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tap.mu.Lock()
+	defer tap.mu.Unlock()
+	if len(tap.idx) != nFrames {
+		t.Fatalf("tap saw %d frames, want %d", len(tap.idx), nFrames)
+	}
+	for i := 0; i < nFrames; i++ {
+		if tap.idx[i] != i {
+			t.Fatalf("tap order = %v, want 0..%d in sequence", tap.idx, nFrames-1)
+		}
+		wantKey := i%4 == 0 // testConfig GOPSize is 4
+		if tap.keys[i] != wantKey {
+			t.Errorf("frame %d tapped key=%v, want %v", i, tap.keys[i], wantKey)
+		}
+		// The tap sees the raw encoder bitstream; FrameResult.Bytes is the
+		// modelled wire size, so only check the payload actually exists.
+		if tap.sizes[i] == 0 {
+			t.Errorf("frame %d tapped with empty payload", i)
+		}
+	}
+	// Determinism: the tap is observe-only.
+	for i := range baseline.Frames {
+		if baseline.Frames[i].Bytes != res.Frames[i].Bytes || baseline.Frames[i].PSNR != res.Frames[i].PSNR {
+			t.Errorf("frame %d differs under tap: %dB/%.2f vs %dB/%.2f", i,
+				baseline.Frames[i].Bytes, baseline.Frames[i].PSNR, res.Frames[i].Bytes, res.Frames[i].PSNR)
 		}
 	}
 }

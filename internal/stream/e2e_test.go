@@ -57,12 +57,12 @@ func TestE2EDistributedTrace(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if cfg.Version != ProtocolV2 {
+	if cfg.Version != ProtocolVersion {
 		t.Fatalf("negotiated v%d", cfg.Version)
 	}
 	clock := c.Clock()
 	if !clock.Synced {
-		t.Fatal("no clock sync on a v2 TCP session")
+		t.Fatal("no clock sync on a versioned TCP session")
 	}
 	// Both endpoints share one physical clock, so the Cristian error bound
 	// is directly checkable: |estimated offset − 0| ≤ RTT/2.
@@ -75,6 +75,7 @@ func TestE2EDistributedTrace(t *testing.T) {
 	rec := frametrace.New(frametrace.Config{Frames: 64})
 	rec.SetProcess("client")
 	rec.SetClockSync(clock.Offset, clock.RTT)
+	remoteLabel := metricLabel(conn.LocalAddr().String())
 	frames := 0
 	for {
 		tRecv := time.Now()
@@ -106,6 +107,22 @@ func TestE2EDistributedTrace(t *testing.T) {
 			}); err != nil {
 				t.Fatalf("stats: %v", err)
 			}
+			if frames == 8 {
+				// The backchannel is async to the frame stream: wait for the
+				// first report to land while the session is still live — the
+				// per-session gauges are unregistered at teardown, so the
+				// live window is the only time they are observable.
+				deadline := time.Now().Add(5 * time.Second)
+				for reg.Snapshot().Counter("stream_client_stats_total") == 0 {
+					if time.Now().After(deadline) {
+						t.Fatal("no stats report reached the server registry")
+					}
+					time.Sleep(time.Millisecond)
+				}
+				if got := reg.Snapshot().Gauge("stream_client_age_p99_us_" + remoteLabel); got != 4000 {
+					t.Errorf("per-session client age p99 gauge = %d, want 4000", got)
+				}
+			}
 		}
 	}
 	if frames != nFrames {
@@ -113,20 +130,6 @@ func TestE2EDistributedTrace(t *testing.T) {
 	}
 	if err := c.Bye(); err != nil {
 		t.Fatal(err)
-	}
-
-	// The backchannel is async to the frame stream: wait for the server to
-	// fold at least one report into its registry.
-	remoteLabel := metricLabel(conn.LocalAddr().String())
-	deadline := time.Now().Add(5 * time.Second)
-	for reg.Snapshot().Counter("stream_client_stats_total") == 0 {
-		if time.Now().After(deadline) {
-			t.Fatal("no stats report reached the server registry")
-		}
-		time.Sleep(time.Millisecond)
-	}
-	if got := reg.Snapshot().Gauge("stream_client_age_p99_us_" + remoteLabel); got != 4000 {
-		t.Errorf("per-session client age p99 gauge = %d, want 4000", got)
 	}
 
 	// Merge the two sides: every client frame must appear on the server
@@ -170,4 +173,11 @@ func TestE2EDistributedTrace(t *testing.T) {
 		t.Fatal(err)
 	}
 	<-serveDone
+
+	// Session teardown must unregister the per-session gauges — under
+	// session churn every reconnect has a fresh ephemeral port, and leaked
+	// gauges grew /metrics without bound.
+	if got := reg.Snapshot().Gauge("stream_client_age_p99_us_" + remoteLabel); got != 0 {
+		t.Errorf("per-session gauge survived teardown: %d", got)
+	}
 }

@@ -12,18 +12,20 @@ import (
 // FuzzReadMsg drives the wire-format parser with arbitrary bytes; the
 // invariant is no panic and a well-formed message on success.
 func FuzzReadMsg(f *testing.F) {
-	var hello, helloV2, accept, acceptV2, fr, frExt, input, st, bye bytes.Buffer
+	var hello, helloV2, helloV3, accept, acceptV2, fr, frExt, input, st, sub, bye bytes.Buffer
 	WriteHello(&hello, Hello{Device: "seed", RoIWindow: 300, Scale: 2})
 	WriteHello(&helloV2, Hello{Device: "seed", RoIWindow: 300, Scale: 2, Version: ProtocolV2, SendUnixMicro: 1700000000000000})
+	WriteHello(&helloV3, Hello{Device: "seed", RoIWindow: 300, Scale: 2, Version: ProtocolV3, SendUnixMicro: 1700000000000000, Channel: "arena"})
 	WriteAccept(&accept, Accept{Width: 1280, Height: 720, GOPSize: 60, QStep: 6})
 	WriteAccept(&acceptV2, Accept{Width: 1280, Height: 720, GOPSize: 60, QStep: 6, Version: ProtocolV2, RecvUnixMicro: 1, SendUnixMicro: 2})
 	WriteFrame(&fr, FramePacket{Index: 7, Keyenc: true, RoI: frame.Rect{X: 1, Y: 2, W: 3, H: 4}, Payload: []byte("data")})
 	WriteFrame(&frExt, FramePacket{Index: 7, FlightID: 8, SendUnixMicro: 1700000000000000, Payload: []byte("data")})
 	WriteInput(&input, InputPacket{Seq: 9, Payload: []byte("in")})
 	WriteStats(&st, StatsPacket{Seq: 1, WindowFrames: 60, AgeP99: 20 * time.Millisecond})
+	WriteSubscribe(&sub, Subscribe{Channel: "arena", Device: "seed", Version: ProtocolV3, SendUnixMicro: 1700000000000000})
 	WriteBye(&bye)
-	for _, b := range [][]byte{hello.Bytes(), helloV2.Bytes(), accept.Bytes(), acceptV2.Bytes(),
-		fr.Bytes(), frExt.Bytes(), input.Bytes(), st.Bytes(), bye.Bytes(), {}, {0xFF}} {
+	for _, b := range [][]byte{hello.Bytes(), helloV2.Bytes(), helloV3.Bytes(), accept.Bytes(), acceptV2.Bytes(),
+		fr.Bytes(), frExt.Bytes(), input.Bytes(), st.Bytes(), sub.Bytes(), bye.Bytes(), {}, {0xFF}} {
 		f.Add(b)
 	}
 
@@ -52,6 +54,10 @@ func FuzzReadMsg(f *testing.F) {
 		case MsgStats:
 			if msg.Stats == nil {
 				t.Fatal("stats without body")
+			}
+		case MsgSubscribe:
+			if msg.Subscribe == nil || msg.Subscribe.Channel == "" {
+				t.Fatal("malformed subscribe accepted")
 			}
 		case MsgReject:
 			if msg.Reject == nil {
@@ -115,6 +121,9 @@ func helloRoundTrip(t *testing.T, h Hello) {
 	if len(h.Device) > 255 {
 		h.Device = h.Device[:255]
 	}
+	if len(h.Channel) > 255 {
+		h.Channel = h.Channel[:255]
+	}
 	h.RoIWindow, h.Scale = sanitizePos(h.RoIWindow), sanitizePos(h.Scale)
 	h.Version = sanitizeNonNeg(h.Version)
 	want := h
@@ -122,6 +131,10 @@ func helloRoundTrip(t *testing.T, h Hello) {
 		want.Version, want.SendUnixMicro = 0, 0
 	} else if want.SendUnixMicro < 0 {
 		want.SendUnixMicro = 0
+	}
+	if h.Version < ProtocolV3 {
+		// The channel field only exists on the v3 wire.
+		want.Channel = ""
 	}
 	msg := roundTrip(t,
 		func(b *bytes.Buffer) error { return WriteHello(b, h) },
@@ -132,11 +145,42 @@ func helloRoundTrip(t *testing.T, h Hello) {
 }
 
 func FuzzHelloRoundTrip(f *testing.F) {
-	f.Add("s8", 64, 2, 2, int64(1700000000000000))
-	f.Add("", 1, 1, 0, int64(0))
-	f.Add("pixel", 300, 4, 7, int64(-5))
-	f.Fuzz(func(t *testing.T, dev string, roi, scale, ver int, sendUS int64) {
-		helloRoundTrip(t, Hello{Device: dev, RoIWindow: roi, Scale: scale, Version: ver, SendUnixMicro: sendUS})
+	f.Add("s8", 64, 2, 2, int64(1700000000000000), "")
+	f.Add("", 1, 1, 0, int64(0), "")
+	f.Add("pixel", 300, 4, 7, int64(-5), "arena")
+	f.Add("s8", 64, 2, 3, int64(1700000000000000), "lobby/2")
+	f.Fuzz(func(t *testing.T, dev string, roi, scale, ver int, sendUS int64, channel string) {
+		helloRoundTrip(t, Hello{Device: dev, RoIWindow: roi, Scale: scale, Version: ver, SendUnixMicro: sendUS, Channel: channel})
+	})
+}
+
+func subscribeRoundTrip(t *testing.T, sub Subscribe) {
+	if sub.Channel == "" {
+		sub.Channel = "c" // the writer refuses an empty channel by contract
+	}
+	if len(sub.Channel) > 255 {
+		sub.Channel = sub.Channel[:255]
+	}
+	if len(sub.Device) > 255 {
+		sub.Device = sub.Device[:255]
+	}
+	sub.Version = sanitizeNonNeg(sub.Version)
+	want := sub
+	want.SendUnixMicro = max(want.SendUnixMicro, 0)
+	msg := roundTrip(t,
+		func(b *bytes.Buffer) error { return WriteSubscribe(b, sub) },
+		func(b *bytes.Buffer, m *Msg) error { return WriteSubscribe(b, *m.Subscribe) })
+	if *msg.Subscribe != want {
+		t.Fatalf("subscribe = %+v, want %+v", *msg.Subscribe, want)
+	}
+}
+
+func FuzzSubscribeRoundTrip(f *testing.F) {
+	f.Add("arena", "s8", 3, int64(1700000000000000))
+	f.Add("c", "", 0, int64(0))
+	f.Add("lobby/2", "pixel", 9, int64(-4))
+	f.Fuzz(func(t *testing.T, channel, dev string, ver int, sendUS int64) {
+		subscribeRoundTrip(t, Subscribe{Channel: channel, Device: dev, Version: ver, SendUnixMicro: sendUS})
 	})
 }
 
@@ -270,8 +314,14 @@ func FuzzRejectRoundTrip(f *testing.F) {
 // testing/quick's generator — the property-test complement to the fuzz
 // corpus, run on every plain `go test`.
 func TestWireProperties(t *testing.T) {
-	if err := quick.Check(func(dev string, roi, scale, ver int, sendUS int64) bool {
-		helloRoundTrip(t, Hello{Device: dev, RoIWindow: roi, Scale: scale, Version: ver, SendUnixMicro: sendUS})
+	if err := quick.Check(func(dev string, roi, scale, ver int, sendUS int64, channel string) bool {
+		helloRoundTrip(t, Hello{Device: dev, RoIWindow: roi, Scale: scale, Version: ver, SendUnixMicro: sendUS, Channel: channel})
+		return !t.Failed()
+	}, nil); err != nil {
+		t.Error(err)
+	}
+	if err := quick.Check(func(channel, dev string, ver int, sendUS int64) bool {
+		subscribeRoundTrip(t, Subscribe{Channel: channel, Device: dev, Version: ver, SendUnixMicro: sendUS})
 		return !t.Failed()
 	}, nil); err != nil {
 		t.Error(err)

@@ -112,6 +112,16 @@ func (p AdmissionPolicy) withDefaults() AdmissionPolicy {
 // Admission and Shed configured it is also the control plane: per-session
 // scheduler clients, SLO-keyed admission control and a per-session shed
 // ladder (see DESIGN.md §12).
+//
+// Sessions come in two kinds (DESIGN.md §14): a connection opening with a
+// Hello is a publisher — it owns a game source and encode pipeline, and
+// may register the stream under a channel name — while a connection
+// opening with a Subscribe is a spectator attached to an existing
+// channel's encoded GOP stream through the relay, costing no extra encode
+// work. Spectators have their own cap (MaxSubscribers per channel), their
+// own Background-priority scheduler clients, and bounded send queues with
+// slow-reader eviction, so they never head-of-line-block the publisher or
+// count against player admission.
 type MultiServer struct {
 	// Accept is the stream geometry announced to every client.
 	Accept Accept
@@ -154,14 +164,35 @@ type MultiServer struct {
 	// Shed, when non-nil, enables the per-session shed ladder; it needs
 	// FlightFrames > 0 (the recorder's miss streak is the trigger signal).
 	Shed *ShedPolicy
+	// MaxSubscribers bounds spectators per publish channel (default 16);
+	// excess Subscribes receive a Reject(capacity).
+	MaxSubscribers int
+	// SubscriberQueue is the per-subscriber send-queue depth (default
+	// DefaultSubscriberQueue). A reader that falls a full queue behind is
+	// dropped to the next keyframe; one that stays stalled for a further
+	// GOP is disconnected.
+	SubscriberQueue int
 
 	mu       sync.Mutex
 	sessions map[net.Conn]*session
+	pending  map[net.Conn]struct{} // accepted, first message not yet read
+	relay    *Relay
 	flights  []*sessionFlight
 	streaks  *frametrace.StreakSet
 	listener net.Listener
 	closed   bool
 	serveWG  sync.WaitGroup
+	ctrs     serverCounters
+}
+
+// serverCounters holds the accept-path telemetry handles, resolved once in
+// Serve so per-connection work never touches the registry map more than a
+// handful of times. All fields are nil-safe no-ops without a registry.
+type serverCounters struct {
+	accepted, rejected         *telemetry.Counter
+	rejectedCap, rejectedBusy  *telemetry.Counter
+	subsAccepted, subsRejected *telemetry.Counter
+	active                     *telemetry.Gauge
 }
 
 // session is the per-connection control-plane state.
@@ -173,10 +204,17 @@ type session struct {
 }
 
 // sessionFlight pairs one session's flight recorder with its identity.
+// channel/spectator carry the relay identity into flight dumps (so a
+// merged trace names which channel a track was publishing or watching)
+// and let admission skip spectator recorders — a stalled spectator's
+// frame ages are its own eviction ladder's business, not a reason to turn
+// players away.
 type sessionFlight struct {
-	remote string
-	rec    *frametrace.Recorder
-	live   bool
+	remote    string
+	channel   string
+	spectator bool
+	rec       *frametrace.Recorder
+	live      bool
 }
 
 // retiredFlights bounds how many finished sessions' recorders stay
@@ -187,14 +225,13 @@ const retiredFlights = 4
 var errServerClosed = errors.New("stream: server closed")
 
 // Serve accepts connections from l until the listener fails or Shutdown is
-// called. It blocks; run it in a goroutine and use Shutdown to stop.
+// called. It blocks; run it in a goroutine and use Shutdown to stop. Each
+// connection's first message decides what it is: a Hello opens a
+// (publisher) game session, a Subscribe attaches a spectator to an
+// existing publish channel.
 func (s *MultiServer) Serve(l net.Listener) error {
 	if s.NewSource == nil {
 		return errors.New("stream: MultiServer needs a source factory")
-	}
-	max := s.MaxSessions
-	if max <= 0 {
-		max = 16
 	}
 	s.mu.Lock()
 	if s.closed {
@@ -205,13 +242,26 @@ func (s *MultiServer) Serve(l net.Listener) error {
 	if s.streaks == nil && s.Metrics != nil && s.FlightFrames > 0 {
 		s.streaks = frametrace.NewStreakSet(s.Metrics)
 	}
+	if s.relay == nil {
+		s.relay = NewRelay(s.Metrics, s.MaxSubscribers, s.SubscriberQueue)
+	}
+	if s.sessions == nil {
+		s.sessions = make(map[net.Conn]*session)
+	}
+	if s.pending == nil {
+		s.pending = make(map[net.Conn]struct{})
+	}
 	s.mu.Unlock()
 	s.Metrics.GaugeFunc("stream_shed_level_max", s.maxShedLevel)
-	accepted := s.Metrics.Counter("stream_sessions_accepted_total")
-	rejected := s.Metrics.Counter("stream_sessions_rejected_total")
-	rejectedCap := s.Metrics.Counter("stream_sessions_rejected_capacity_total")
-	rejectedBusy := s.Metrics.Counter("stream_sessions_rejected_busy_total")
-	active := s.Metrics.Gauge("stream_sessions_active")
+	s.ctrs = serverCounters{
+		accepted:     s.Metrics.Counter("stream_sessions_accepted_total"),
+		rejected:     s.Metrics.Counter("stream_sessions_rejected_total"),
+		rejectedCap:  s.Metrics.Counter("stream_sessions_rejected_capacity_total"),
+		rejectedBusy: s.Metrics.Counter("stream_sessions_rejected_busy_total"),
+		subsAccepted: s.Metrics.Counter("stream_subscribers_accepted_total"),
+		subsRejected: s.Metrics.Counter("stream_subscribers_rejected_total"),
+		active:       s.Metrics.Gauge("stream_sessions_active"),
+	}
 	for {
 		conn, err := l.Accept()
 		if err != nil {
@@ -229,74 +279,126 @@ func (s *MultiServer) Serve(l net.Listener) error {
 			conn.Close()
 			return errServerClosed
 		}
-		if s.sessions == nil {
-			s.sessions = make(map[net.Conn]*session)
-		}
-		overCap := len(s.sessions) >= max
+		// The conn is tracked as pending until its first message is read,
+		// so Shutdown can unblock a handshake that never arrives.
+		s.pending[conn] = struct{}{}
 		s.mu.Unlock()
-		if overCap {
-			rejected.Inc()
-			rejectedCap.Inc()
-			log.Printf("stream: rejecting %s: session limit %d reached", conn.RemoteAddr(), max)
-			s.rejectConn(conn, RejectCapacity, fmt.Sprintf("session limit %d reached", max))
-			continue
-		}
-		if s.Admission != nil {
-			if p99, samples, deadline, ok := s.admit(); !ok {
-				rejected.Inc()
-				rejectedBusy.Inc()
-				log.Printf("stream: rejecting %s: no SLO headroom (windowed p99 %v over %d frames, deadline %v)",
-					conn.RemoteAddr(), p99, samples, deadline)
-				s.rejectConn(conn, RejectBusy, fmt.Sprintf("no SLO headroom: p99 %v", p99.Round(time.Microsecond)))
-				continue
-			}
-		}
-		sess := &session{remote: conn.RemoteAddr().String()}
-		if s.Sched != nil {
-			sess.client = s.Sched.NewClient(parallel.ClientConfig{Name: sess.remote})
-		}
-		s.mu.Lock()
-		if s.closed {
-			s.mu.Unlock()
-			conn.Close()
-			return errServerClosed
-		}
-		s.sessions[conn] = sess
-		s.mu.Unlock()
-		accepted.Inc()
-		active.Add(1)
-
 		s.serveWG.Add(1)
-		go func(conn net.Conn, sess *session) {
+		go func(conn net.Conn) {
 			defer s.serveWG.Done()
-			defer func() {
-				conn.Close()
-				s.mu.Lock()
-				delete(s.sessions, conn)
-				s.mu.Unlock()
-				active.Add(-1)
-			}()
-			s.serveSession(conn, sess)
-		}(conn, sess)
+			s.handleConn(conn)
+		}(conn)
 	}
 }
 
-// rejectConn tells the client why it is being refused, then closes. It
-// first drains the client's Hello: closing a TCP connection with unread
-// inbound data resets it, which can destroy the reject before the peer
-// reads it. Both I/O steps share a deadline so a stalled peer is bounded,
-// and the whole exchange runs off the accept loop.
+// handleConn reads a connection's first message and dispatches: Hello →
+// publisher session, Subscribe → spectator session, anything else → close.
+func (s *MultiServer) handleConn(conn net.Conn) {
+	msg, err := ReadMsg(conn)
+	tFirst := time.Now() // T1 of the client's Cristian offset estimate
+	s.mu.Lock()
+	delete(s.pending, conn)
+	closed := s.closed
+	s.mu.Unlock()
+	if err != nil || closed {
+		conn.Close()
+		return
+	}
+	switch msg.Type {
+	case MsgHello:
+		s.servePublisher(conn, *msg.Hello, tFirst)
+	case MsgSubscribe:
+		s.serveSubscriber(conn, *msg.Subscribe, tFirst)
+	default:
+		log.Printf("stream: %s opened with %v, want hello or subscribe", conn.RemoteAddr(), msg.Type)
+		conn.Close()
+	}
+}
+
+// rejectConn tells the client why it is being refused, then closes. The
+// caller has already read the client's opening message, so the reject is
+// the only unread data in flight when the connection closes. The write is
+// bounded so a peer that never reads cannot wedge the goroutine.
 func (s *MultiServer) rejectConn(conn net.Conn, code RejectCode, reason string) {
-	s.serveWG.Add(1)
-	go func() {
-		defer s.serveWG.Done()
-		defer conn.Close()
-		conn.SetDeadline(time.Now().Add(time.Second))
-		if _, err := ReadMsg(conn); err != nil {
+	defer conn.Close()
+	conn.SetWriteDeadline(time.Now().Add(time.Second))
+	_ = WriteReject(conn, Reject{Code: code, Reason: reason})
+}
+
+// servePublisher runs a game (publisher) session whose Hello has been
+// read: session cap, admission control, optional channel registration,
+// then the frame loop with the relay tap attached.
+func (s *MultiServer) servePublisher(conn net.Conn, hello Hello, tHello time.Time) {
+	max := s.MaxSessions
+	if max <= 0 {
+		max = 16
+	}
+	sess := &session{remote: conn.RemoteAddr().String()}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		conn.Close()
+		return
+	}
+	overCap := len(s.sessions) >= max
+	if !overCap {
+		s.sessions[conn] = sess
+	}
+	s.mu.Unlock()
+	if overCap {
+		s.ctrs.rejected.Inc()
+		s.ctrs.rejectedCap.Inc()
+		log.Printf("stream: rejecting %s: session limit %d reached", sess.remote, max)
+		s.rejectConn(conn, RejectCapacity, fmt.Sprintf("session limit %d reached", max))
+		return
+	}
+	unregister := func() {
+		s.mu.Lock()
+		delete(s.sessions, conn)
+		s.mu.Unlock()
+	}
+	if s.Admission != nil {
+		if p99, samples, deadline, ok := s.admit(); !ok {
+			unregister()
+			s.ctrs.rejected.Inc()
+			s.ctrs.rejectedBusy.Inc()
+			log.Printf("stream: rejecting %s: no SLO headroom (windowed p99 %v over %d frames, deadline %v)",
+				sess.remote, p99, samples, deadline)
+			s.rejectConn(conn, RejectBusy, fmt.Sprintf("no SLO headroom: p99 %v", p99.Round(time.Microsecond)))
 			return
 		}
-		_ = WriteReject(conn, Reject{Code: code, Reason: reason})
+	}
+	// A hello naming a channel registers this session as its publisher;
+	// the name must be free.
+	var ch *Channel
+	if hello.Channel != "" {
+		var err error
+		ch, err = s.relay.Create(hello.Channel, s.Accept)
+		if err != nil {
+			unregister()
+			s.ctrs.rejected.Inc()
+			log.Printf("stream: rejecting %s: channel %q: %v", sess.remote, hello.Channel, err)
+			s.rejectConn(conn, RejectChannelTaken, fmt.Sprintf("channel %q already has a publisher", hello.Channel))
+			return
+		}
+		log.Printf("stream: %s publishing channel %q", sess.remote, hello.Channel)
+	}
+	if s.Sched != nil {
+		sess.client = s.Sched.NewClient(parallel.ClientConfig{Name: sess.remote})
+	}
+	s.ctrs.accepted.Inc()
+	s.ctrs.active.Add(1)
+	defer func() {
+		// Publisher gone: the channel drains gracefully — subscribers get
+		// their queued tail, then a Bye.
+		if ch != nil {
+			ch.close(false)
+		}
+		conn.Close()
+		unregister()
+		s.ctrs.active.Add(-1)
 	}()
+	s.serveSession(conn, sess, hello, tHello, ch)
 }
 
 // admit computes the aggregate windowed p99 across live session recorders
@@ -307,7 +409,10 @@ func (s *MultiServer) admit() (p99 time.Duration, samples int, deadline time.Dur
 	s.mu.Lock()
 	recs := make([]*frametrace.Recorder, 0, len(s.flights))
 	for _, f := range s.flights {
-		if f.live {
+		// Spectator windows don't gate player admission: a stalled
+		// spectator is the eviction ladder's problem, not evidence the
+		// encode fleet is out of headroom.
+		if f.live && !f.spectator {
 			recs = append(recs, f.rec)
 		}
 	}
@@ -348,9 +453,13 @@ func (s *MultiServer) maxShedLevel() int64 {
 	return max
 }
 
-func (s *MultiServer) serveSession(conn net.Conn, sess *session) {
+func (s *MultiServer) serveSession(conn net.Conn, sess *session, hello Hello, tHello time.Time, ch *Channel) {
 	remote := sess.remote
-	rec := s.beginFlight(remote)
+	channel := ""
+	if ch != nil {
+		channel = ch.Name()
+	}
+	rec := s.beginFlight(remote, channel, false)
 	sess.rec = rec
 	var src FrameSource
 	var source FrameSource = deferredSource{get: func() FrameSource { return src }}
@@ -369,7 +478,7 @@ func (s *MultiServer) serveSession(conn net.Conn, sess *session) {
 		source = shed
 	}
 	sink := &statsSink{metrics: s.Metrics, remote: remote, rec: rec}
-	err := Serve(conn, ServerOptions{
+	opt := ServerOptions{
 		Accept:    s.Accept,
 		MaxFrames: s.MaxFrames,
 		Metrics:   s.Metrics,
@@ -393,8 +502,13 @@ func (s *MultiServer) serveSession(conn net.Conn, sess *session) {
 			}
 			return nil
 		},
-	})
+	}
+	if ch != nil {
+		opt.Tap = ch.Publish
+	}
+	err := serveHello(conn, hello, tHello, opt)
 	_ = err // per-session errors end that session only
+	sink.close()
 	if sess.client != nil {
 		st := sess.client.Stats()
 		if st.Jobs > 0 {
@@ -405,24 +519,198 @@ func (s *MultiServer) serveSession(conn net.Conn, sess *session) {
 	s.endFlight(remote)
 }
 
+// subscriberWriteTimeout bounds every socket write to a spectator. The
+// queue's eviction ladder handles sustained slowness; the deadline only
+// guards against a peer that stops reading entirely mid-frame.
+const subscriberWriteTimeout = 10 * time.Second
+
+// serveSubscriber runs a spectator session whose Subscribe has been read:
+// attach to the channel (cached Accept + keyframe make the first frame
+// decodable immediately), then relay the publisher's encoded frames until
+// the subscriber leaves, falls too far behind, or the channel closes.
+func (s *MultiServer) serveSubscriber(conn net.Conn, sub Subscribe, tSub time.Time) {
+	remote := conn.RemoteAddr().String()
+	var ch *Channel
+	if s.relay != nil {
+		ch = s.relay.Lookup(sub.Channel)
+	}
+	if ch == nil {
+		s.ctrs.subsRejected.Inc()
+		log.Printf("stream: rejecting spectator %s: no channel %q", remote, sub.Channel)
+		s.rejectConn(conn, RejectUnknownChannel, fmt.Sprintf("no publisher on channel %q", sub.Channel))
+		return
+	}
+	subr, err := ch.Subscribe(remote)
+	if err != nil {
+		s.ctrs.subsRejected.Inc()
+		log.Printf("stream: rejecting spectator %s on %q: %v", remote, sub.Channel, err)
+		code := RejectUnknownChannel
+		if errors.Is(err, errSubscriberCap) {
+			code = RejectCapacity
+		}
+		s.rejectConn(conn, code, err.Error())
+		return
+	}
+	defer ch.detach(subr)
+	ver := NegotiateVersion(sub.Version)
+	acc := ch.Accept()
+	if ver >= ProtocolV2 {
+		acc.Version = ver
+		acc.RecvUnixMicro = tSub.UnixMicro()
+		acc.SendUnixMicro = time.Now().UnixMicro()
+	} else {
+		acc.Version, acc.RecvUnixMicro, acc.SendUnixMicro = 0, 0, 0
+	}
+	conn.SetWriteDeadline(time.Now().Add(subscriberWriteTimeout))
+	if err := WriteAccept(conn, acc); err != nil {
+		conn.Close()
+		return
+	}
+	conn.SetWriteDeadline(time.Time{})
+	s.ctrs.subsAccepted.Inc()
+	log.Printf("stream: %s spectating channel %q (protocol v%d)", remote, sub.Channel, ver)
+	var client *parallel.Client
+	if s.Sched != nil {
+		// Spectators only cost relay writes today, but registering them at
+		// Background priority keeps any future per-subscriber work (e.g.
+		// transcode rungs) strictly yield-only.
+		client = s.Sched.NewClient(parallel.ClientConfig{Name: remote, Priority: parallel.Background})
+	}
+	_ = client
+	rec := s.beginFlight(remote, sub.Channel, true)
+	sink := &statsSink{metrics: s.Metrics, remote: remote, rec: rec}
+	defer func() {
+		sink.close()
+		s.endFlight(remote)
+		conn.Close()
+	}()
+
+	// Read loop: spectators send no input that matters, but their Stats
+	// backchannel and Bye do. Reading also detects disconnects promptly.
+	var clientBye atomic.Bool
+	readDone := make(chan struct{})
+	go func() {
+		defer close(readDone)
+		for {
+			msg, err := ReadMsg(conn)
+			if err != nil {
+				return
+			}
+			switch msg.Type {
+			case MsgStats:
+				sink.handle(*msg.Stats)
+			case MsgBye:
+				clientBye.Store(true)
+				return
+			}
+		}
+	}()
+
+	framesSent := s.Metrics.Counter("stream_subscriber_frames_sent_total")
+	bytesSent := s.Metrics.Counter("stream_subscriber_bytes_sent_total")
+	sendHist := s.Metrics.Histogram("stream_subscriber_send_seconds", telemetry.LatencyBuckets())
+	queueHist := s.Metrics.Histogram("stream_subscriber_queue_seconds", telemetry.LatencyBuckets())
+	var latScratch [2]frametrace.StageLatency
+	var sendErr error
+	for rf := range subr.Frames() {
+		subr.Consumed()
+		if subr.Abandoned() || clientBye.Load() {
+			break
+		}
+		pkt := rf.pkt
+		if ver >= ProtocolV2 {
+			pkt.SendUnixMicro = time.Now().UnixMicro()
+		} else {
+			pkt.FlightID = 0
+			pkt.SendUnixMicro = 0
+		}
+		// Adopt the publisher's flight ID so gssr trace -merge correlates a
+		// spectator's copy of frame N with the publisher's encode of it.
+		fid := rec.BeginFrameAt(pkt.FlightID, int(pkt.Index))
+		qAge := time.Since(rf.at)
+		rec.Span(fid, "queue", "queue", rf.at, qAge)
+		queueHist.ObserveDuration(qAge)
+		t0 := time.Now()
+		conn.SetWriteDeadline(t0.Add(subscriberWriteTimeout))
+		sendErr = WriteFrame(conn, pkt)
+		d := time.Since(t0)
+		if sendErr != nil {
+			break
+		}
+		rec.Span(fid, "send", "send", t0, d)
+		latScratch[0] = frametrace.StageLatency{Name: "queue", D: qAge}
+		latScratch[1] = frametrace.StageLatency{Name: "send", D: d}
+		rec.ObserveDeadline(fid, latScratch[:])
+		sendHist.ObserveDuration(d)
+		framesSent.Inc()
+		bytesSent.Add(int64(len(pkt.Payload)))
+	}
+	if sendErr == nil && !clientBye.Load() {
+		// Clean goodbye — including to an evicted reader, whose socket may
+		// still accept one small control message even while frames back up.
+		conn.SetWriteDeadline(time.Now().Add(time.Second))
+		_ = WriteBye(conn)
+	}
+	if subr.Evicted() {
+		log.Printf("stream: spectator %s evicted from %q (stalled past drop-to-keyframe)", remote, sub.Channel)
+	}
+	conn.Close()
+	<-readDone
+}
+
 // statsSink folds one session's backchannel Stats reports (DESIGN.md §13)
 // into the server's telemetry and flight recorder: per-session gauges
 // expose the client-observed e2e/decode/SR percentiles on /metrics, the
 // cumulative drop/miss counts feed aggregate counters by delta, and the
 // session's flight recorder pins the report to the frame in flight so a
-// server-side dump shows what the client was experiencing. Called
-// synchronously from the session's read loop, so all state is
-// single-goroutine.
+// server-side dump shows what the client was experiencing. handle is
+// called from the session's read loop; close is called at session
+// teardown, possibly from a different goroutine (the read goroutine can
+// outlive the session loop briefly), hence the mutex.
 type statsSink struct {
 	metrics *telemetry.Registry
 	remote  string
 	rec     *frametrace.Recorder
 
+	mu                      sync.Mutex
+	closed                  bool
 	seen                    bool
 	lastDropped, lastMisses uint32
 }
 
+// perSessionGauges are the statsSink gauge-name prefixes, each suffixed
+// with the sanitised remote address. close unregisters all of them —
+// leaving them behind grew /metrics without bound under session churn
+// (every reconnecting client has a fresh ephemeral port, hence a fresh
+// suffix).
+var perSessionGauges = []string{
+	"stream_client_age_p50_us_",
+	"stream_client_age_p99_us_",
+	"stream_client_decode_p99_us_",
+	"stream_client_sr_p99_us_",
+}
+
+// close unregisters the session's per-remote gauges and drops any late
+// stats report still in flight on the read goroutine.
+func (k *statsSink) close() {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if k.closed {
+		return
+	}
+	k.closed = true
+	suffix := metricLabel(k.remote)
+	for _, name := range perSessionGauges {
+		k.metrics.Unregister(name + suffix)
+	}
+}
+
 func (k *statsSink) handle(st StatsPacket) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if k.closed {
+		return
+	}
 	m := k.metrics
 	m.Counter("stream_client_stats_total").Inc()
 	suffix := metricLabel(k.remote)
@@ -541,7 +829,7 @@ func (ss *shedSource) setLevel(i, level int) {
 // concurrent sessions; they share the server's Metrics registry, so miss
 // counters aggregate, and the streak gauges go through the server's
 // StreakSet (max across live sessions) instead of racing last-writer-wins.
-func (s *MultiServer) beginFlight(remote string) *frametrace.Recorder {
+func (s *MultiServer) beginFlight(remote, channel string, spectator bool) *frametrace.Recorder {
 	if s.FlightFrames <= 0 {
 		return nil
 	}
@@ -555,7 +843,7 @@ func (s *MultiServer) beginFlight(remote string) *frametrace.Recorder {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.flights = append(s.flights, &sessionFlight{remote: remote, rec: rec, live: true})
+	s.flights = append(s.flights, &sessionFlight{remote: remote, channel: channel, spectator: spectator, rec: rec, live: true})
 	retired := 0
 	for _, f := range s.flights {
 		if !f.live {
@@ -597,6 +885,13 @@ func (s *MultiServer) WriteFlight(w io.Writer) error {
 	dumps := make([]frametrace.NamedDump, 0, len(s.flights))
 	for _, f := range s.flights {
 		name := f.remote
+		if f.channel != "" {
+			if f.spectator {
+				name += " spectating " + f.channel
+			} else {
+				name += " publishing " + f.channel
+			}
+		}
 		if !f.live {
 			name += " (closed)"
 		}
@@ -641,13 +936,24 @@ func (d deferredSource) NextFrame(i int) ([]byte, bool, frame.Rect, error) {
 // Shutdown stops accepting and closes every live session, then waits for
 // the session goroutines to drain (they finish promptly — their
 // connections are closed) or for ctx to expire, whichever comes first.
+// Relay channels close first: subscriber queues end, so every spectator
+// writer sends its Bye before its connection is torn down.
 func (s *MultiServer) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	s.closed = true
+	relay := s.relay
 	if s.listener != nil {
 		s.listener.Close()
 	}
+	s.mu.Unlock()
+	if relay != nil {
+		relay.Shutdown()
+	}
+	s.mu.Lock()
 	for conn := range s.sessions {
+		conn.Close()
+	}
+	for conn := range s.pending {
 		conn.Close()
 	}
 	s.mu.Unlock()
@@ -664,9 +970,31 @@ func (s *MultiServer) Shutdown(ctx context.Context) error {
 	}
 }
 
-// SessionCount returns the number of live sessions.
+// SessionCount returns the number of live publisher sessions.
 func (s *MultiServer) SessionCount() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return len(s.sessions)
+}
+
+// SubscriberCount returns the number of live spectator sessions across all
+// publish channels.
+func (s *MultiServer) SubscriberCount() int {
+	s.mu.Lock()
+	relay := s.relay
+	s.mu.Unlock()
+	if relay == nil {
+		return 0
+	}
+	relay.mu.Lock()
+	chans := make([]*Channel, 0, len(relay.channels))
+	for _, ch := range relay.channels {
+		chans = append(chans, ch)
+	}
+	relay.mu.Unlock()
+	n := 0
+	for _, ch := range chans {
+		n += ch.Subscribers()
+	}
+	return n
 }

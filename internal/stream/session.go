@@ -58,6 +58,11 @@ type ServerOptions struct {
 	SlowSend time.Duration
 	// Remote tags this session's log lines (typically the client address).
 	Remote string
+	// Tap, if non-nil, observes every outgoing frame packet after its
+	// flight identity is assigned and before it hits the socket — the
+	// relay's encode-once fan-out point. The packet's payload is only
+	// valid during the call; implementations that keep it must copy.
+	Tap func(FramePacket)
 }
 
 // DefaultSlowSend is the default outlier threshold for frame-send logging:
@@ -82,8 +87,19 @@ func Serve(conn io.ReadWriter, opt ServerOptions) error {
 	if msg.Type != MsgHello {
 		return fmt.Errorf("%w: expected hello, got %v", ErrProtocol, msg.Type)
 	}
+	return serveHello(conn, *msg.Hello, tHello, opt)
+}
+
+// serveHello runs a server session whose opening Hello has already been
+// read (tHello is its arrival time, T1 of the client's clock estimate) —
+// the entry point for callers that dispatch on the first message
+// themselves, like MultiServer's publisher/subscriber split.
+func serveHello(conn io.ReadWriter, hello Hello, tHello time.Time, opt ServerOptions) error {
+	if opt.Source == nil {
+		return errors.New("stream: server needs a frame source")
+	}
 	if opt.Validate != nil {
-		if err := opt.Validate(*msg.Hello); err != nil {
+		if err := opt.Validate(hello); err != nil {
 			// Tell the client why before closing — a silent close is
 			// indistinguishable from a network fault on their side. The
 			// write is bounded: a peer that never reads must not wedge
@@ -98,7 +114,7 @@ func Serve(conn io.ReadWriter, opt ServerOptions) error {
 	}
 	// Version negotiation: min of what both sides speak. A v1 client gets
 	// an Accept (and frames) in the original unversioned encoding.
-	ver := NegotiateVersion(msg.Hello.Version)
+	ver := NegotiateVersion(hello.Version)
 	acc := opt.Accept
 	if ver >= ProtocolV2 {
 		acc.Version = ver
@@ -183,6 +199,11 @@ func Serve(conn io.ReadWriter, opt ServerOptions) error {
 			// clock-corrected end-to-end frame age.
 			pkt.FlightID = fid
 			pkt.SendUnixMicro = t0.UnixMicro()
+		}
+		if opt.Tap != nil {
+			// The relay fan-out point: subscribers see the exact packet the
+			// player gets (same index, flight ID, RoI), encoded once.
+			opt.Tap(pkt)
 		}
 		if err := WriteFrame(conn, pkt); err != nil {
 			sendErr = fmt.Errorf("stream: writing frame %d: %w", i, err)
@@ -289,6 +310,41 @@ func (c *Client) Handshake(h Hello) (Accept, error) {
 	if err != nil {
 		return Accept{}, fmt.Errorf("stream: writing hello: %w", err)
 	}
+	sendUS := int64(0)
+	if h.Version >= ProtocolV2 {
+		sendUS = h.SendUnixMicro
+	}
+	return c.awaitAccept(sendUS)
+}
+
+// Subscribe attaches this client to an existing publish channel as a
+// spectator (v3): instead of a Hello opening a game session, the Subscribe
+// asks for the channel's cached geometry, the cached keyframe and the live
+// GOP tail. The timestamp exchange is the same as Handshake's, so
+// spectators get clock sync too. A missing channel comes back as a
+// RejectedError with code RejectUnknownChannel.
+func (c *Client) Subscribe(sub Subscribe) (Accept, error) {
+	t0 := time.Now()
+	if sub.Version == 0 {
+		sub.Version = ProtocolVersion
+	}
+	if sub.SendUnixMicro == 0 {
+		sub.SendUnixMicro = t0.UnixMicro()
+	}
+	c.writeMu.Lock()
+	err := WriteSubscribe(c.conn, sub)
+	c.writeMu.Unlock()
+	if err != nil {
+		return Accept{}, fmt.Errorf("stream: writing subscribe: %w", err)
+	}
+	return c.awaitAccept(sub.SendUnixMicro)
+}
+
+// awaitAccept reads the server's Accept (or Reject) and stores the stream
+// geometry. When sendUS is non-zero (the client-clock send time of the
+// opening message) and the server answered with a v2+ clock pair, it also
+// completes the Cristian offset + RTT estimate.
+func (c *Client) awaitAccept(sendUS int64) (Accept, error) {
 	msg, err := ReadMsg(c.conn)
 	t3 := time.Now()
 	if err != nil {
@@ -301,13 +357,13 @@ func (c *Client) Handshake(h Hello) (Accept, error) {
 		return Accept{}, fmt.Errorf("%w: expected accept, got %v", ErrProtocol, msg.Type)
 	}
 	c.cfg = *msg.Accept
-	if h.Version >= ProtocolV2 && c.cfg.Version >= ProtocolV2 && c.cfg.RecvUnixMicro > 0 {
+	if sendUS > 0 && c.cfg.Version >= ProtocolV2 && c.cfg.RecvUnixMicro > 0 {
 		// NTP-style two-sample estimate: T0/T3 on the client clock, T1/T2
 		// on the server's.
 		t1 := c.cfg.RecvUnixMicro
 		t2 := c.cfg.SendUnixMicro
-		offUS := ((t1 - h.SendUnixMicro) + (t2 - t3.UnixMicro())) / 2
-		rttUS := (t3.UnixMicro() - h.SendUnixMicro) - (t2 - t1)
+		offUS := ((t1 - sendUS) + (t2 - t3.UnixMicro())) / 2
+		rttUS := (t3.UnixMicro() - sendUS) - (t2 - t1)
 		if rttUS < 0 {
 			rttUS = 0
 		}

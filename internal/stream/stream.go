@@ -3,17 +3,20 @@
 // protocol) play in the paper's software setup (§V-A). It is a small
 // length-prefixed message protocol over any reliable byte stream:
 //
-//	client → server  Hello   (device name, negotiated RoI window, scale,
-//	                          protocol version + client clock, v2)
-//	server → client  Accept  (stream geometry: resolution, GOP, quantizer,
-//	                          negotiated version + server clock pair, v2)
-//	server → client  Reject  (refusal: reason code + detail, then close)
-//	server → client  Frame   (index, codec frame type, RoI coords, payload;
-//	                          v2 adds the server's flight ID + send time)
-//	client → server  Input   (sequence number, opaque input event payload)
-//	client → server  Stats   (periodic client-side latency/age percentiles
-//	                          and drop counts — the telemetry backchannel)
-//	either direction Bye     (clean shutdown)
+//	client → server  Hello     (device name, negotiated RoI window, scale,
+//	                            protocol version + client clock, v2;
+//	                            publish-channel name, v3)
+//	client → server  Subscribe (spectate an existing publish channel instead
+//	                            of opening a game session, v3)
+//	server → client  Accept    (stream geometry: resolution, GOP, quantizer,
+//	                            negotiated version + server clock pair, v2)
+//	server → client  Reject    (refusal: reason code + detail, then close)
+//	server → client  Frame     (index, codec frame type, RoI coords, payload;
+//	                            v2 adds the server's flight ID + send time)
+//	client → server  Input     (sequence number, opaque input event payload)
+//	client → server  Stats     (periodic client-side latency/age percentiles
+//	                            and drop counts — the telemetry backchannel)
+//	either direction Bye       (clean shutdown)
 //
 // The RoI coordinates riding alongside each frame are the paper's Fig. 6
 // step ❺: the depth-guided RoI is computed on the server and shipped with
@@ -32,6 +35,13 @@
 // (flight ID, send timestamp) are flagged in the frame's flags byte and
 // only sent on sessions that negotiated v2, so a v1 client never sees
 // bytes it cannot parse.
+//
+// Version 3 adds the publish/subscribe relay (DESIGN.md §14): a Hello may
+// carry a channel name (registering its session as the channel's
+// publisher), and a Subscribe message opens a spectator session on an
+// existing channel instead of a game session. The channel field rides
+// after the v2 extension, so a v3 Hello without a channel is one length
+// byte longer than a v2 one and a v1/v2 Hello is byte-identical to before.
 package stream
 
 import (
@@ -46,12 +56,14 @@ import (
 
 // Protocol versions. Version 1 is the original unversioned wire format;
 // version 2 adds handshake clock exchange, per-frame flight IDs + send
-// timestamps, and the Stats backchannel.
+// timestamps, and the Stats backchannel; version 3 adds the
+// publish/subscribe relay (channel field in Hello, Subscribe message).
 const (
 	ProtocolV1 = 1
 	ProtocolV2 = 2
+	ProtocolV3 = 3
 	// ProtocolVersion is the highest version this build speaks.
-	ProtocolVersion = ProtocolV2
+	ProtocolVersion = ProtocolV3
 )
 
 // MsgType identifies a protocol message.
@@ -66,6 +78,7 @@ const (
 	MsgBye
 	MsgReject
 	MsgStats
+	MsgSubscribe
 )
 
 func (t MsgType) String() string {
@@ -84,6 +97,8 @@ func (t MsgType) String() string {
 		return "reject"
 	case MsgStats:
 		return "stats"
+	case MsgSubscribe:
+		return "subscribe"
 	default:
 		return fmt.Sprintf("MsgType(%d)", uint8(t))
 	}
@@ -110,6 +125,11 @@ type Hello struct {
 	// the Hello was written — T0 of the Cristian offset estimate. Filled
 	// by Client.Handshake on v2 handshakes; 0 on v1.
 	SendUnixMicro int64
+	// Channel, when non-empty on a v3+ hello, registers this session as
+	// the publisher of the named relay channel: spectators can then attach
+	// to the same encoded GOP stream with a Subscribe. Empty means a solo
+	// session (the pre-v3 behaviour).
+	Channel string
 }
 
 // RejectCode classifies why the server refused a session.
@@ -123,6 +143,12 @@ const (
 	RejectCapacity
 	// RejectBadHello: the Hello failed validation.
 	RejectBadHello
+	// RejectUnknownChannel: a Subscribe named a channel with no live
+	// publisher.
+	RejectUnknownChannel
+	// RejectChannelTaken: a Hello tried to publish under a channel name
+	// that already has a live publisher.
+	RejectChannelTaken
 )
 
 func (c RejectCode) String() string {
@@ -133,6 +159,10 @@ func (c RejectCode) String() string {
 		return "capacity"
 	case RejectBadHello:
 		return "bad-hello"
+	case RejectUnknownChannel:
+		return "unknown-channel"
+	case RejectChannelTaken:
+		return "channel-taken"
 	default:
 		return fmt.Sprintf("RejectCode(%d)", uint8(c))
 	}
@@ -225,6 +255,24 @@ type StatsPacket struct {
 	AgeP50, AgeP99 time.Duration
 }
 
+// Subscribe is a v3 client's request to spectate an existing publish
+// channel instead of opening a game session: the server replies with the
+// channel's cached Accept geometry, replays the cached keyframe and fans
+// the live GOP tail out to the subscriber. Like a v3 Hello it carries the
+// client's version and send timestamp, so spectators get the same clock
+// sync as players.
+type Subscribe struct {
+	// Channel names the publish channel to attach to (required).
+	Channel string
+	// Device identifies the spectator (shows up in logs and flight dumps).
+	Device string
+	// Version is the highest protocol version the subscriber speaks.
+	Version int
+	// SendUnixMicro is the subscriber's clock when the Subscribe was
+	// written — T0 of its Cristian offset estimate.
+	SendUnixMicro int64
+}
+
 // writeMsg frames a message body.
 func writeMsg(w io.Writer, t MsgType, body []byte) error {
 	if len(body) > MaxBody {
@@ -279,10 +327,14 @@ func (b *byteReader) ReadByte() (byte, error) {
 // WriteHello sends a Hello message. Version ≤ 1 emits the original v1
 // encoding (exactly the pre-versioning bytes); version ≥ 2 appends the
 // version and send timestamp as trailing uvarints, which v1-era parsers of
-// this package reject but the v2 parser accepts from either era.
+// this package reject but the v2 parser accepts from either era; version
+// ≥ 3 additionally appends the publish-channel name (length + raw bytes).
 func WriteHello(w io.Writer, h Hello) error {
 	if len(h.Device) > 255 {
 		return fmt.Errorf("%w: device name too long", ErrProtocol)
+	}
+	if len(h.Channel) > 255 {
+		return fmt.Errorf("%w: channel name too long", ErrProtocol)
 	}
 	body := []byte{byte(len(h.Device))}
 	body = append(body, h.Device...)
@@ -291,6 +343,10 @@ func WriteHello(w io.Writer, h Hello) error {
 	if h.Version >= ProtocolV2 {
 		body = binary.AppendUvarint(body, uint64(h.Version))
 		body = binary.AppendUvarint(body, clampMicro(h.SendUnixMicro))
+	}
+	if h.Version >= ProtocolV3 {
+		body = binary.AppendUvarint(body, uint64(len(h.Channel)))
+		body = append(body, h.Channel...)
 	}
 	return writeMsg(w, MsgHello, body)
 }
@@ -307,26 +363,106 @@ func parseHello(body []byte) (Hello, error) {
 	}
 	h.Device = string(body[:n])
 	body = body[n:]
-	vals, err := readUvarintsAll(body, 2)
+	// The first two uvarints are required; the next two are the v2
+	// extension: version, then the client's send timestamp (a v1 hello
+	// leaves Version 0, meaning unversioned).
+	vals, rest, err := readUvarintsUpTo(body, 4)
 	if err != nil {
 		return h, err
 	}
+	if len(vals) < 2 {
+		return h, fmt.Errorf("%w: %d hello fields, want at least 2", ErrProtocol, len(vals))
+	}
 	h.RoIWindow = int(vals[0])
 	h.Scale = int(vals[1])
-	// Trailing fields are the v2 extension: version, then the client's
-	// send timestamp (a v1 hello leaves Version 0, meaning unversioned).
-	// Anything beyond is a future version's business — ignored, the same
-	// leniency future extensions will rely on.
 	if len(vals) >= 3 {
 		h.Version = int(vals[2])
 	}
 	if len(vals) >= 4 {
 		h.SendUnixMicro = int64(vals[3])
 	}
+	switch {
+	case h.Version >= ProtocolV3 && len(rest) > 0:
+		// The v3 extension: channel name as uvarint length + raw bytes.
+		// Absent means no channel (an older build announcing a future
+		// version never wrote one). Bytes beyond the channel belong to a
+		// future version — ignored, the leniency v4 will rely on.
+		clen, m := binary.Uvarint(rest)
+		if m <= 0 {
+			return h, fmt.Errorf("%w: truncated channel length", ErrProtocol)
+		}
+		rest = rest[m:]
+		if uint64(len(rest)) < clen {
+			return h, fmt.Errorf("%w: truncated channel name", ErrProtocol)
+		}
+		h.Channel = string(rest[:clen])
+	case len(rest) > 0:
+		// Pre-v3 leniency: trailing fields must still be well-formed
+		// uvarints (newer versions append fields, not arbitrary bytes).
+		if _, err := readUvarintsAll(rest, 0); err != nil {
+			return h, err
+		}
+	}
 	if h.RoIWindow <= 0 || h.Scale <= 0 {
 		return h, fmt.Errorf("%w: non-positive hello fields", ErrProtocol)
 	}
 	return h, nil
+}
+
+// WriteSubscribe sends a Subscribe message (v3): channel + device as
+// length-prefixed strings, then version + send timestamp as uvarints, with
+// the same trailing-field leniency the versioned Hello has.
+func WriteSubscribe(w io.Writer, s Subscribe) error {
+	if s.Channel == "" {
+		return fmt.Errorf("%w: subscribe without channel", ErrProtocol)
+	}
+	if len(s.Channel) > 255 {
+		return fmt.Errorf("%w: channel name too long", ErrProtocol)
+	}
+	if len(s.Device) > 255 {
+		return fmt.Errorf("%w: device name too long", ErrProtocol)
+	}
+	body := []byte{byte(len(s.Channel))}
+	body = append(body, s.Channel...)
+	body = append(body, byte(len(s.Device)))
+	body = append(body, s.Device...)
+	body = binary.AppendUvarint(body, uint64(s.Version))
+	body = binary.AppendUvarint(body, clampMicro(s.SendUnixMicro))
+	return writeMsg(w, MsgSubscribe, body)
+}
+
+func parseSubscribe(body []byte) (Subscribe, error) {
+	var s Subscribe
+	if len(body) < 1 {
+		return s, fmt.Errorf("%w: empty subscribe", ErrProtocol)
+	}
+	n := int(body[0])
+	body = body[1:]
+	if len(body) < n {
+		return s, fmt.Errorf("%w: truncated channel name", ErrProtocol)
+	}
+	s.Channel = string(body[:n])
+	body = body[n:]
+	if s.Channel == "" {
+		return s, fmt.Errorf("%w: subscribe without channel", ErrProtocol)
+	}
+	if len(body) < 1 {
+		return s, fmt.Errorf("%w: truncated subscribe", ErrProtocol)
+	}
+	n = int(body[0])
+	body = body[1:]
+	if len(body) < n {
+		return s, fmt.Errorf("%w: truncated device name", ErrProtocol)
+	}
+	s.Device = string(body[:n])
+	body = body[n:]
+	vals, err := readUvarintsAll(body, 2)
+	if err != nil {
+		return s, err
+	}
+	s.Version = int(vals[0])
+	s.SendUnixMicro = int64(vals[1])
+	return s, nil
 }
 
 // WriteAccept sends an Accept message. Version 0 (and 1) emits the
@@ -543,6 +679,22 @@ func readUvarintsAll(body []byte, min int) ([]uint64, error) {
 	return vals, nil
 }
 
+// readUvarintsUpTo reads up to max uvarints, stopping early when the body
+// runs out, and returns them plus the unread remainder — the shape of a
+// versioned message whose tail switches from uvarints to raw bytes.
+func readUvarintsUpTo(body []byte, max int) ([]uint64, []byte, error) {
+	vals := make([]uint64, 0, max)
+	for len(vals) < max && len(body) > 0 {
+		v, m := binary.Uvarint(body)
+		if m <= 0 {
+			return nil, nil, fmt.Errorf("%w: truncated varint field %d", ErrProtocol, len(vals))
+		}
+		vals = append(vals, v)
+		body = body[m:]
+	}
+	return vals, body, nil
+}
+
 func readUvarintsRest(body []byte, n int) ([]uint64, []byte, error) {
 	vals := make([]uint64, n)
 	for i := 0; i < n; i++ {
@@ -558,13 +710,14 @@ func readUvarintsRest(body []byte, n int) ([]uint64, []byte, error) {
 
 // Msg is a decoded protocol message; exactly one field is set.
 type Msg struct {
-	Type   MsgType
-	Hello  *Hello
-	Accept *Accept
-	Frame  *FramePacket
-	Input  *InputPacket
-	Reject *Reject
-	Stats  *StatsPacket
+	Type      MsgType
+	Hello     *Hello
+	Accept    *Accept
+	Frame     *FramePacket
+	Input     *InputPacket
+	Reject    *Reject
+	Stats     *StatsPacket
+	Subscribe *Subscribe
 }
 
 // ReadMsg reads and decodes the next message from r.
@@ -612,6 +765,12 @@ func ReadMsg(r io.Reader) (Msg, error) {
 			return Msg{}, err
 		}
 		out.Stats = &st
+	case MsgSubscribe:
+		sub, err := parseSubscribe(body)
+		if err != nil {
+			return Msg{}, err
+		}
+		out.Subscribe = &sub
 	default:
 		return Msg{}, fmt.Errorf("%w: unknown message type %d", ErrProtocol, t)
 	}

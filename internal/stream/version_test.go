@@ -18,8 +18,9 @@ func TestNegotiateVersion(t *testing.T) {
 		{0, ProtocolV1}, // unversioned v1 hello
 		{1, ProtocolV1},
 		{2, ProtocolV2},
-		{3, ProtocolV2}, // future client negotiates down to what we speak
-		{99, ProtocolV2},
+		{3, ProtocolV3},
+		{4, ProtocolV3}, // future client negotiates down to what we speak
+		{99, ProtocolV3},
 	}
 	for _, c := range cases {
 		if got := NegotiateVersion(c.client); got != c.want {
@@ -58,8 +59,8 @@ func TestHandshakeV2(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if cfg.Version != ProtocolV2 {
-		t.Fatalf("negotiated version = %d, want %d", cfg.Version, ProtocolV2)
+	if cfg.Version != ProtocolVersion {
+		t.Fatalf("negotiated version = %d, want %d", cfg.Version, ProtocolVersion)
 	}
 	clock := c.Clock()
 	if !clock.Synced {
@@ -140,7 +141,7 @@ func TestV1ClientNewServer(t *testing.T) {
 }
 
 // TestFutureClientNegotiatesDown: a client announcing a version newer than
-// the server speaks gets the server's best (v2), not an error.
+// the server speaks gets the server's best, not an error.
 func TestFutureClientNegotiatesDown(t *testing.T) {
 	server, client := net.Pipe()
 	defer server.Close()
@@ -152,8 +153,8 @@ func TestFutureClientNegotiatesDown(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if cfg.Version != ProtocolV2 {
-		t.Fatalf("negotiated %d, want %d", cfg.Version, ProtocolV2)
+	if cfg.Version != ProtocolVersion {
+		t.Fatalf("negotiated %d, want %d", cfg.Version, ProtocolVersion)
 	}
 	for {
 		if _, err := c.RecvFrame(); err == io.EOF {
@@ -221,6 +222,33 @@ func TestOldServerRejectsV2Hello(t *testing.T) {
 	}
 	if h.Device != "d" || h.RoIWindow != 32 || h.Scale != 2 {
 		t.Fatalf("old parse = %+v", h)
+	}
+}
+
+// TestHelloChannelAbsentLeniency: an old v2 build that announces a newer
+// version (its own TestFutureClientNegotiatesDown behaviour) writes a v2
+// hello body with Version >= 3 but no channel field. The v3 parser must
+// treat the absent field as "no channel" — only a *truncated* channel may
+// error — or every old future-proofed client breaks against a new server.
+func TestHelloChannelAbsentLeniency(t *testing.T) {
+	// A v2-layout hello body claiming version 3: device, then the four
+	// uvarint fields, nothing after.
+	body := []byte{1, 'd'}
+	for _, v := range []uint64{32, 2, 3, 12345} { // roi, scale, version, sendUS
+		body = binary.AppendUvarint(body, v)
+	}
+	h, err := parseHello(body)
+	if err != nil {
+		t.Fatalf("v3 hello without channel bytes rejected: %v", err)
+	}
+	if h.Version != 3 || h.Channel != "" {
+		t.Fatalf("parsed %+v, want version 3 with no channel", h)
+	}
+	// A truncated channel (length byte promises more than the body holds)
+	// is still an error, not silently empty.
+	bad := append(append([]byte(nil), body...), 5, 'a')
+	if _, err := parseHello(bad); err == nil {
+		t.Fatal("truncated channel field accepted")
 	}
 }
 

@@ -231,6 +231,24 @@ func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
 	return h
 }
 
+// Unregister removes the named metric — counter, gauge, gauge func or
+// histogram — from the registry, so per-session metrics (whose names embed
+// a remote address or channel) don't accumulate without bound under
+// session churn. Handles already held keep working; their updates just no
+// longer appear in snapshots. Re-creating the name later starts a fresh
+// metric. No-op on a nil registry or an unknown name.
+func (r *Registry) Unregister(name string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.counts, name)
+	delete(r.gauges, name)
+	delete(r.gaugeFns, name)
+	delete(r.hists, name)
+}
+
 // LatencyBuckets is the default bucket ladder for *_seconds histograms:
 // 0.5 ms to ~8 s in powers of two, bracketing both the 16.66 ms frame
 // budget and slow simulated runs.

@@ -34,6 +34,30 @@ func TestNilRegistryIsNoOp(t *testing.T) {
 	}
 }
 
+func TestUnregister(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c").Inc()
+	r.Gauge("g").Set(9)
+	r.GaugeFunc("gf", func() int64 { return 1 })
+	r.Histogram("h", LatencyBuckets()).Observe(0.5)
+	for _, name := range []string{"c", "g", "gf", "h"} {
+		r.Unregister(name)
+	}
+	s := r.Snapshot()
+	if len(s.Counters) != 0 || len(s.Gauges) != 0 || len(s.Histograms) != 0 {
+		t.Errorf("snapshot not empty after unregister: %+v", s)
+	}
+	// A re-registered name starts fresh — the old handle's state is gone
+	// from the registry even if a stale pointer still mutates it.
+	if r.Gauge("g").Set(1); r.Snapshot().Gauge("g") != 1 {
+		t.Error("re-registered gauge did not start fresh")
+	}
+	// Unknown names and nil registries are no-ops.
+	r.Unregister("never_registered")
+	var nilReg *Registry
+	nilReg.Unregister("g")
+}
+
 func TestCounterGaugeHistogram(t *testing.T) {
 	r := NewRegistry()
 	r.Counter("frames_total").Add(5)
