@@ -18,6 +18,8 @@
 //	gssr-client [-addr localhost:7007] [-device s8] [-scale 2] [-save out.ppm]
 //	            [-metrics :9091] [-flight client-flight.json] [-stats-every 60]
 //	            [-channel arena | -spectate arena]
+//	            [-reconnect 5] [-reconnect-base 500ms] [-reconnect-max 15s]
+//	            [-ping 2s]
 //
 // Spectating (DESIGN.md §14): with -channel, the session publishes its
 // encoded stream under that name on the server's relay; any number of
@@ -26,6 +28,15 @@
 // live tail of the same encode. A spectator session is receive-only — it
 // sends no input events — but keeps the full decode/upscale/SR path, the
 // flight recorder and the Stats backchannel.
+//
+// Fault tolerance (DESIGN.md §15): on v4 sessions the client heartbeats
+// (-ping) so the server can tell dead from slow, and -reconnect N redials a
+// dropped session up to N times with exponential backoff + jitter. A
+// publisher replays its resume token, reclaiming its parked channel so
+// spectators ride through the drop; a spectator simply re-subscribes.
+// Typed rejects steer the loop: busy/capacity waits (using the server's
+// suggested retry-after when present), while bad-hello, channel-taken and
+// unknown-channel are fatal — no retry will change the server's mind.
 package main
 
 import (
@@ -35,6 +46,7 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"math/rand"
 	"net"
 	"net/http"
 	"os"
@@ -65,6 +77,10 @@ func main() {
 	flag.IntVar(&cfg.statsEvery, "stats-every", 60, "send a Stats backchannel report every N frames (0 disables)")
 	flag.StringVar(&cfg.channel, "channel", "", "publish this session's stream under a channel name for spectators")
 	flag.StringVar(&cfg.spectate, "spectate", "", "join an existing channel as a spectator instead of opening a game session")
+	flag.IntVar(&cfg.reconnect, "reconnect", 0, "redial a dropped session up to N times (0 disables auto-reconnect)")
+	flag.DurationVar(&cfg.reconnectBase, "reconnect-base", 500*time.Millisecond, "initial reconnect backoff (doubles per attempt, with jitter)")
+	flag.DurationVar(&cfg.reconnectMax, "reconnect-max", 15*time.Second, "reconnect backoff ceiling")
+	flag.DurationVar(&cfg.ping, "ping", stream.DefaultPingInterval, "heartbeat interval on v4 sessions (0 disables pings)")
 	flag.Parse()
 	if cfg.channel != "" && cfg.spectate != "" {
 		log.Fatal("-channel and -spectate are mutually exclusive: publish or spectate, not both")
@@ -87,6 +103,10 @@ type clientConfig struct {
 	metricsAddr, flightPath  string
 	flightFrames, statsEvery int
 	channel, spectate        string
+
+	reconnect                   int
+	reconnectBase, reconnectMax time.Duration
+	ping                        time.Duration
 }
 
 // connect dials addr and performs the handshake, closing the connection on
@@ -121,7 +141,7 @@ func dialHandshake(addr string, hello stream.Hello) (net.Conn, *stream.Client, s
 		return nil, nil, stream.Accept{}, err
 	}
 	log.Printf("v2 handshake failed (%v); retrying with a v1 hello", err)
-	hello.Version, hello.SendUnixMicro, hello.Channel = 0, 0, ""
+	hello.Version, hello.SendUnixMicro, hello.Channel, hello.ResumeToken = 0, 0, "", ""
 	return connect(addr, hello)
 }
 
@@ -142,11 +162,130 @@ func dialSubscribe(addr string, sub stream.Subscribe) (net.Conn, *stream.Client,
 	return conn, c, cfg, nil
 }
 
+// fatalReject reports whether a typed reject can never succeed on retry:
+// the server is saying "you", not "not right now". Busy and capacity are
+// load conditions that drain; everything else is final.
+func fatalReject(code stream.RejectCode) bool {
+	return code != stream.RejectBusy && code != stream.RejectCapacity
+}
+
+// sessionState is everything that survives a reconnect: the telemetry
+// registry and flight recorder (one continuous window across sessions, so
+// the drop and the resume land in the same trace), the decode/SR engines,
+// and the aggregate frame counters the final report prints.
+type sessionState struct {
+	reg     *telemetry.Registry
+	rec     *frametrace.Recorder
+	ageHist *telemetry.Histogram
+	dec     *codec.Decoder
+	engine  sr.Engine
+
+	lastUp        *frame.Image
+	frames, bytes int
+	dropped       uint32
+	misses        uint32
+	statsSeq      uint32
+	reconnects    int
+	wDecode, wSR  []float64
+	wAge          []float64
+	resumeToken   string
+}
+
 func run(ctx context.Context, cc clientConfig) error {
 	dev, err := device.ProfileByName(cc.devName)
 	if err != nil {
 		return err
 	}
+	// The client-side half of the distributed frame trace: a flight
+	// recorder whose frame IDs are the server's flight IDs, plus an e2e
+	// frame-age histogram on the registry. Shared across reconnects — the
+	// trace shows the stall and the resume in one window.
+	st := &sessionState{
+		reg:    telemetry.NewRegistry(),
+		dec:    codec.NewDecoder(),
+		engine: sr.NewFast(sr.FastConfig{}),
+	}
+	st.rec = frametrace.New(frametrace.Config{Frames: cc.flightFrames, Metrics: st.reg})
+	st.rec.SetProcess("client")
+	st.ageHist = st.reg.Histogram("client_frame_age_seconds", telemetry.LatencyBuckets())
+	if cc.metricsAddr != "" {
+		if err := serveMetrics(cc.metricsAddr, st.reg, st.rec); err != nil {
+			return err
+		}
+	}
+
+	start := time.Now()
+	rng := rand.New(rand.NewSource(start.UnixNano()))
+	backoff := cc.reconnectBase
+	if backoff <= 0 {
+		backoff = 500 * time.Millisecond
+	}
+	attempt := 0
+	var sessErr error
+	for {
+		before := st.frames
+		sessErr = runSession(ctx, cc, dev, st)
+		if sessErr == nil || ctx.Err() != nil {
+			sessErr = nil
+			break
+		}
+		// A session that made progress earns a fresh retry budget: the
+		// budget bounds consecutive failures, not total drops over hours.
+		if st.frames > before {
+			attempt, backoff = 0, cc.reconnectBase
+		}
+		wait := backoff + time.Duration(rng.Int63n(int64(backoff)/2+1))
+		var rej *stream.RejectedError
+		if errors.As(sessErr, &rej) {
+			if fatalReject(rej.Code) {
+				break
+			}
+			if rej.RetryAfter > 0 {
+				wait = rej.RetryAfter
+			}
+		}
+		if cc.reconnect <= 0 || attempt >= cc.reconnect {
+			break
+		}
+		attempt++
+		st.reconnects++
+		log.Printf("session lost (%v); reconnect %d/%d in %v", sessErr, attempt, cc.reconnect, wait.Round(time.Millisecond))
+		select {
+		case <-time.After(wait):
+		case <-ctx.Done():
+			sessErr = nil
+		}
+		if ctx.Err() != nil {
+			sessErr = nil
+			break
+		}
+		if backoff < cc.reconnectMax {
+			backoff = min(backoff*2, cc.reconnectMax)
+		}
+	}
+	elapsed := time.Since(start)
+	log.Printf("received %d frames, %.1f KB total, %.1f FPS wall-clock (%d dropped, %d deadline misses, %d reconnects)",
+		st.frames, float64(st.bytes)/1024, float64(st.frames)/elapsed.Seconds(), st.dropped, st.misses, st.reconnects)
+	if cc.flightPath != "" {
+		if err := writeFlight(cc.flightPath, st.rec); err != nil {
+			return err
+		}
+		log.Printf("flight dump written to %s", cc.flightPath)
+	}
+	if cc.save != "" && st.lastUp != nil {
+		if err := st.lastUp.SavePPM(cc.save); err != nil {
+			return err
+		}
+		log.Printf("last upscaled frame saved to %s", cc.save)
+	}
+	return sessErr
+}
+
+// runSession dials, handshakes and runs one connection's receive loop,
+// folding results into st. It returns nil on a clean end (server Bye,
+// source EOF, or an interrupt) and the terminal error otherwise — the
+// reconnect loop in run decides what to do with it.
+func runSession(ctx context.Context, cc clientConfig, dev *device.Profile, st *sessionState) error {
 	// Step ❶ of Fig. 6: the capability probe determines the largest RoI the
 	// NPU can super-resolve in real time; it is announced in the Hello. For
 	// the small demo streams we also clamp to a fraction of the frame.
@@ -155,6 +294,7 @@ func run(ctx context.Context, cc clientConfig) error {
 		conn net.Conn
 		c    *stream.Client
 		cfg  stream.Accept
+		err  error
 	)
 	if cc.spectate != "" {
 		conn, c, cfg, err = dialSubscribe(cc.addr, stream.Subscribe{Channel: cc.spectate, Device: dev.Name})
@@ -162,6 +302,7 @@ func run(ctx context.Context, cc clientConfig) error {
 		conn, c, cfg, err = dialHandshake(cc.addr, stream.Hello{
 			Device: dev.Name, RoIWindow: min(roiWin, 64), Scale: cc.scale,
 			Version: stream.ProtocolVersion, Channel: cc.channel,
+			ResumeToken: st.resumeToken,
 		})
 	}
 	if err != nil {
@@ -169,6 +310,11 @@ func run(ctx context.Context, cc clientConfig) error {
 	}
 	defer conn.Close()
 	v2 := cfg.Version >= stream.ProtocolV2
+	if cfg.Token != "" {
+		// The v4 resume token: replayed on the next dial, it correlates
+		// this client across reconnects and reclaims a parked channel.
+		st.resumeToken = cfg.Token
+	}
 	clock := c.Clock()
 	switch {
 	case cc.spectate != "":
@@ -182,21 +328,8 @@ func run(ctx context.Context, cc clientConfig) error {
 		log.Printf("clock sync: offset %v, rtt %v (offset error ≤ %v)",
 			clock.Offset.Round(time.Microsecond), clock.RTT.Round(time.Microsecond), (clock.RTT / 2).Round(time.Microsecond))
 	}
-
-	// The client-side half of the distributed frame trace: a flight
-	// recorder whose frame IDs are the server's flight IDs, plus an e2e
-	// frame-age histogram on the registry.
-	reg := telemetry.NewRegistry()
-	rec := frametrace.New(frametrace.Config{Frames: cc.flightFrames, Metrics: reg})
-	rec.SetProcess("client")
 	if clock.Synced {
-		rec.SetClockSync(clock.Offset, clock.RTT)
-	}
-	ageHist := reg.Histogram("client_frame_age_seconds", telemetry.LatencyBuckets())
-	if cc.metricsAddr != "" {
-		if err := serveMetrics(cc.metricsAddr, reg, rec); err != nil {
-			return err
-		}
+		st.rec.SetClockSync(clock.Offset, clock.RTT)
 	}
 
 	// A signal mid-stream sends the Bye and closes the connection,
@@ -220,15 +353,27 @@ func run(ctx context.Context, cc clientConfig) error {
 		}
 	}()
 
-	dec := codec.NewDecoder()
-	engine := sr.NewFast(sr.FastConfig{})
-	var lastUp *frame.Image
-	frames, bytes := 0, 0
-	var dropped, misses, statsSeq uint32
-	// Per-window samples (µs) for the backchannel percentiles.
-	var wDecode, wSR, wAge []float64
-	deadline := rec.Deadline()
-	start := time.Now()
+	// Heartbeats (v4): the liveness signal the server's reaper watches for.
+	// The loop stops with the session; a failed ping just means the
+	// connection is going down, which the receive loop will surface.
+	if cfg.Version >= stream.ProtocolV4 && cc.ping > 0 {
+		go func() {
+			t := time.NewTicker(cc.ping)
+			defer t.Stop()
+			for {
+				select {
+				case <-sessionDone:
+					return
+				case <-t.C:
+					if err := c.SendPing(); err != nil {
+						return
+					}
+				}
+			}
+		}()
+	}
+
+	deadline := st.rec.Deadline()
 
 	// Send a few demo input events (the interactive path). Spectators are
 	// receive-only: they have no say in the game.
@@ -261,21 +406,21 @@ func run(ctx context.Context, cc clientConfig) error {
 		}
 		// Adopt the server's flight ID (v1 servers send none; fall back to
 		// local IDs) so both processes' dumps correlate by frame identity.
-		fid := rec.BeginFrameAt(pkt.FlightID, int(pkt.Index))
-		rec.Span(fid, "recv", "recv", tRecv, dRecv)
+		fid := st.rec.BeginFrameAt(pkt.FlightID, int(pkt.Index))
+		st.rec.Span(fid, "recv", "recv", tRecv, dRecv)
 
 		tDec := time.Now()
-		df, err := dec.Decode(pkt.Payload)
+		df, err := st.dec.Decode(pkt.Payload)
 		dDec := time.Since(tDec)
 		if err != nil {
 			// A corrupt frame is dropped, not fatal: the display freezes one
 			// frame and the drop rides the next Stats report to the server.
 			log.Printf("frame %d: dropped: %v", pkt.Index, err)
-			rec.SetFrozen(fid)
-			dropped++
+			st.rec.SetFrozen(fid)
+			st.dropped++
 			continue
 		}
-		rec.Span(fid, "decode", "decode", tDec, dDec)
+		st.rec.Span(fid, "decode", "decode", tDec, dDec)
 
 		// RoI-assisted upscale (Fig. 9).
 		tUp := time.Now()
@@ -284,7 +429,7 @@ func run(ctx context.Context, cc clientConfig) error {
 		if err != nil {
 			return err
 		}
-		rec.Span(fid, "upscale", "upscale", tUp, dUp)
+		st.rec.Span(fid, "upscale", "upscale", tUp, dUp)
 		roiRect := pkt.RoI.Clamp(df.Image.W, df.Image.H)
 		// A zero RoI is the server shedding to bilinear-only (the shed
 		// ladder, DESIGN.md §12): skip the DNN and keep the bilinear frame.
@@ -295,22 +440,22 @@ func run(ctx context.Context, cc clientConfig) error {
 			if err != nil {
 				return err
 			}
-			hr, err := engine.Upscale(roiImg.Compact(), cc.scale)
+			hr, err := st.engine.Upscale(roiImg.Compact(), cc.scale)
 			dSR = time.Since(tSR)
 			if err != nil {
 				return err
 			}
-			rec.Span(fid, "sr", "sr", tSR, dSR)
+			st.rec.Span(fid, "sr", "sr", tSR, dSR)
 			tMerge := time.Now()
 			if err := upscale.Merge(base, hr, roiRect, cc.scale); err != nil {
 				return err
 			}
 			dMerge = time.Since(tMerge)
-			rec.Span(fid, "merge", "merge", tMerge, dMerge)
+			st.rec.Span(fid, "merge", "merge", tMerge, dMerge)
 		}
 		// Present: the merged frame is ready for the display at this instant.
 		tPresent := time.Now()
-		rec.Span(fid, "present", "present", tPresent, 0)
+		st.rec.Span(fid, "present", "present", tPresent, 0)
 
 		// End-to-end frame age, on the server's clock via the handshake
 		// offset: how stale this frame is as the user sees it (Fig. 9's
@@ -320,9 +465,9 @@ func run(ctx context.Context, cc clientConfig) error {
 			if age < 0 {
 				age = 0
 			}
-			rec.SetAge(fid, age)
-			ageHist.ObserveDuration(age)
-			wAge = append(wAge, float64(age.Microseconds()))
+			st.rec.SetAge(fid, age)
+			st.ageHist.ObserveDuration(age)
+			st.wAge = append(st.wAge, float64(age.Microseconds()))
 		}
 
 		// Client-side deadline accounting: decode through merge must fit the
@@ -332,16 +477,16 @@ func run(ctx context.Context, cc clientConfig) error {
 		latScratch[1] = frametrace.StageLatency{Name: "upscale", D: dUp}
 		latScratch[2] = frametrace.StageLatency{Name: "sr", D: dSR}
 		latScratch[3] = frametrace.StageLatency{Name: "merge", D: dMerge}
-		rec.ObserveDeadline(fid, latScratch[:])
+		st.rec.ObserveDeadline(fid, latScratch[:])
 		if dDec+dUp+dSR+dMerge > deadline {
-			misses++
+			st.misses++
 		}
-		wDecode = append(wDecode, float64(dDec.Microseconds()))
-		wSR = append(wSR, float64(dSR.Microseconds()))
+		st.wDecode = append(st.wDecode, float64(dDec.Microseconds()))
+		st.wSR = append(st.wSR, float64(dSR.Microseconds()))
 
-		lastUp = base
-		frames++
-		bytes += len(pkt.Payload)
+		st.lastUp = base
+		st.frames++
+		st.bytes += len(pkt.Payload)
 		if pkt.Keyenc {
 			log.Printf("frame %d (reference): %d B, RoI %v", pkt.Index, len(pkt.Payload), pkt.RoI)
 		}
@@ -349,44 +494,32 @@ func run(ctx context.Context, cc clientConfig) error {
 		// The telemetry backchannel: windowed percentiles every N frames,
 		// piggybacked on the input path (v2 sessions only — a v1 server
 		// stops reading input at the first unknown message).
-		if v2 && cc.statsEvery > 0 && frames%cc.statsEvery == 0 {
-			st := stream.StatsPacket{
-				Seq: statsSeq, WindowFrames: uint32(len(wDecode)),
-				Dropped: dropped, Misses: misses,
-				DecodeP50: pctDur(wDecode, 50), DecodeP99: pctDur(wDecode, 99),
-				SRP50: pctDur(wSR, 50), SRP99: pctDur(wSR, 99),
-				AgeP50: pctDur(wAge, 50), AgeP99: pctDur(wAge, 99),
+		if v2 && cc.statsEvery > 0 && st.frames%cc.statsEvery == 0 {
+			p := stream.StatsPacket{
+				Seq: st.statsSeq, WindowFrames: uint32(len(st.wDecode)),
+				Dropped: st.dropped, Misses: st.misses,
+				DecodeP50: pctDur(st.wDecode, 50), DecodeP99: pctDur(st.wDecode, 99),
+				SRP50: pctDur(st.wSR, 50), SRP99: pctDur(st.wSR, 99),
+				AgeP50: pctDur(st.wAge, 50), AgeP99: pctDur(st.wAge, 99),
 			}
-			statsSeq++
-			wDecode, wSR, wAge = wDecode[:0], wSR[:0], wAge[:0]
-			if err := c.SendStats(st); err != nil {
+			st.statsSeq++
+			st.wDecode, st.wSR, st.wAge = st.wDecode[:0], st.wSR[:0], st.wAge[:0]
+			if err := c.SendStats(p); err != nil {
 				// Not fatal: a report can race the server's end-of-stream
 				// close. A real disconnect surfaces on the receive path.
-				log.Printf("stats report %d not delivered: %v", st.Seq, err)
+				log.Printf("stats report %d not delivered: %v", p.Seq, err)
 			}
 		}
 	}
-	elapsed := time.Since(start)
+	if rtt, pongs := c.PingRTT(); pongs > 0 {
+		log.Printf("heartbeat: %d pongs, last rtt %v", pongs, rtt.Round(time.Microsecond))
+	}
 	// Clean shutdown: say goodbye before dropping the connection (the
 	// interrupt path already did).
 	select {
 	case <-interrupted:
 	default:
 		_ = c.Bye()
-	}
-	log.Printf("received %d frames, %.1f KB total, %.1f FPS wall-clock (%d dropped, %d deadline misses)",
-		frames, float64(bytes)/1024, float64(frames)/elapsed.Seconds(), dropped, misses)
-	if cc.flightPath != "" {
-		if err := writeFlight(cc.flightPath, rec); err != nil {
-			return err
-		}
-		log.Printf("flight dump written to %s", cc.flightPath)
-	}
-	if cc.save != "" && lastUp != nil {
-		if err := lastUp.SavePPM(cc.save); err != nil {
-			return err
-		}
-		log.Printf("last upscaled frame saved to %s", cc.save)
 	}
 	return nil
 }

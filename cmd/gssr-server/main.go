@@ -54,9 +54,11 @@ import (
 	"net"
 	"net/http"
 	"sync/atomic"
+	"time"
 
 	"gamestreamsr/internal/bufpool"
 	"gamestreamsr/internal/codec"
+	"gamestreamsr/internal/faultnet"
 	"gamestreamsr/internal/frame"
 	"gamestreamsr/internal/games"
 	"gamestreamsr/internal/parallel"
@@ -84,12 +86,16 @@ func main() {
 	shed := flag.Bool("shed", false, "degrade over-budget sessions along the shed ladder (needs -flight)")
 	shedStreak := flag.Int("shed-streak", 8, "consecutive deadline misses per shed-ladder escalation")
 	shedRecover := flag.Int("shed-recover", 240, "consecutive on-budget frames per shed-ladder recovery")
+	idleTimeout := flag.Duration("idle-timeout", 0, "reap v4 sessions silent (no heartbeat) this long (0 = default, negative disables)")
+	parkGrace := flag.Duration("park-grace", 0, "keep a dropped publisher's channel parked this long awaiting a resume reclaim (0 = default, negative disables)")
+	fault := flag.String("fault", "", "chaos script applied to every accepted connection, e.g. \"latency=5ms,jitter=2ms,reset@96KB\" (see internal/faultnet)")
 	flag.Parse()
 
 	cfg := serverConfig{
 		addr: *addr, gameID: *gameID, frames: *frames, width: *width, height: *height,
 		gop: *gop, qstep: *qstep, metricsAddr: *metricsAddr, flight: *flight,
 		maxSessions: *maxSessions, maxSubs: *maxSubs, subQueue: *subQueue,
+		idleTimeout: *idleTimeout, parkGrace: *parkGrace, fault: *fault,
 	}
 	if *admission {
 		cfg.admission = &stream.AdmissionPolicy{MinSlack: *admissionSlack}
@@ -111,6 +117,8 @@ type serverConfig struct {
 	metricsAddr                     string
 	admission                       *stream.AdmissionPolicy
 	shed                            *stream.ShedPolicy
+	idleTimeout, parkGrace          time.Duration
+	fault                           string
 }
 
 func run(cfg serverConfig) error {
@@ -133,6 +141,17 @@ func run(cfg serverConfig) error {
 		return err
 	}
 	defer l.Close()
+	if cfg.fault != "" {
+		// Chaos mode: every accepted connection runs the fault script
+		// (events fire on the first connection only, so a scripted reset
+		// kills one session and its reconnect gets through).
+		script, err := faultnet.ParseScript(cfg.fault)
+		if err != nil {
+			return err
+		}
+		l = faultnet.WrapListener(l, script)
+		log.Printf("fault injection armed: %q", cfg.fault)
+	}
 	log.Printf("serving %s (%d frames at %dx%d) on %s", g, frames, width, height, l.Addr())
 
 	// Each client gets its own encoder + RoI detector sized to the RoI
@@ -149,6 +168,8 @@ func run(cfg serverConfig) error {
 		Sched:           parallel.Default(),
 		Admission:       cfg.admission,
 		Shed:            cfg.shed,
+		IdleTimeout:     cfg.idleTimeout,
+		ParkGrace:       cfg.parkGrace,
 		OnInput: func(remote string, in stream.InputPacket) {
 			log.Printf("input from %s #%d: %q", remote, in.Seq, in.Payload)
 		},

@@ -1,0 +1,255 @@
+package faultnet
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// pipePair returns a wrapped client conn talking to a raw server conn.
+func pipePair(script Script) (*Conn, net.Conn) {
+	a, b := net.Pipe()
+	return Wrap(a, script), b
+}
+
+func TestPassthrough(t *testing.T) {
+	c, peer := pipePair(Script{})
+	defer c.Close()
+	defer peer.Close()
+	go func() { peer.Write([]byte("hello")) }()
+	buf := make([]byte, 5)
+	if _, err := io.ReadFull(c, buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "hello" {
+		t.Fatalf("read %q", buf)
+	}
+}
+
+func TestLatencyDelaysReads(t *testing.T) {
+	const lat = 30 * time.Millisecond
+	c, peer := pipePair(Script{Latency: lat})
+	defer c.Close()
+	defer peer.Close()
+	go func() { peer.Write([]byte("x")) }()
+	t0 := time.Now()
+	if _, err := c.Read(make([]byte, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(t0); d < lat {
+		t.Fatalf("read returned after %v, want >= %v", d, lat)
+	}
+}
+
+func TestJitterDeterministicPerSeed(t *testing.T) {
+	// Two conns with the same seed must draw identical jitter sequences.
+	draw := func(seed int64) []time.Duration {
+		c := Wrap(nil, Script{Seed: seed, Jitter: time.Second})
+		var out []time.Duration
+		for i := 0; i < 8; i++ {
+			out = append(out, time.Duration(c.rng.Int63n(int64(c.script.Jitter))))
+		}
+		return out
+	}
+	a, b := draw(42), draw(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("seed 42 diverged at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	diff := false
+	for i, v := range draw(43) {
+		if v != a[i] {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Fatal("different seeds produced identical jitter")
+	}
+}
+
+func TestPartialWrites(t *testing.T) {
+	c, peer := pipePair(Script{MaxWrite: 3})
+	defer c.Close()
+	defer peer.Close()
+	msg := []byte("0123456789")
+	got := make(chan []byte, 1)
+	go func() {
+		buf := make([]byte, len(msg))
+		if _, err := io.ReadFull(peer, buf); err != nil {
+			got <- nil
+			return
+		}
+		got <- buf
+	}()
+	n, err := c.Write(msg)
+	if err != nil || n != len(msg) {
+		t.Fatalf("write = %d, %v", n, err)
+	}
+	if buf := <-got; !bytes.Equal(buf, msg) {
+		t.Fatalf("peer read %q", buf)
+	}
+}
+
+func TestBandwidthCapPacesWrites(t *testing.T) {
+	// 1 KB at 10 KB/s must take >= ~100ms.
+	c, peer := pipePair(Script{BandwidthBps: 10 << 10})
+	defer c.Close()
+	defer peer.Close()
+	go io.Copy(io.Discard, peer)
+	t0 := time.Now()
+	if _, err := c.Write(make([]byte, 1<<10)); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(t0); d < 80*time.Millisecond {
+		t.Fatalf("1KB at 10KB/s took %v, want >= 80ms", d)
+	}
+}
+
+func TestResetAtBytes(t *testing.T) {
+	c, peer := pipePair(Script{Events: []Event{{AtBytes: 8, Action: Reset}}})
+	defer c.Close()
+	defer peer.Close()
+	go io.Copy(io.Discard, peer)
+	if _, err := c.Write(make([]byte, 8)); err != nil {
+		t.Fatalf("write before threshold: %v", err)
+	}
+	_, err := c.Write([]byte("x"))
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("write past reset = %v, want ErrInjected", err)
+	}
+	// The reset killed the underlying conn for the peer too.
+	peer.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := peer.Read(make([]byte, 1)); err == nil {
+		t.Fatal("peer still readable after reset")
+	}
+}
+
+func TestStallDelaysOneOp(t *testing.T) {
+	const stall = 50 * time.Millisecond
+	c, peer := pipePair(Script{Events: []Event{{AtBytes: 4, Action: StallWrite, Dur: stall}}})
+	defer c.Close()
+	defer peer.Close()
+	go io.Copy(io.Discard, peer)
+	if _, err := c.Write(make([]byte, 4)); err != nil {
+		t.Fatal(err)
+	}
+	t0 := time.Now()
+	if _, err := c.Write([]byte("y")); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(t0); d < stall {
+		t.Fatalf("stalled write took %v, want >= %v", d, stall)
+	}
+	// One-shot: the next write is fast again.
+	t0 = time.Now()
+	if _, err := c.Write([]byte("z")); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(t0); d > stall {
+		t.Fatalf("stall not one-shot: next write took %v", d)
+	}
+}
+
+func TestBlackholeBlocksUntilClose(t *testing.T) {
+	c, peer := pipePair(Script{Events: []Event{{AtBytes: 2, Action: Blackhole}}})
+	defer peer.Close()
+	go io.Copy(io.Discard, peer)
+	if _, err := c.Write(make([]byte, 2)); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Write([]byte("swallowed"))
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		t.Fatalf("blackholed write returned early: %v", err)
+	case <-time.After(100 * time.Millisecond):
+	}
+	c.Close()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrInjected) {
+			t.Fatalf("blackholed write = %v, want ErrInjected", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("blackholed write never released by Close")
+	}
+}
+
+func TestListenerWrapsAndSkipsEventsAfterFirst(t *testing.T) {
+	inner, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := WrapListener(inner, Script{Seed: 9, Events: []Event{{AtBytes: 1, Action: Reset}}})
+	defer l.Close()
+	accepted := make(chan *Conn, 2)
+	go func() {
+		for i := 0; i < 2; i++ {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			accepted <- conn.(*Conn)
+		}
+	}()
+	for i := 0; i < 2; i++ {
+		c, err := net.Dial("tcp", l.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+	}
+	first, second := <-accepted, <-accepted
+	defer first.Close()
+	defer second.Close()
+	if len(first.pending) != 1 {
+		t.Fatalf("first conn has %d events, want 1", len(first.pending))
+	}
+	if len(second.pending) != 0 {
+		t.Fatalf("second conn has %d events, want 0 (reconnects must survive)", len(second.pending))
+	}
+	if first.script.Seed == second.script.Seed {
+		t.Fatal("accepted conns share a seed")
+	}
+}
+
+func TestParseScript(t *testing.T) {
+	s, err := ParseScript("seed=7,latency=5ms,jitter=2ms,bw=512KB,partial=256,reset@96KB,stallr@1500:40ms,blackhole@500ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Seed != 7 || s.Latency != 5*time.Millisecond || s.Jitter != 2*time.Millisecond {
+		t.Fatalf("shaping = %+v", s)
+	}
+	if s.BandwidthBps != 512<<10 || s.MaxWrite != 256 {
+		t.Fatalf("bw/partial = %d/%d", s.BandwidthBps, s.MaxWrite)
+	}
+	want := []Event{
+		{AtBytes: 96 << 10, Action: Reset},
+		{AtBytes: 1500, Action: StallRead, Dur: 40 * time.Millisecond},
+		{After: 500 * time.Millisecond, Action: Blackhole},
+	}
+	if len(s.Events) != len(want) {
+		t.Fatalf("events = %+v", s.Events)
+	}
+	for i, ev := range s.Events {
+		if ev != want[i] {
+			t.Fatalf("event %d = %+v, want %+v", i, ev, want[i])
+		}
+	}
+	if _, err := ParseScript(""); err != nil {
+		t.Fatalf("empty spec: %v", err)
+	}
+	for _, bad := range []string{"nope", "warp@1KB", "stallr@1KB", "bw=fast", "latency=soon"} {
+		if _, err := ParseScript(bad); err == nil {
+			t.Fatalf("spec %q accepted", bad)
+		}
+	}
+}

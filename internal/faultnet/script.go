@@ -1,0 +1,154 @@
+package faultnet
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// ParseScript parses the comma-separated chaos spec the -fault flags
+// accept. Directives:
+//
+//	seed=N                 jitter-stream seed (default 1)
+//	latency=DUR            per-read propagation delay (e.g. 20ms)
+//	jitter=DUR             uniform extra [0,DUR) per read
+//	bw=BYTES               write bandwidth cap per second (e.g. 256KB, 2MB)
+//	partial=BYTES          split writes into chunks of at most BYTES
+//	reset@TRIG             mid-stream connection reset
+//	stallr@TRIG:DUR        block the next read for DUR
+//	stallw@TRIG:DUR        block the next write for DUR
+//	blackhole@TRIG         swallow the connection (reads/writes block)
+//
+// TRIG is either a byte count ("48KB", "100000") — the event fires when
+// the connection's cumulative bytes cross it, deterministically — or a
+// duration ("500ms") measured from the connection opening.
+//
+// Example: "seed=7,latency=5ms,jitter=2ms,bw=512KB,reset@96KB"
+func ParseScript(spec string) (Script, error) {
+	s := Script{Seed: 1}
+	if strings.TrimSpace(spec) == "" {
+		return s, nil
+	}
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		switch {
+		case strings.Contains(part, "="):
+			kv := strings.SplitN(part, "=", 2)
+			if err := s.setParam(kv[0], kv[1]); err != nil {
+				return Script{}, fmt.Errorf("faultnet: %q: %w", part, err)
+			}
+		case strings.Contains(part, "@"):
+			av := strings.SplitN(part, "@", 2)
+			ev, err := parseEvent(av[0], av[1])
+			if err != nil {
+				return Script{}, fmt.Errorf("faultnet: %q: %w", part, err)
+			}
+			s.Events = append(s.Events, ev)
+		default:
+			return Script{}, fmt.Errorf("faultnet: unknown directive %q", part)
+		}
+	}
+	return s, nil
+}
+
+func (s *Script) setParam(key, val string) error {
+	switch key {
+	case "seed":
+		n, err := strconv.ParseInt(val, 10, 64)
+		if err != nil {
+			return err
+		}
+		s.Seed = n
+	case "latency":
+		d, err := time.ParseDuration(val)
+		if err != nil {
+			return err
+		}
+		s.Latency = d
+	case "jitter":
+		d, err := time.ParseDuration(val)
+		if err != nil {
+			return err
+		}
+		s.Jitter = d
+	case "bw":
+		n, err := parseBytes(val)
+		if err != nil {
+			return err
+		}
+		s.BandwidthBps = n
+	case "partial":
+		n, err := parseBytes(val)
+		if err != nil {
+			return err
+		}
+		s.MaxWrite = int(n)
+	default:
+		return fmt.Errorf("unknown parameter %q", key)
+	}
+	return nil
+}
+
+func parseEvent(action, trig string) (Event, error) {
+	var ev Event
+	switch action {
+	case "reset":
+		ev.Action = Reset
+	case "blackhole":
+		ev.Action = Blackhole
+	case "stallr", "stallw":
+		if action == "stallr" {
+			ev.Action = StallRead
+		} else {
+			ev.Action = StallWrite
+		}
+		i := strings.LastIndex(trig, ":")
+		if i < 0 {
+			return ev, fmt.Errorf("stall needs TRIG:DUR")
+		}
+		d, err := time.ParseDuration(trig[i+1:])
+		if err != nil {
+			return ev, err
+		}
+		ev.Dur = d
+		trig = trig[:i]
+	default:
+		return ev, fmt.Errorf("unknown action %q", action)
+	}
+	// A byte-count trigger if it parses as one, else a duration.
+	if n, err := parseBytes(trig); err == nil {
+		ev.AtBytes = n
+		return ev, nil
+	}
+	d, err := time.ParseDuration(trig)
+	if err != nil {
+		return ev, fmt.Errorf("trigger %q is neither bytes nor duration", trig)
+	}
+	ev.After = d
+	return ev, nil
+}
+
+// parseBytes parses "4096", "48KB", "2MB" into a byte count.
+func parseBytes(s string) (int64, error) {
+	mult := int64(1)
+	switch {
+	case strings.HasSuffix(s, "KB"):
+		mult, s = 1<<10, strings.TrimSuffix(s, "KB")
+	case strings.HasSuffix(s, "MB"):
+		mult, s = 1<<20, strings.TrimSuffix(s, "MB")
+	case strings.HasSuffix(s, "B"):
+		s = strings.TrimSuffix(s, "B")
+	}
+	n, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return 0, err
+	}
+	if n < 0 {
+		return 0, fmt.Errorf("negative byte count %d", n)
+	}
+	return n * mult, nil
+}

@@ -12,20 +12,27 @@ import (
 // FuzzReadMsg drives the wire-format parser with arbitrary bytes; the
 // invariant is no panic and a well-formed message on success.
 func FuzzReadMsg(f *testing.F) {
-	var hello, helloV2, helloV3, accept, acceptV2, fr, frExt, input, st, sub, bye bytes.Buffer
+	var hello, helloV2, helloV3, helloV4, accept, acceptV2, acceptV4, fr, frExt, input, st, sub, rejRA, ping, pong, bye bytes.Buffer
 	WriteHello(&hello, Hello{Device: "seed", RoIWindow: 300, Scale: 2})
 	WriteHello(&helloV2, Hello{Device: "seed", RoIWindow: 300, Scale: 2, Version: ProtocolV2, SendUnixMicro: 1700000000000000})
 	WriteHello(&helloV3, Hello{Device: "seed", RoIWindow: 300, Scale: 2, Version: ProtocolV3, SendUnixMicro: 1700000000000000, Channel: "arena"})
+	WriteHello(&helloV4, Hello{Device: "seed", RoIWindow: 300, Scale: 2, Version: ProtocolV4, SendUnixMicro: 1700000000000000, Channel: "arena", ResumeToken: "aabbccdd"})
 	WriteAccept(&accept, Accept{Width: 1280, Height: 720, GOPSize: 60, QStep: 6})
 	WriteAccept(&acceptV2, Accept{Width: 1280, Height: 720, GOPSize: 60, QStep: 6, Version: ProtocolV2, RecvUnixMicro: 1, SendUnixMicro: 2})
+	WriteAccept(&acceptV4, Accept{Width: 1280, Height: 720, GOPSize: 60, QStep: 6, Version: ProtocolV4, RecvUnixMicro: 1, SendUnixMicro: 2, Token: "aabbccdd"})
 	WriteFrame(&fr, FramePacket{Index: 7, Keyenc: true, RoI: frame.Rect{X: 1, Y: 2, W: 3, H: 4}, Payload: []byte("data")})
 	WriteFrame(&frExt, FramePacket{Index: 7, FlightID: 8, SendUnixMicro: 1700000000000000, Payload: []byte("data")})
 	WriteInput(&input, InputPacket{Seq: 9, Payload: []byte("in")})
 	WriteStats(&st, StatsPacket{Seq: 1, WindowFrames: 60, AgeP99: 20 * time.Millisecond})
 	WriteSubscribe(&sub, Subscribe{Channel: "arena", Device: "seed", Version: ProtocolV3, SendUnixMicro: 1700000000000000})
+	WriteReject(&rejRA, Reject{Code: RejectBusy, Reason: "busy", RetryAfterMs: 2000})
+	WritePing(&ping, PingPacket{Seq: 3, SendUnixMicro: 1700000000000000})
+	WritePong(&pong, PongPacket{Seq: 3, EchoUnixMicro: 1700000000000000})
 	WriteBye(&bye)
-	for _, b := range [][]byte{hello.Bytes(), helloV2.Bytes(), helloV3.Bytes(), accept.Bytes(), acceptV2.Bytes(),
-		fr.Bytes(), frExt.Bytes(), input.Bytes(), st.Bytes(), sub.Bytes(), bye.Bytes(), {}, {0xFF}} {
+	for _, b := range [][]byte{hello.Bytes(), helloV2.Bytes(), helloV3.Bytes(), helloV4.Bytes(),
+		accept.Bytes(), acceptV2.Bytes(), acceptV4.Bytes(),
+		fr.Bytes(), frExt.Bytes(), input.Bytes(), st.Bytes(), sub.Bytes(), rejRA.Bytes(),
+		ping.Bytes(), pong.Bytes(), bye.Bytes(), {}, {0xFF}} {
 		f.Add(b)
 	}
 
@@ -62,6 +69,14 @@ func FuzzReadMsg(f *testing.F) {
 		case MsgReject:
 			if msg.Reject == nil {
 				t.Fatal("reject without body")
+			}
+		case MsgPing:
+			if msg.Ping == nil {
+				t.Fatal("ping without body")
+			}
+		case MsgPong:
+			if msg.Pong == nil {
+				t.Fatal("pong without body")
 			}
 		case MsgBye:
 		default:
@@ -124,6 +139,9 @@ func helloRoundTrip(t *testing.T, h Hello) {
 	if len(h.Channel) > 255 {
 		h.Channel = h.Channel[:255]
 	}
+	if len(h.ResumeToken) > 255 {
+		h.ResumeToken = h.ResumeToken[:255]
+	}
 	h.RoIWindow, h.Scale = sanitizePos(h.RoIWindow), sanitizePos(h.Scale)
 	h.Version = sanitizeNonNeg(h.Version)
 	want := h
@@ -136,6 +154,10 @@ func helloRoundTrip(t *testing.T, h Hello) {
 		// The channel field only exists on the v3 wire.
 		want.Channel = ""
 	}
+	if h.Version < ProtocolV4 {
+		// The resume token only exists on the v4 wire.
+		want.ResumeToken = ""
+	}
 	msg := roundTrip(t,
 		func(b *bytes.Buffer) error { return WriteHello(b, h) },
 		func(b *bytes.Buffer, m *Msg) error { return WriteHello(b, *m.Hello) })
@@ -145,12 +167,13 @@ func helloRoundTrip(t *testing.T, h Hello) {
 }
 
 func FuzzHelloRoundTrip(f *testing.F) {
-	f.Add("s8", 64, 2, 2, int64(1700000000000000), "")
-	f.Add("", 1, 1, 0, int64(0), "")
-	f.Add("pixel", 300, 4, 7, int64(-5), "arena")
-	f.Add("s8", 64, 2, 3, int64(1700000000000000), "lobby/2")
-	f.Fuzz(func(t *testing.T, dev string, roi, scale, ver int, sendUS int64, channel string) {
-		helloRoundTrip(t, Hello{Device: dev, RoIWindow: roi, Scale: scale, Version: ver, SendUnixMicro: sendUS, Channel: channel})
+	f.Add("s8", 64, 2, 2, int64(1700000000000000), "", "")
+	f.Add("", 1, 1, 0, int64(0), "", "")
+	f.Add("pixel", 300, 4, 7, int64(-5), "arena", "deadbeefcafe")
+	f.Add("s8", 64, 2, 3, int64(1700000000000000), "lobby/2", "")
+	f.Add("s8", 64, 2, 4, int64(1700000000000000), "arena", "00112233445566778899aabb")
+	f.Fuzz(func(t *testing.T, dev string, roi, scale, ver int, sendUS int64, channel, token string) {
+		helloRoundTrip(t, Hello{Device: dev, RoIWindow: roi, Scale: scale, Version: ver, SendUnixMicro: sendUS, Channel: channel, ResumeToken: token})
 	})
 }
 
@@ -188,12 +211,19 @@ func acceptRoundTrip(t *testing.T, a Accept) {
 	a.Width, a.Height = sanitizePos(a.Width), sanitizePos(a.Height)
 	a.GOPSize, a.QStep = sanitizePos(a.GOPSize), sanitizePos(a.QStep)
 	a.Version = sanitizeNonNeg(a.Version)
+	if len(a.Token) > 255 {
+		a.Token = a.Token[:255]
+	}
 	want := a
 	if a.Version < ProtocolV2 {
 		want.Version, want.RecvUnixMicro, want.SendUnixMicro = 0, 0, 0
 	} else {
 		want.RecvUnixMicro = max(want.RecvUnixMicro, 0)
 		want.SendUnixMicro = max(want.SendUnixMicro, 0)
+	}
+	if a.Version < ProtocolV4 {
+		// The resume token only exists on the v4 wire.
+		want.Token = ""
 	}
 	msg := roundTrip(t,
 		func(b *bytes.Buffer) error { return WriteAccept(b, a) },
@@ -204,10 +234,11 @@ func acceptRoundTrip(t *testing.T, a Accept) {
 }
 
 func FuzzAcceptRoundTrip(f *testing.F) {
-	f.Add(1280, 720, 60, 6, 2, int64(10), int64(20))
-	f.Add(1, 1, 1, 1, 0, int64(0), int64(0))
-	f.Fuzz(func(t *testing.T, w, h, gop, q, ver int, recvUS, sendUS int64) {
-		acceptRoundTrip(t, Accept{Width: w, Height: h, GOPSize: gop, QStep: q, Version: ver, RecvUnixMicro: recvUS, SendUnixMicro: sendUS})
+	f.Add(1280, 720, 60, 6, 2, int64(10), int64(20), "")
+	f.Add(1, 1, 1, 1, 0, int64(0), int64(0), "")
+	f.Add(1280, 720, 60, 6, 4, int64(10), int64(20), "deadbeefcafe")
+	f.Fuzz(func(t *testing.T, w, h, gop, q, ver int, recvUS, sendUS int64, token string) {
+		acceptRoundTrip(t, Accept{Width: w, Height: h, GOPSize: gop, QStep: q, Version: ver, RecvUnixMicro: recvUS, SendUnixMicro: sendUS, Token: token})
 	})
 }
 
@@ -303,10 +334,41 @@ func rejectRoundTrip(t *testing.T, rej Reject) {
 }
 
 func FuzzRejectRoundTrip(f *testing.F) {
-	f.Add(uint8(1), "busy")
-	f.Add(uint8(0), "")
-	f.Fuzz(func(t *testing.T, code uint8, reason string) {
-		rejectRoundTrip(t, Reject{Code: RejectCode(code), Reason: reason})
+	f.Add(uint8(1), "busy", uint32(0))
+	f.Add(uint8(0), "", uint32(0))
+	f.Add(uint8(1), "busy", uint32(2000))
+	f.Fuzz(func(t *testing.T, code uint8, reason string, retryMs uint32) {
+		rejectRoundTrip(t, Reject{Code: RejectCode(code), Reason: reason, RetryAfterMs: retryMs})
+	})
+}
+
+func pingRoundTrip(t *testing.T, p PingPacket) {
+	p.SendUnixMicro = max(p.SendUnixMicro, 0)
+	msg := roundTrip(t,
+		func(b *bytes.Buffer) error { return WritePing(b, p) },
+		func(b *bytes.Buffer, m *Msg) error { return WritePing(b, *m.Ping) })
+	if *msg.Ping != p {
+		t.Fatalf("ping = %+v, want %+v", *msg.Ping, p)
+	}
+}
+
+func pongRoundTrip(t *testing.T, p PongPacket) {
+	p.EchoUnixMicro = max(p.EchoUnixMicro, 0)
+	msg := roundTrip(t,
+		func(b *bytes.Buffer) error { return WritePong(b, p) },
+		func(b *bytes.Buffer, m *Msg) error { return WritePong(b, *m.Pong) })
+	if *msg.Pong != p {
+		t.Fatalf("pong = %+v, want %+v", *msg.Pong, p)
+	}
+}
+
+func FuzzPingPongRoundTrip(f *testing.F) {
+	f.Add(uint32(1), int64(1700000000000000))
+	f.Add(uint32(0), int64(0))
+	f.Add(uint32(1<<30), int64(-7))
+	f.Fuzz(func(t *testing.T, seq uint32, us int64) {
+		pingRoundTrip(t, PingPacket{Seq: seq, SendUnixMicro: us})
+		pongRoundTrip(t, PongPacket{Seq: seq, EchoUnixMicro: us})
 	})
 }
 
@@ -314,8 +376,8 @@ func FuzzRejectRoundTrip(f *testing.F) {
 // testing/quick's generator — the property-test complement to the fuzz
 // corpus, run on every plain `go test`.
 func TestWireProperties(t *testing.T) {
-	if err := quick.Check(func(dev string, roi, scale, ver int, sendUS int64, channel string) bool {
-		helloRoundTrip(t, Hello{Device: dev, RoIWindow: roi, Scale: scale, Version: ver, SendUnixMicro: sendUS, Channel: channel})
+	if err := quick.Check(func(dev string, roi, scale, ver int, sendUS int64, channel, token string) bool {
+		helloRoundTrip(t, Hello{Device: dev, RoIWindow: roi, Scale: scale, Version: ver, SendUnixMicro: sendUS, Channel: channel, ResumeToken: token})
 		return !t.Failed()
 	}, nil); err != nil {
 		t.Error(err)
@@ -326,8 +388,8 @@ func TestWireProperties(t *testing.T) {
 	}, nil); err != nil {
 		t.Error(err)
 	}
-	if err := quick.Check(func(w, h, gop, q, ver int, recvUS, sendUS int64) bool {
-		acceptRoundTrip(t, Accept{Width: w, Height: h, GOPSize: gop, QStep: q, Version: ver, RecvUnixMicro: recvUS, SendUnixMicro: sendUS})
+	if err := quick.Check(func(w, h, gop, q, ver int, recvUS, sendUS int64, token string) bool {
+		acceptRoundTrip(t, Accept{Width: w, Height: h, GOPSize: gop, QStep: q, Version: ver, RecvUnixMicro: recvUS, SendUnixMicro: sendUS, Token: token})
 		return !t.Failed()
 	}, nil); err != nil {
 		t.Error(err)
@@ -344,6 +406,19 @@ func TestWireProperties(t *testing.T) {
 			DecodeP50: time.Duration(d50), DecodeP99: time.Duration(d99),
 			SRP50: time.Duration(s50), SRP99: time.Duration(s99),
 			AgeP50: time.Duration(a50), AgeP99: time.Duration(a99)})
+		return !t.Failed()
+	}, nil); err != nil {
+		t.Error(err)
+	}
+	if err := quick.Check(func(code uint8, reason string, retryMs uint32) bool {
+		rejectRoundTrip(t, Reject{Code: RejectCode(code), Reason: reason, RetryAfterMs: retryMs})
+		return !t.Failed()
+	}, nil); err != nil {
+		t.Error(err)
+	}
+	if err := quick.Check(func(seq uint32, us int64) bool {
+		pingRoundTrip(t, PingPacket{Seq: seq, SendUnixMicro: us})
+		pongRoundTrip(t, PongPacket{Seq: seq, EchoUnixMicro: us})
 		return !t.Failed()
 	}, nil); err != nil {
 		t.Error(err)

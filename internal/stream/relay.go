@@ -53,13 +53,18 @@ type relayFrame struct {
 // relayMetrics holds the relay's telemetry handles, resolved once. All
 // fields are nil-safe no-ops without a registry.
 type relayMetrics struct {
-	channels    *telemetry.Gauge   // stream_relay_channels_active
-	subscribers *telemetry.Gauge   // stream_subscribers_active
-	fanout      *telemetry.Counter // frames enqueued to subscribers
-	dropped     *telemetry.Counter // frames flushed by drop-to-keyframe
-	dropToKey   *telemetry.Counter // rung-1 ladder entries
-	evicted     *telemetry.Counter // rung-2 disconnects
-	lateJoins   *telemetry.Counter // subscribers served a cached keyframe
+	channels    *telemetry.Gauge     // stream_relay_channels_active
+	subscribers *telemetry.Gauge     // stream_subscribers_active
+	fanout      *telemetry.Counter   // frames enqueued to subscribers
+	dropped     *telemetry.Counter   // frames flushed by drop-to-keyframe
+	dropToKey   *telemetry.Counter   // rung-1 ladder entries
+	evicted     *telemetry.Counter   // rung-2 disconnects
+	lateJoins   *telemetry.Counter   // subscribers served a cached keyframe
+	parked      *telemetry.Gauge     // stream_relay_channels_parked
+	parks       *telemetry.Counter   // publisher drops that parked a channel
+	reclaims    *telemetry.Counter   // parked channels reclaimed by resume token
+	parkExpired *telemetry.Counter   // parks that ran out the grace window
+	parkStall   *telemetry.Histogram // stream_relay_park_stall_seconds: park → reclaim
 }
 
 // Relay is the channel registry: publishers create channels, subscribers
@@ -69,11 +74,17 @@ type Relay struct {
 	mets    relayMetrics
 	maxSubs int
 	queue   int
+	grace   time.Duration
 
 	mu       sync.Mutex
 	channels map[string]*Channel
 	closed   bool
 }
+
+// SetParkGrace sets how long a publisher-dropped channel stays parked
+// awaiting a resume-token reclaim (<= 0 disables parking: a dropped
+// publisher closes its channel immediately, the pre-v4 behaviour).
+func (r *Relay) SetParkGrace(d time.Duration) { r.grace = d }
 
 // NewRelay builds a relay. maxSubs bounds subscribers per channel
 // (<=0 means 16); queue is the per-subscriber send-queue depth (<=0 means
@@ -95,6 +106,11 @@ func NewRelay(reg *telemetry.Registry, maxSubs, queue int) *Relay {
 			dropToKey:   reg.Counter("stream_relay_drop_to_key_total"),
 			evicted:     reg.Counter("stream_relay_subscribers_evicted_total"),
 			lateJoins:   reg.Counter("stream_relay_late_joins_total"),
+			parked:      reg.Gauge("stream_relay_channels_parked"),
+			parks:       reg.Counter("stream_relay_channel_parks_total"),
+			reclaims:    reg.Counter("stream_relay_channel_reclaims_total"),
+			parkExpired: reg.Counter("stream_relay_park_expired_total"),
+			parkStall:   reg.Histogram("stream_relay_park_stall_seconds", telemetry.LatencyBuckets()),
 		},
 		maxSubs:  maxSubs,
 		queue:    queue,
@@ -162,16 +178,145 @@ func (r *Relay) Shutdown() {
 
 // Channel is one publisher's broadcast stream: the cached Accept geometry,
 // the cached last intra frame and the live subscriber set.
+//
+// A channel whose publisher drops uncleanly is *parked* rather than closed
+// (DESIGN.md §15): it keeps its registry entry (so a second publisher's
+// Hello still gets RejectChannelTaken), its cached geometry and keyframe,
+// and its live subscribers, for a grace window. A publisher reconnecting
+// with the channel's resume token reclaims it — subscribers ride through
+// with a bounded stall instead of a disconnect — and a park that runs out
+// the window closes the channel gracefully.
 type Channel struct {
 	name     string
 	relay    *Relay
 	accept   Accept
 	subGauge *telemetry.Gauge
 
-	mu     sync.Mutex
-	key    *FramePacket // last intra frame; payload owned by the relay
-	subs   map[*subscriber]struct{}
-	closed bool
+	mu        sync.Mutex
+	key       *FramePacket // last intra frame; payload owned by the relay
+	subs      map[*subscriber]struct{}
+	closed    bool
+	token     string // resume token that may reclaim a park
+	origin    string // first publisher's identity, stable across reclaims
+	parked    bool
+	parkedAt  time.Time
+	parkTimer *time.Timer
+}
+
+// setResume records the session's resume token and the publisher identity
+// the channel stays correlated with across reconnects.
+func (ch *Channel) setResume(token, origin string) {
+	ch.mu.Lock()
+	defer ch.mu.Unlock()
+	ch.token = token
+	if ch.origin == "" {
+		ch.origin = origin
+	}
+}
+
+// Origin returns the channel's first publisher identity (its remote
+// address), stable across resume reclaims — the label per-session metrics
+// and flight records correlate a reconnecting publisher under.
+func (ch *Channel) Origin() string {
+	ch.mu.Lock()
+	defer ch.mu.Unlock()
+	return ch.origin
+}
+
+// park begins the grace window after a publisher drop. Everything is
+// retained — registry entry, cached Accept, cached keyframe, subscribers —
+// awaiting a resume-token reclaim; the timer closes the channel gracefully
+// if none arrives. Returns false (caller should close instead) when
+// parking is disabled, the channel has no resume token, or it is already
+// closed.
+func (ch *Channel) park() bool {
+	grace := ch.relay.grace
+	ch.mu.Lock()
+	if grace <= 0 || ch.closed || ch.parked || ch.token == "" {
+		ch.mu.Unlock()
+		return false
+	}
+	ch.parked = true
+	ch.parkedAt = time.Now()
+	ch.parkTimer = time.AfterFunc(grace, ch.expire)
+	ch.mu.Unlock()
+	ch.relay.mets.parks.Inc()
+	ch.relay.mets.parked.Add(1)
+	return true
+}
+
+// expire ends a park whose grace window ran out: the channel closes
+// gracefully (subscribers get their queued tail, then a Bye). A reclaim
+// that lands first wins — both paths check parked under the channel mutex.
+func (ch *Channel) expire() {
+	ch.mu.Lock()
+	if ch.closed || !ch.parked {
+		ch.mu.Unlock()
+		return
+	}
+	ch.parked = false
+	ch.parkTimer = nil
+	ch.mu.Unlock()
+	ch.relay.mets.parked.Add(-1)
+	ch.relay.mets.parkExpired.Inc()
+	ch.close(false)
+}
+
+// Reclaim hands the parked channel registered under name back to a
+// publisher that presented its resume token: the grace timer stops, and
+// any subscriber sitting in drop-to-keyframe state is re-seeded from the
+// keyframe cache so it presents immediately while the reclaimed publisher's
+// opening intra restarts the live tail. A wrong token — or a live,
+// un-parked channel — comes back as errChannelTaken, exactly what a second
+// publisher's Hello must see until the park expires.
+func (r *Relay) Reclaim(name, token string) (*Channel, error) {
+	r.mu.Lock()
+	ch := r.channels[name]
+	r.mu.Unlock()
+	if ch == nil {
+		return nil, errUnknownChannel
+	}
+	ch.mu.Lock()
+	if ch.closed {
+		ch.mu.Unlock()
+		return nil, errUnknownChannel
+	}
+	if !ch.parked || token == "" || token != ch.token {
+		ch.mu.Unlock()
+		return nil, errChannelTaken
+	}
+	ch.parked = false
+	if ch.parkTimer != nil {
+		ch.parkTimer.Stop()
+		ch.parkTimer = nil
+	}
+	stall := time.Since(ch.parkedAt)
+	now := time.Now()
+	for sub := range ch.subs {
+		if !sub.waitKey || ch.key == nil {
+			continue
+		}
+		select {
+		case sub.q <- relayFrame{pkt: *ch.key, at: now}:
+			sub.waitKey = false
+			r.mets.lateJoins.Inc()
+		default:
+			// Still wedged; the eviction ladder keeps owning it.
+		}
+	}
+	ch.mu.Unlock()
+	r.mets.parked.Add(-1)
+	r.mets.reclaims.Inc()
+	r.mets.parkStall.ObserveDuration(stall)
+	return ch, nil
+}
+
+// Parked reports whether the channel is in its post-publisher-drop grace
+// window.
+func (ch *Channel) Parked() bool {
+	ch.mu.Lock()
+	defer ch.mu.Unlock()
+	return ch.parked
 }
 
 // Name returns the channel's registered name.
@@ -335,6 +480,15 @@ func (ch *Channel) close(abandon bool) {
 		return
 	}
 	ch.closed = true
+	if ch.parkTimer != nil {
+		ch.parkTimer.Stop()
+		ch.parkTimer = nil
+	}
+	if ch.parked {
+		// Shutdown while parked: the grace window ends with the channel.
+		ch.parked = false
+		ch.relay.mets.parked.Add(-1)
+	}
 	for sub := range ch.subs {
 		if abandon {
 			sub.abandon.Store(true)

@@ -7,6 +7,7 @@ import (
 	"io"
 	"log"
 	"net"
+	"os"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -172,6 +173,20 @@ type MultiServer struct {
 	// dropped to the next keyframe; one that stays stalled for a further
 	// GOP is disconnected.
 	SubscriberQueue int
+	// IdleTimeout is the v4 read-liveness bound: a session (publisher or
+	// spectator) that sends nothing — not even a heartbeat — for this long
+	// is reaped as dead. The reaper only fires on v4+ sessions (older
+	// clients never ping); slow-but-alive peers stay on the shed and
+	// eviction ladders. 0 picks DefaultIdleTimeout; negative disables.
+	IdleTimeout time.Duration
+	// ParkGrace is how long a channel whose publisher dropped uncleanly
+	// stays parked awaiting a resume-token reclaim before it closes and
+	// its spectators get their Bye. 0 picks DefaultParkGrace; negative
+	// disables parking.
+	ParkGrace time.Duration
+	// ControlTimeout bounds small control writes (rejects, byes, pongs);
+	// 0 picks DefaultControlTimeout.
+	ControlTimeout time.Duration
 
 	mu       sync.Mutex
 	sessions map[net.Conn]*session
@@ -179,10 +194,70 @@ type MultiServer struct {
 	relay    *Relay
 	flights  []*sessionFlight
 	streaks  *frametrace.StreakSet
+	resumes  map[string]string // resume token -> original session identity
+	resumeQ  []string          // token issue order, for cap eviction
 	listener net.Listener
 	closed   bool
 	serveWG  sync.WaitGroup
 	ctrs     serverCounters
+}
+
+// maxResumeRecords caps the token -> identity correlation table; the
+// oldest records are evicted first (an evicted token can no longer rename
+// a reconnecting session, but channel reclaim is unaffected — the parked
+// channel itself holds the authoritative token).
+const maxResumeRecords = 1024
+
+// recordResume remembers which session identity a resume token belongs to.
+func (s *MultiServer) recordResume(token, identity string) {
+	if token == "" {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.resumes == nil {
+		s.resumes = make(map[string]string)
+	}
+	if _, ok := s.resumes[token]; !ok {
+		s.resumeQ = append(s.resumeQ, token)
+	}
+	s.resumes[token] = identity
+	for len(s.resumeQ) > maxResumeRecords {
+		delete(s.resumes, s.resumeQ[0])
+		s.resumeQ = s.resumeQ[1:]
+	}
+}
+
+// resumeIdentity resolves a replayed resume token to the identity of the
+// session that was issued it, correlating a reconnecting client's flight
+// records and per-session metrics across connections.
+func (s *MultiServer) resumeIdentity(token string) (string, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	id, ok := s.resumes[token]
+	return id, ok
+}
+
+// idleTimeout resolves the configured read-liveness bound (0 = disabled).
+func (s *MultiServer) idleTimeout() time.Duration {
+	if s.IdleTimeout < 0 {
+		return 0
+	}
+	if s.IdleTimeout == 0 {
+		return DefaultIdleTimeout
+	}
+	return s.IdleTimeout
+}
+
+// parkGrace resolves the configured park window (0 = disabled).
+func (s *MultiServer) parkGrace() time.Duration {
+	if s.ParkGrace < 0 {
+		return 0
+	}
+	if s.ParkGrace == 0 {
+		return DefaultParkGrace
+	}
+	return s.ParkGrace
 }
 
 // serverCounters holds the accept-path telemetry handles, resolved once in
@@ -244,6 +319,7 @@ func (s *MultiServer) Serve(l net.Listener) error {
 	}
 	if s.relay == nil {
 		s.relay = NewRelay(s.Metrics, s.MaxSubscribers, s.SubscriberQueue)
+		s.relay.SetParkGrace(s.parkGrace())
 	}
 	if s.sessions == nil {
 		s.sessions = make(map[net.Conn]*session)
@@ -315,25 +391,39 @@ func (s *MultiServer) handleConn(conn net.Conn) {
 	}
 }
 
+// busyRetryAfter is the server-suggested redial delay carried in v4
+// capacity/busy rejects: long enough for a session to drain or the SLO
+// window to recover, short enough that a waiting client feels responsive.
+const busyRetryAfter = 2 * time.Second
+
 // rejectConn tells the client why it is being refused, then closes. The
 // caller has already read the client's opening message, so the reject is
 // the only unread data in flight when the connection closes. The write is
-// bounded so a peer that never reads cannot wedge the goroutine.
-func (s *MultiServer) rejectConn(conn net.Conn, code RejectCode, reason string) {
+// bounded (controlWrite) so a peer that never reads cannot wedge the
+// goroutine; ver gates the v4 retry-after field — a pre-v4 parser treats
+// trailing bytes as a protocol error.
+func (s *MultiServer) rejectConn(conn net.Conn, ver int, rej Reject) {
 	defer conn.Close()
-	conn.SetWriteDeadline(time.Now().Add(time.Second))
-	_ = WriteReject(conn, Reject{Code: code, Reason: reason})
+	if ver < ProtocolV4 {
+		rej.RetryAfterMs = 0
+	}
+	controlWrite(conn, s.Metrics, s.ControlTimeout, conn.RemoteAddr().String(), "reject", func() error {
+		return WriteReject(conn, rej)
+	})
 }
 
 // servePublisher runs a game (publisher) session whose Hello has been
-// read: session cap, admission control, optional channel registration,
-// then the frame loop with the relay tap attached.
+// read: session cap, admission control, optional channel registration (or
+// a resume-token reclaim of a parked one), then the frame loop with the
+// relay tap attached. A v4 publisher that drops uncleanly parks its
+// channel for the grace window instead of closing it.
 func (s *MultiServer) servePublisher(conn net.Conn, hello Hello, tHello time.Time) {
 	max := s.MaxSessions
 	if max <= 0 {
 		max = 16
 	}
 	sess := &session{remote: conn.RemoteAddr().String()}
+	ver := NegotiateVersion(hello.Version)
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -349,7 +439,11 @@ func (s *MultiServer) servePublisher(conn net.Conn, hello Hello, tHello time.Tim
 		s.ctrs.rejected.Inc()
 		s.ctrs.rejectedCap.Inc()
 		log.Printf("stream: rejecting %s: session limit %d reached", sess.remote, max)
-		s.rejectConn(conn, RejectCapacity, fmt.Sprintf("session limit %d reached", max))
+		s.rejectConn(conn, ver, Reject{
+			Code:         RejectCapacity,
+			Reason:       fmt.Sprintf("session limit %d reached", max),
+			RetryAfterMs: uint32(busyRetryAfter.Milliseconds()),
+		})
 		return
 	}
 	unregister := func() {
@@ -364,41 +458,98 @@ func (s *MultiServer) servePublisher(conn net.Conn, hello Hello, tHello time.Tim
 			s.ctrs.rejectedBusy.Inc()
 			log.Printf("stream: rejecting %s: no SLO headroom (windowed p99 %v over %d frames, deadline %v)",
 				sess.remote, p99, samples, deadline)
-			s.rejectConn(conn, RejectBusy, fmt.Sprintf("no SLO headroom: p99 %v", p99.Round(time.Microsecond)))
+			s.rejectConn(conn, ver, Reject{
+				Code:         RejectBusy,
+				Reason:       fmt.Sprintf("no SLO headroom: p99 %v", p99.Round(time.Microsecond)),
+				RetryAfterMs: uint32(busyRetryAfter.Milliseconds()),
+			})
 			return
 		}
 	}
-	// A hello naming a channel registers this session as its publisher;
-	// the name must be free.
+	// v4 sessions get a resume token: a reconnecting client replays it to
+	// keep its identity (flight records, per-session metrics) and to
+	// reclaim a parked channel. A replayed token is re-issued unchanged so
+	// the identity stays stable across any number of drops.
+	var token string
+	identity := sess.remote
+	if ver >= ProtocolV4 {
+		token = hello.ResumeToken
+		if token != "" {
+			if orig, ok := s.resumeIdentity(token); ok {
+				identity = orig
+				log.Printf("stream: %s resumed session of %s", sess.remote, identity)
+			}
+		} else {
+			token = newResumeToken()
+		}
+		s.recordResume(token, identity)
+	}
+	// A hello naming a channel registers this session as its publisher.
+	// With a resume token, a parked channel is reclaimed — spectators ride
+	// through — otherwise the name must be free.
 	var ch *Channel
 	if hello.Channel != "" {
-		var err error
-		ch, err = s.relay.Create(hello.Channel, s.Accept)
-		if err != nil {
-			unregister()
-			s.ctrs.rejected.Inc()
-			log.Printf("stream: rejecting %s: channel %q: %v", sess.remote, hello.Channel, err)
-			s.rejectConn(conn, RejectChannelTaken, fmt.Sprintf("channel %q already has a publisher", hello.Channel))
-			return
+		resumed := false
+		if hello.ResumeToken != "" && ver >= ProtocolV4 {
+			if got, err := s.relay.Reclaim(hello.Channel, hello.ResumeToken); err == nil {
+				ch = got
+				resumed = true
+				if o := ch.Origin(); o != "" {
+					identity = o
+				}
+			}
 		}
-		log.Printf("stream: %s publishing channel %q", sess.remote, hello.Channel)
+		if ch == nil {
+			var err error
+			ch, err = s.relay.Create(hello.Channel, s.Accept)
+			if err != nil {
+				unregister()
+				s.ctrs.rejected.Inc()
+				log.Printf("stream: rejecting %s: channel %q: %v", sess.remote, hello.Channel, err)
+				s.rejectConn(conn, ver, Reject{
+					Code:   RejectChannelTaken,
+					Reason: fmt.Sprintf("channel %q already has a publisher", hello.Channel),
+				})
+				return
+			}
+		}
+		ch.setResume(token, identity)
+		if resumed {
+			log.Printf("stream: %s reclaimed parked channel %q (%d spectators retained)",
+				sess.remote, hello.Channel, ch.Subscribers())
+		} else {
+			log.Printf("stream: %s publishing channel %q", sess.remote, hello.Channel)
+		}
 	}
 	if s.Sched != nil {
 		sess.client = s.Sched.NewClient(parallel.ClientConfig{Name: sess.remote})
 	}
 	s.ctrs.accepted.Inc()
 	s.ctrs.active.Add(1)
+	var sessErr error
 	defer func() {
-		// Publisher gone: the channel drains gracefully — subscribers get
-		// their queued tail, then a Bye.
 		if ch != nil {
-			ch.close(false)
+			// An unclean v4 publisher drop parks the channel for the grace
+			// window — registry entry, cached keyframe and subscribers all
+			// retained, awaiting a resume-token reclaim. A clean end (or a
+			// pre-v4 client, which can never reclaim) drains gracefully:
+			// subscribers get their queued tail, then a Bye.
+			parked := false
+			if sessErr != nil && ver >= ProtocolV4 {
+				parked = ch.park()
+			}
+			if parked {
+				log.Printf("stream: channel %q parked after publisher %s dropped (%v)",
+					ch.Name(), sess.remote, sessErr)
+			} else {
+				ch.close(false)
+			}
 		}
 		conn.Close()
 		unregister()
 		s.ctrs.active.Add(-1)
 	}()
-	s.serveSession(conn, sess, hello, tHello, ch)
+	sessErr = s.serveSession(conn, sess, hello, tHello, ch, token, identity)
 }
 
 // admit computes the aggregate windowed p99 across live session recorders
@@ -453,13 +604,18 @@ func (s *MultiServer) maxShedLevel() int64 {
 	return max
 }
 
-func (s *MultiServer) serveSession(conn net.Conn, sess *session, hello Hello, tHello time.Time, ch *Channel) {
+// serveSession runs the accepted publisher's frame loop and returns its
+// terminal error (nil on a clean end — source EOF or client Bye). identity
+// is the stable session name for flight records and per-session metrics:
+// normally the remote address, but a resumed session keeps the identity of
+// the connection it resumed, so records correlate across reconnects.
+func (s *MultiServer) serveSession(conn net.Conn, sess *session, hello Hello, tHello time.Time, ch *Channel, token, identity string) error {
 	remote := sess.remote
 	channel := ""
 	if ch != nil {
 		channel = ch.Name()
 	}
-	rec := s.beginFlight(remote, channel, false)
+	rec := s.beginFlight(identity, channel, false)
 	sess.rec = rec
 	var src FrameSource
 	var source FrameSource = deferredSource{get: func() FrameSource { return src }}
@@ -477,15 +633,18 @@ func (s *MultiServer) serveSession(conn net.Conn, sess *session, hello Hello, tH
 		sess.shed = shed
 		source = shed
 	}
-	sink := &statsSink{metrics: s.Metrics, remote: remote, rec: rec}
+	sink := &statsSink{metrics: s.Metrics, remote: identity, rec: rec}
 	opt := ServerOptions{
-		Accept:    s.Accept,
-		MaxFrames: s.MaxFrames,
-		Metrics:   s.Metrics,
-		Flight:    rec,
-		Remote:    remote,
-		Source:    source,
-		OnStats:   sink.handle,
+		Accept:         s.Accept,
+		MaxFrames:      s.MaxFrames,
+		Metrics:        s.Metrics,
+		Flight:         rec,
+		Remote:         remote,
+		ResumeToken:    token,
+		IdleTimeout:    s.idleTimeout(),
+		ControlTimeout: s.ControlTimeout,
+		Source:         source,
+		OnStats:        sink.handle,
 		OnInput: func(in InputPacket) {
 			if s.OnInput != nil {
 				s.OnInput(remote, in)
@@ -506,8 +665,7 @@ func (s *MultiServer) serveSession(conn net.Conn, sess *session, hello Hello, tH
 	if ch != nil {
 		opt.Tap = ch.Publish
 	}
-	err := serveHello(conn, hello, tHello, opt)
-	_ = err // per-session errors end that session only
+	err := serveHello(conn, hello, tHello, opt) // per-session errors end that session only
 	sink.close()
 	if sess.client != nil {
 		st := sess.client.Stats()
@@ -516,7 +674,8 @@ func (s *MultiServer) serveSession(conn net.Conn, sess *session, hello Hello, tH
 				remote, st.Jobs, st.Chunks, st.Stolen, st.StolenWait.Round(time.Microsecond))
 		}
 	}
-	s.endFlight(remote)
+	s.endFlight(identity)
+	return err
 }
 
 // subscriberWriteTimeout bounds every socket write to a spectator. The
@@ -530,6 +689,7 @@ const subscriberWriteTimeout = 10 * time.Second
 // the subscriber leaves, falls too far behind, or the channel closes.
 func (s *MultiServer) serveSubscriber(conn net.Conn, sub Subscribe, tSub time.Time) {
 	remote := conn.RemoteAddr().String()
+	ver := NegotiateVersion(sub.Version)
 	var ch *Channel
 	if s.relay != nil {
 		ch = s.relay.Lookup(sub.Channel)
@@ -537,22 +697,22 @@ func (s *MultiServer) serveSubscriber(conn net.Conn, sub Subscribe, tSub time.Ti
 	if ch == nil {
 		s.ctrs.subsRejected.Inc()
 		log.Printf("stream: rejecting spectator %s: no channel %q", remote, sub.Channel)
-		s.rejectConn(conn, RejectUnknownChannel, fmt.Sprintf("no publisher on channel %q", sub.Channel))
+		s.rejectConn(conn, ver, Reject{Code: RejectUnknownChannel, Reason: fmt.Sprintf("no publisher on channel %q", sub.Channel)})
 		return
 	}
 	subr, err := ch.Subscribe(remote)
 	if err != nil {
 		s.ctrs.subsRejected.Inc()
 		log.Printf("stream: rejecting spectator %s on %q: %v", remote, sub.Channel, err)
-		code := RejectUnknownChannel
+		rej := Reject{Code: RejectUnknownChannel, Reason: err.Error()}
 		if errors.Is(err, errSubscriberCap) {
-			code = RejectCapacity
+			rej.Code = RejectCapacity
+			rej.RetryAfterMs = uint32(busyRetryAfter.Milliseconds())
 		}
-		s.rejectConn(conn, code, err.Error())
+		s.rejectConn(conn, ver, rej)
 		return
 	}
 	defer ch.detach(subr)
-	ver := NegotiateVersion(sub.Version)
 	acc := ch.Accept()
 	if ver >= ProtocolV2 {
 		acc.Version = ver
@@ -586,19 +746,46 @@ func (s *MultiServer) serveSubscriber(conn net.Conn, sub Subscribe, tSub time.Ti
 	}()
 
 	// Read loop: spectators send no input that matters, but their Stats
-	// backchannel and Bye do. Reading also detects disconnects promptly.
+	// backchannel, heartbeats and Bye do. Reading also detects disconnects
+	// promptly, and on v4 sessions the idle deadline reaps a blackholed
+	// spectator — the eviction ladder handles slow readers, the reaper
+	// handles gone ones. sendMu serializes pong replies against the frame
+	// writer (a message is two socket Writes that must not interleave).
 	var clientBye atomic.Bool
+	var sendMu sync.Mutex
+	idle := s.idleTimeout()
+	liveness := ver >= ProtocolV4 && idle > 0
 	readDone := make(chan struct{})
 	go func() {
 		defer close(readDone)
 		for {
+			if liveness {
+				conn.SetReadDeadline(time.Now().Add(idle))
+			}
 			msg, err := ReadMsg(conn)
 			if err != nil {
+				if liveness && errors.Is(err, os.ErrDeadlineExceeded) {
+					s.Metrics.Counter("stream_sessions_reaped_total").Inc()
+					log.Printf("stream: reaping spectator %s on %q: no traffic (not even a heartbeat) for %v",
+						remote, sub.Channel, idle)
+					conn.Close()
+				}
 				return
 			}
 			switch msg.Type {
 			case MsgStats:
 				sink.handle(*msg.Stats)
+			case MsgPing:
+				s.Metrics.Counter("stream_pings_total").Inc()
+				ping := *msg.Ping
+				sendMu.Lock()
+				werr := controlWrite(conn, s.Metrics, s.ControlTimeout, remote, "pong", func() error {
+					return WritePong(conn, PongPacket{Seq: ping.Seq, EchoUnixMicro: ping.SendUnixMicro})
+				})
+				sendMu.Unlock()
+				if werr != nil {
+					return
+				}
 			case MsgBye:
 				clientBye.Store(true)
 				return
@@ -631,8 +818,10 @@ func (s *MultiServer) serveSubscriber(conn net.Conn, sub Subscribe, tSub time.Ti
 		rec.Span(fid, "queue", "queue", rf.at, qAge)
 		queueHist.ObserveDuration(qAge)
 		t0 := time.Now()
+		sendMu.Lock()
 		conn.SetWriteDeadline(t0.Add(subscriberWriteTimeout))
 		sendErr = WriteFrame(conn, pkt)
+		sendMu.Unlock()
 		d := time.Since(t0)
 		if sendErr != nil {
 			break
@@ -648,8 +837,11 @@ func (s *MultiServer) serveSubscriber(conn net.Conn, sub Subscribe, tSub time.Ti
 	if sendErr == nil && !clientBye.Load() {
 		// Clean goodbye — including to an evicted reader, whose socket may
 		// still accept one small control message even while frames back up.
-		conn.SetWriteDeadline(time.Now().Add(time.Second))
-		_ = WriteBye(conn)
+		sendMu.Lock()
+		controlWrite(conn, s.Metrics, s.ControlTimeout, remote, "bye", func() error {
+			return WriteBye(conn)
+		})
+		sendMu.Unlock()
 	}
 	if subr.Evicted() {
 		log.Printf("stream: spectator %s evicted from %q (stalled past drop-to-keyframe)", remote, sub.Channel)

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -58,6 +59,20 @@ type ServerOptions struct {
 	SlowSend time.Duration
 	// Remote tags this session's log lines (typically the client address).
 	Remote string
+	// ResumeToken, when non-empty, rides in the Accept of v4+ sessions: the
+	// opaque handle a reconnecting client replays in its Hello to be
+	// correlated with (and, for publishers, reclaim the parked channel of)
+	// this session.
+	ResumeToken string
+	// IdleTimeout, when > 0, arms read-side liveness on v4+ sessions: the
+	// client heartbeats (MsgPing), the session pongs, and a connection that
+	// stays silent past the timeout is reaped as dead (the connection is
+	// closed, unblocking the frame writer). Pre-v4 clients never ping, so
+	// the deadline is only armed when the negotiated version is v4+.
+	IdleTimeout time.Duration
+	// ControlTimeout bounds small control writes (reject, bye, pong);
+	// <= 0 picks DefaultControlTimeout.
+	ControlTimeout time.Duration
 	// Tap, if non-nil, observes every outgoing frame packet after its
 	// flight identity is assigned and before it hits the socket — the
 	// relay's encode-once fan-out point. The packet's payload is only
@@ -101,14 +116,10 @@ func serveHello(conn io.ReadWriter, hello Hello, tHello time.Time, opt ServerOpt
 	if opt.Validate != nil {
 		if err := opt.Validate(hello); err != nil {
 			// Tell the client why before closing — a silent close is
-			// indistinguishable from a network fault on their side. The
-			// write is bounded: a peer that never reads must not wedge
-			// the session goroutine.
-			if c, ok := conn.(interface{ SetWriteDeadline(time.Time) error }); ok {
-				c.SetWriteDeadline(time.Now().Add(time.Second))
-				defer c.SetWriteDeadline(time.Time{})
-			}
-			_ = WriteReject(conn, Reject{Code: RejectBadHello, Reason: err.Error()})
+			// indistinguishable from a network fault on their side.
+			controlWrite(conn, opt.Metrics, opt.ControlTimeout, opt.Remote, "reject", func() error {
+				return WriteReject(conn, Reject{Code: RejectBadHello, Reason: err.Error()})
+			})
 			return fmt.Errorf("stream: rejecting client: %w", err)
 		}
 	}
@@ -123,22 +134,47 @@ func serveHello(conn io.ReadWriter, hello Hello, tHello time.Time, opt ServerOpt
 	} else {
 		acc.Version, acc.RecvUnixMicro, acc.SendUnixMicro = 0, 0, 0
 	}
+	if ver >= ProtocolV4 {
+		acc.Token = opt.ResumeToken
+	} else {
+		acc.Token = ""
+	}
 	if err := WriteAccept(conn, acc); err != nil {
 		return fmt.Errorf("stream: writing accept: %w", err)
 	}
 
-	// Drain client messages (input events, stats reports, bye)
+	// Drain client messages (input events, stats reports, heartbeats, bye)
 	// concurrently. clientBye distinguishes a clean protocol close from a
-	// network failure in the session's closing log line.
+	// network failure in the session's closing log line. sendMu serializes
+	// whole messages onto the socket: pong replies come from this read
+	// goroutine while frames stream from the session loop, and a message is
+	// two Writes (header, body) that must not interleave.
 	var clientBye atomic.Bool
+	var sendMu sync.Mutex
 	var wg sync.WaitGroup
 	stopRead := make(chan struct{})
+	// Read-side liveness (v4): the client heartbeats, so a silent
+	// connection is a dead one. The deadline is re-armed before every read;
+	// when it fires the session is reaped — the conn is closed, which also
+	// unblocks a frame writer stuck on a blackholed socket.
+	rd, canDeadline := conn.(interface{ SetReadDeadline(time.Time) error })
+	liveness := ver >= ProtocolV4 && opt.IdleTimeout > 0 && canDeadline
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
 		for {
+			if liveness {
+				rd.SetReadDeadline(time.Now().Add(opt.IdleTimeout))
+			}
 			m, err := ReadMsg(conn)
 			if err != nil {
+				if liveness && errors.Is(err, os.ErrDeadlineExceeded) {
+					opt.Metrics.Counter("stream_sessions_reaped_total").Inc()
+					log.Printf("stream: reaping %s: no traffic (not even a heartbeat) for %v", opt.Remote, opt.IdleTimeout)
+					if c, ok := conn.(io.Closer); ok {
+						c.Close()
+					}
+				}
 				return
 			}
 			switch m.Type {
@@ -149,6 +185,17 @@ func serveHello(conn io.ReadWriter, hello Hello, tHello time.Time, opt ServerOpt
 			case MsgStats:
 				if opt.OnStats != nil {
 					opt.OnStats(*m.Stats)
+				}
+			case MsgPing:
+				opt.Metrics.Counter("stream_pings_total").Inc()
+				ping := *m.Ping
+				sendMu.Lock()
+				err := controlWrite(conn, opt.Metrics, opt.ControlTimeout, opt.Remote, "pong", func() error {
+					return WritePong(conn, PongPacket{Seq: ping.Seq, EchoUnixMicro: ping.SendUnixMicro})
+				})
+				sendMu.Unlock()
+				if err != nil {
+					return
 				}
 			case MsgBye:
 				clientBye.Store(true)
@@ -205,7 +252,10 @@ func serveHello(conn io.ReadWriter, hello Hello, tHello time.Time, opt ServerOpt
 			// player gets (same index, flight ID, RoI), encoded once.
 			opt.Tap(pkt)
 		}
-		if err := WriteFrame(conn, pkt); err != nil {
+		sendMu.Lock()
+		err = WriteFrame(conn, pkt)
+		sendMu.Unlock()
+		if err != nil {
 			sendErr = fmt.Errorf("stream: writing frame %d: %w", i, err)
 			break
 		}
@@ -228,7 +278,9 @@ func serveHello(conn io.ReadWriter, hello Hello, tHello time.Time, opt ServerOpt
 		bytesSent.Add(int64(len(payload)))
 	}
 	if sendErr == nil {
+		sendMu.Lock()
 		sendErr = WriteBye(conn)
+		sendMu.Unlock()
 	}
 	close(stopRead)
 	// A session that dies mid-send is either the client leaving politely
@@ -288,6 +340,10 @@ type Client struct {
 	writeMu sync.Mutex
 	cfg     Accept
 	sync    ClockSync
+
+	pingSeq  uint32       // under writeMu
+	rttMicro atomic.Int64 // latest heartbeat RTT, µs
+	pongs    atomic.Uint32
 }
 
 // NewClient wraps an established connection.
@@ -351,7 +407,11 @@ func (c *Client) awaitAccept(sendUS int64) (Accept, error) {
 		return Accept{}, fmt.Errorf("stream: reading accept: %w", err)
 	}
 	if msg.Type == MsgReject {
-		return Accept{}, &RejectedError{Code: msg.Reject.Code, Reason: msg.Reject.Reason}
+		return Accept{}, &RejectedError{
+			Code:       msg.Reject.Code,
+			Reason:     msg.Reject.Reason,
+			RetryAfter: time.Duration(msg.Reject.RetryAfterMs) * time.Millisecond,
+		}
 	}
 	if msg.Type != MsgAccept {
 		return Accept{}, fmt.Errorf("%w: expected accept, got %v", ErrProtocol, msg.Type)
@@ -383,20 +443,50 @@ func (c *Client) Config() Accept { return c.cfg }
 // sessions or before Handshake).
 func (c *Client) Clock() ClockSync { return c.sync }
 
-// RecvFrame returns the next frame packet, or io.EOF after the server's Bye.
+// RecvFrame returns the next frame packet, or io.EOF after the server's
+// Bye. Heartbeat pongs arriving between frames are consumed here — the RTT
+// sample they carry updates PingRTT and the read continues.
 func (c *Client) RecvFrame() (FramePacket, error) {
-	msg, err := ReadMsg(c.conn)
-	if err != nil {
-		return FramePacket{}, err
+	for {
+		msg, err := ReadMsg(c.conn)
+		if err != nil {
+			return FramePacket{}, err
+		}
+		switch msg.Type {
+		case MsgFrame:
+			return *msg.Frame, nil
+		case MsgBye:
+			return FramePacket{}, io.EOF
+		case MsgPong:
+			if us := msg.Pong.EchoUnixMicro; us > 0 {
+				rtt := time.Since(time.UnixMicro(us))
+				if rtt < 0 {
+					rtt = 0
+				}
+				c.rttMicro.Store(rtt.Microseconds())
+			}
+			c.pongs.Add(1)
+		default:
+			return FramePacket{}, fmt.Errorf("%w: expected frame, got %v", ErrProtocol, msg.Type)
+		}
 	}
-	switch msg.Type {
-	case MsgFrame:
-		return *msg.Frame, nil
-	case MsgBye:
-		return FramePacket{}, io.EOF
-	default:
-		return FramePacket{}, fmt.Errorf("%w: expected frame, got %v", ErrProtocol, msg.Type)
-	}
+}
+
+// SendPing ships a liveness heartbeat (v4+ sessions): the server echoes the
+// timestamp in a Pong, which RecvFrame consumes into PingRTT. Callers gate
+// on Config().Version >= ProtocolV4 — a pre-v4 server stops reading its
+// input path at the first message it does not understand.
+func (c *Client) SendPing() error {
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	c.pingSeq++
+	return WritePing(c.conn, PingPacket{Seq: c.pingSeq, SendUnixMicro: time.Now().UnixMicro()})
+}
+
+// PingRTT returns the most recent heartbeat round trip and how many pongs
+// have been observed (zero before the first).
+func (c *Client) PingRTT() (time.Duration, int) {
+	return time.Duration(c.rttMicro.Load()) * time.Microsecond, int(c.pongs.Load())
 }
 
 // SendInput ships a user-input event to the server.

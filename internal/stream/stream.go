@@ -42,6 +42,17 @@
 // existing channel instead of a game session. The channel field rides
 // after the v2 extension, so a v3 Hello without a channel is one length
 // byte longer than a v2 one and a v1/v2 Hello is byte-identical to before.
+//
+// Version 4 adds liveness and resume (DESIGN.md §15): MsgPing/MsgPong
+// heartbeats (either direction; the receiver echoes the ping's sequence
+// number and timestamp so the pinger gets an RTT sample from its own
+// clock), an opaque resume token issued in the Accept and replayed in a
+// reconnecting Hello so the server correlates the two connections as one
+// logical session — and, for a publisher, reclaims its parked relay
+// channel — and an optional retry-after hint on Busy rejects. The token
+// fields ride after the v3 extension with the same absent-field leniency:
+// a v4 Hello without a token is one length byte longer than a v3 one, and
+// a v3 peer on either side negotiates the whole extension away.
 package stream
 
 import (
@@ -57,13 +68,15 @@ import (
 // Protocol versions. Version 1 is the original unversioned wire format;
 // version 2 adds handshake clock exchange, per-frame flight IDs + send
 // timestamps, and the Stats backchannel; version 3 adds the
-// publish/subscribe relay (channel field in Hello, Subscribe message).
+// publish/subscribe relay (channel field in Hello, Subscribe message);
+// version 4 adds Ping/Pong heartbeats, resume tokens and Busy retry-after.
 const (
 	ProtocolV1 = 1
 	ProtocolV2 = 2
 	ProtocolV3 = 3
+	ProtocolV4 = 4
 	// ProtocolVersion is the highest version this build speaks.
-	ProtocolVersion = ProtocolV3
+	ProtocolVersion = ProtocolV4
 )
 
 // MsgType identifies a protocol message.
@@ -79,6 +92,8 @@ const (
 	MsgReject
 	MsgStats
 	MsgSubscribe
+	MsgPing
+	MsgPong
 )
 
 func (t MsgType) String() string {
@@ -99,6 +114,10 @@ func (t MsgType) String() string {
 		return "stats"
 	case MsgSubscribe:
 		return "subscribe"
+	case MsgPing:
+		return "ping"
+	case MsgPong:
+		return "pong"
 	default:
 		return fmt.Sprintf("MsgType(%d)", uint8(t))
 	}
@@ -130,6 +149,13 @@ type Hello struct {
 	// to the same encoded GOP stream with a Subscribe. Empty means a solo
 	// session (the pre-v3 behaviour).
 	Channel string
+	// ResumeToken, when non-empty on a v4+ hello, replays the opaque token
+	// a previous Accept issued: the server correlates this connection with
+	// the earlier session (flight records, per-session metrics) and, if the
+	// session published a channel that is still parked within its grace
+	// window, hands the channel back with its subscribers intact. Empty
+	// means a fresh session.
+	ResumeToken string
 }
 
 // RejectCode classifies why the server refused a session.
@@ -173,21 +199,34 @@ func (c RejectCode) String() string {
 type Reject struct {
 	Code   RejectCode
 	Reason string
+	// RetryAfterMs, when non-zero on a Busy reject, is the server's hint
+	// for how long the client should back off before redialling
+	// (milliseconds). Only encoded to peers that announced v4+ — older
+	// parsers treat trailing bytes on a Reject as corruption.
+	RetryAfterMs uint32
 }
 
 // RejectedError is what Client.Handshake returns when the server answered
 // with a Reject — typed so callers can distinguish "busy, retry later"
-// from protocol failures.
+// from protocol failures, and carrying the server's human-readable reason
+// so operators see *why* ("no SLO headroom: p99 …"), not just the code.
 type RejectedError struct {
 	Code   RejectCode
 	Reason string
+	// RetryAfter is the server-suggested redial delay (0 when the server
+	// gave none); meaningful on RejectBusy.
+	RetryAfter time.Duration
 }
 
 func (e *RejectedError) Error() string {
-	if e.Reason == "" {
-		return fmt.Sprintf("stream: rejected (%v)", e.Code)
+	s := fmt.Sprintf("stream: rejected (%v)", e.Code)
+	if e.Reason != "" {
+		s += ": " + e.Reason
 	}
-	return fmt.Sprintf("stream: rejected (%v): %s", e.Code, e.Reason)
+	if e.RetryAfter > 0 {
+		s += fmt.Sprintf(" (retry after %v)", e.RetryAfter)
+	}
+	return s
 }
 
 // Accept is the server's handshake reply describing the stream. Version 0
@@ -204,6 +243,11 @@ type Accept struct {
 	RecvUnixMicro int64
 	// SendUnixMicro is the server's clock when the Accept was written (T2).
 	SendUnixMicro int64
+	// Token is the opaque resume token (v4+): a reconnecting client
+	// replays it in its Hello so the server correlates the connections as
+	// one logical session and a publisher can reclaim its parked channel.
+	// Empty on pre-v4 sessions or when the server issues none.
+	Token string
 }
 
 // FramePacket carries one coded frame plus its RoI coordinates. On v2
@@ -273,6 +317,23 @@ type Subscribe struct {
 	SendUnixMicro int64
 }
 
+// PingPacket is a v4 liveness probe. Either endpoint may send one at any
+// point after the handshake; the receiver must answer with a Pong echoing
+// Seq and SendUnixMicro. The timestamp is the *pinger's* clock — the
+// responder never interprets it, so RTT sampling needs no clock sync.
+type PingPacket struct {
+	Seq           uint32
+	SendUnixMicro int64
+}
+
+// PongPacket answers a Ping: Seq and EchoUnixMicro are copied from the
+// ping, so the pinger computes RTT = now − EchoUnixMicro on its own clock
+// and matches responses to probes by sequence number.
+type PongPacket struct {
+	Seq           uint32
+	EchoUnixMicro int64
+}
+
 // writeMsg frames a message body.
 func writeMsg(w io.Writer, t MsgType, body []byte) error {
 	if len(body) > MaxBody {
@@ -328,13 +389,17 @@ func (b *byteReader) ReadByte() (byte, error) {
 // encoding (exactly the pre-versioning bytes); version ≥ 2 appends the
 // version and send timestamp as trailing uvarints, which v1-era parsers of
 // this package reject but the v2 parser accepts from either era; version
-// ≥ 3 additionally appends the publish-channel name (length + raw bytes).
+// ≥ 3 additionally appends the publish-channel name (length + raw bytes);
+// version ≥ 4 appends the resume token the same way.
 func WriteHello(w io.Writer, h Hello) error {
 	if len(h.Device) > 255 {
 		return fmt.Errorf("%w: device name too long", ErrProtocol)
 	}
 	if len(h.Channel) > 255 {
 		return fmt.Errorf("%w: channel name too long", ErrProtocol)
+	}
+	if len(h.ResumeToken) > 255 {
+		return fmt.Errorf("%w: resume token too long", ErrProtocol)
 	}
 	body := []byte{byte(len(h.Device))}
 	body = append(body, h.Device...)
@@ -347,6 +412,10 @@ func WriteHello(w io.Writer, h Hello) error {
 	if h.Version >= ProtocolV3 {
 		body = binary.AppendUvarint(body, uint64(len(h.Channel)))
 		body = append(body, h.Channel...)
+	}
+	if h.Version >= ProtocolV4 {
+		body = binary.AppendUvarint(body, uint64(len(h.ResumeToken)))
+		body = append(body, h.ResumeToken...)
 	}
 	return writeMsg(w, MsgHello, body)
 }
@@ -385,17 +454,24 @@ func parseHello(body []byte) (Hello, error) {
 	case h.Version >= ProtocolV3 && len(rest) > 0:
 		// The v3 extension: channel name as uvarint length + raw bytes.
 		// Absent means no channel (an older build announcing a future
-		// version never wrote one). Bytes beyond the channel belong to a
-		// future version — ignored, the leniency v4 will rely on.
-		clen, m := binary.Uvarint(rest)
+		// version never wrote one).
+		var m int
+		h.Channel, rest, m = readLenBytes(rest)
 		if m <= 0 {
-			return h, fmt.Errorf("%w: truncated channel length", ErrProtocol)
-		}
-		rest = rest[m:]
-		if uint64(len(rest)) < clen {
 			return h, fmt.Errorf("%w: truncated channel name", ErrProtocol)
 		}
-		h.Channel = string(rest[:clen])
+		if h.Version >= ProtocolV4 && len(rest) > 0 {
+			// The v4 extension: resume token, same length + raw-bytes
+			// shape. Absent means no token (a v3 build announcing a
+			// future version never wrote one). Bytes beyond the token
+			// belong to a future version — ignored, the leniency v5 will
+			// rely on.
+			h.ResumeToken, rest, m = readLenBytes(rest)
+			if m <= 0 {
+				return h, fmt.Errorf("%w: truncated resume token", ErrProtocol)
+			}
+		}
+		_ = rest
 	case len(rest) > 0:
 		// Pre-v3 leniency: trailing fields must still be well-formed
 		// uvarints (newer versions append fields, not arbitrary bytes).
@@ -407,6 +483,21 @@ func parseHello(body []byte) (Hello, error) {
 		return h, fmt.Errorf("%w: non-positive hello fields", ErrProtocol)
 	}
 	return h, nil
+}
+
+// readLenBytes reads one uvarint-length-prefixed byte string, returning it
+// plus the unread remainder. m <= 0 signals truncation (a length promising
+// more bytes than the body holds, or a malformed length varint).
+func readLenBytes(body []byte) (s string, rest []byte, m int) {
+	n, m := binary.Uvarint(body)
+	if m <= 0 {
+		return "", nil, -1
+	}
+	body = body[m:]
+	if uint64(len(body)) < n {
+		return "", nil, -1
+	}
+	return string(body[:n]), body[n:], m
 }
 
 // WriteSubscribe sends a Subscribe message (v3): channel + device as
@@ -467,8 +558,12 @@ func parseSubscribe(body []byte) (Subscribe, error) {
 
 // WriteAccept sends an Accept message. Version 0 (and 1) emits the
 // original v1 encoding; version ≥ 2 appends the negotiated version and the
-// server's receive/send clock pair.
+// server's receive/send clock pair; version ≥ 4 appends the resume token
+// (length + raw bytes).
 func WriteAccept(w io.Writer, a Accept) error {
+	if len(a.Token) > 255 {
+		return fmt.Errorf("%w: resume token too long", ErrProtocol)
+	}
 	var body []byte
 	for _, v := range []int{a.Width, a.Height, a.GOPSize, a.QStep} {
 		body = binary.AppendUvarint(body, uint64(v))
@@ -478,13 +573,20 @@ func WriteAccept(w io.Writer, a Accept) error {
 		body = binary.AppendUvarint(body, clampMicro(a.RecvUnixMicro))
 		body = binary.AppendUvarint(body, clampMicro(a.SendUnixMicro))
 	}
+	if a.Version >= ProtocolV4 {
+		body = binary.AppendUvarint(body, uint64(len(a.Token)))
+		body = append(body, a.Token...)
+	}
 	return writeMsg(w, MsgAccept, body)
 }
 
 func parseAccept(body []byte) (Accept, error) {
-	vals, err := readUvarintsAll(body, 4)
+	vals, rest, err := readUvarintsUpTo(body, 7)
 	if err != nil {
 		return Accept{}, err
+	}
+	if len(vals) < 4 {
+		return Accept{}, fmt.Errorf("%w: %d accept fields, want at least 4", ErrProtocol, len(vals))
 	}
 	a := Accept{Width: int(vals[0]), Height: int(vals[1]), GOPSize: int(vals[2]), QStep: int(vals[3])}
 	if len(vals) >= 5 {
@@ -493,6 +595,22 @@ func parseAccept(body []byte) (Accept, error) {
 	if len(vals) >= 7 {
 		a.RecvUnixMicro = int64(vals[5])
 		a.SendUnixMicro = int64(vals[6])
+	}
+	switch {
+	case a.Version >= ProtocolV4 && len(rest) > 0:
+		// The v4 extension: resume token. Absent means none issued; bytes
+		// beyond it belong to a future version and are ignored.
+		var m int
+		a.Token, _, m = readLenBytes(rest)
+		if m <= 0 {
+			return Accept{}, fmt.Errorf("%w: truncated resume token", ErrProtocol)
+		}
+	case len(rest) > 0:
+		// Pre-v4 leniency: trailing fields must still be well-formed
+		// uvarints (newer versions append fields, not arbitrary bytes).
+		if _, err := readUvarintsAll(rest, 0); err != nil {
+			return Accept{}, err
+		}
 	}
 	if a.Width <= 0 || a.Height <= 0 || a.GOPSize <= 0 || a.QStep <= 0 {
 		return Accept{}, fmt.Errorf("%w: non-positive accept fields", ErrProtocol)
@@ -509,13 +627,18 @@ func clampMicro(v int64) uint64 {
 	return uint64(v)
 }
 
-// WriteReject sends a Reject message.
+// WriteReject sends a Reject message. A non-zero RetryAfterMs rides as a
+// trailing uvarint; callers must only set it for peers that announced v4+
+// (older parsers reject trailing bytes as corruption).
 func WriteReject(w io.Writer, rej Reject) error {
 	if len(rej.Reason) > 255 {
 		rej.Reason = rej.Reason[:255]
 	}
 	body := []byte{byte(rej.Code), byte(len(rej.Reason))}
 	body = append(body, rej.Reason...)
+	if rej.RetryAfterMs > 0 {
+		body = binary.AppendUvarint(body, uint64(rej.RetryAfterMs))
+	}
 	return writeMsg(w, MsgReject, body)
 }
 
@@ -525,11 +648,50 @@ func parseReject(body []byte) (Reject, error) {
 	}
 	rej := Reject{Code: RejectCode(body[0])}
 	n := int(body[1])
-	if len(body) != 2+n {
-		return Reject{}, fmt.Errorf("%w: reject reason length %d != %d", ErrProtocol, n, len(body)-2)
+	if len(body) < 2+n {
+		return Reject{}, fmt.Errorf("%w: reject reason length %d > %d", ErrProtocol, n, len(body)-2)
 	}
-	rej.Reason = string(body[2:])
+	rej.Reason = string(body[2 : 2+n])
+	if rest := body[2+n:]; len(rest) > 0 {
+		// The v4 extension: retry-after hint, then future-version leniency.
+		vals, err := readUvarintsAll(rest, 1)
+		if err != nil {
+			return Reject{}, err
+		}
+		rej.RetryAfterMs = uint32(vals[0])
+	}
 	return rej, nil
+}
+
+// WritePing sends a liveness probe (v4).
+func WritePing(w io.Writer, p PingPacket) error {
+	body := binary.AppendUvarint(nil, uint64(p.Seq))
+	body = binary.AppendUvarint(body, clampMicro(p.SendUnixMicro))
+	return writeMsg(w, MsgPing, body)
+}
+
+func parsePing(body []byte) (PingPacket, error) {
+	vals, err := readUvarintsAll(body, 2)
+	if err != nil {
+		return PingPacket{}, err
+	}
+	return PingPacket{Seq: uint32(vals[0]), SendUnixMicro: int64(vals[1])}, nil
+}
+
+// WritePong answers a Ping (v4), echoing its sequence number and
+// timestamp.
+func WritePong(w io.Writer, p PongPacket) error {
+	body := binary.AppendUvarint(nil, uint64(p.Seq))
+	body = binary.AppendUvarint(body, clampMicro(p.EchoUnixMicro))
+	return writeMsg(w, MsgPong, body)
+}
+
+func parsePong(body []byte) (PongPacket, error) {
+	vals, err := readUvarintsAll(body, 2)
+	if err != nil {
+		return PongPacket{}, err
+	}
+	return PongPacket{Seq: uint32(vals[0]), EchoUnixMicro: int64(vals[1])}, nil
 }
 
 // WriteFrame sends a FramePacket. When the packet carries trace identity
@@ -718,6 +880,8 @@ type Msg struct {
 	Reject    *Reject
 	Stats     *StatsPacket
 	Subscribe *Subscribe
+	Ping      *PingPacket
+	Pong      *PongPacket
 }
 
 // ReadMsg reads and decodes the next message from r.
@@ -771,6 +935,18 @@ func ReadMsg(r io.Reader) (Msg, error) {
 			return Msg{}, err
 		}
 		out.Subscribe = &sub
+	case MsgPing:
+		p, err := parsePing(body)
+		if err != nil {
+			return Msg{}, err
+		}
+		out.Ping = &p
+	case MsgPong:
+		p, err := parsePong(body)
+		if err != nil {
+			return Msg{}, err
+		}
+		out.Pong = &p
 	default:
 		return Msg{}, fmt.Errorf("%w: unknown message type %d", ErrProtocol, t)
 	}

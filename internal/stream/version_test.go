@@ -19,8 +19,9 @@ func TestNegotiateVersion(t *testing.T) {
 		{1, ProtocolV1},
 		{2, ProtocolV2},
 		{3, ProtocolV3},
-		{4, ProtocolV3}, // future client negotiates down to what we speak
-		{99, ProtocolV3},
+		{4, ProtocolV4},
+		{5, ProtocolV4}, // future client negotiates down to what we speak
+		{99, ProtocolV4},
 	}
 	for _, c := range cases {
 		if got := NegotiateVersion(c.client); got != c.want {
