@@ -45,7 +45,6 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"log"
 	"math/rand"
 	"net"
 	"net/http"
@@ -56,6 +55,8 @@ import (
 
 	"gamestreamsr/internal/codec"
 	"gamestreamsr/internal/device"
+	"gamestreamsr/internal/diag"
+	"gamestreamsr/internal/diag/logx"
 	"gamestreamsr/internal/frame"
 	"gamestreamsr/internal/frametrace"
 	"gamestreamsr/internal/sr"
@@ -83,7 +84,8 @@ func main() {
 	flag.DurationVar(&cfg.ping, "ping", stream.DefaultPingInterval, "heartbeat interval on v4 sessions (0 disables pings)")
 	flag.Parse()
 	if cfg.channel != "" && cfg.spectate != "" {
-		log.Fatal("-channel and -spectate are mutually exclusive: publish or spectate, not both")
+		logx.Error("-channel and -spectate are mutually exclusive: publish or spectate, not both")
+		os.Exit(1)
 	}
 
 	// SIGINT/SIGTERM end the session cleanly: the signal context triggers a
@@ -92,7 +94,8 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	if err := run(ctx, cfg); err != nil {
-		log.Fatal(err)
+		logx.Error("gssr-client exiting", "err", err)
+		os.Exit(1)
 	}
 }
 
@@ -140,7 +143,7 @@ func dialHandshake(addr string, hello stream.Hello) (net.Conn, *stream.Client, s
 	if errors.As(err, &rej) || hello.Version < stream.ProtocolV2 {
 		return nil, nil, stream.Accept{}, err
 	}
-	log.Printf("v2 handshake failed (%v); retrying with a v1 hello", err)
+	logx.Warn("v2 handshake failed; retrying with a v1 hello", "err", err)
 	hello.Version, hello.SendUnixMicro, hello.Channel, hello.ResumeToken = 0, 0, "", ""
 	return connect(addr, hello)
 }
@@ -249,7 +252,7 @@ func run(ctx context.Context, cc clientConfig) error {
 		}
 		attempt++
 		st.reconnects++
-		log.Printf("session lost (%v); reconnect %d/%d in %v", sessErr, attempt, cc.reconnect, wait.Round(time.Millisecond))
+		logx.Warn("session lost; reconnecting", "err", sessErr, "attempt", attempt, "max", cc.reconnect, "wait", wait.Round(time.Millisecond))
 		select {
 		case <-time.After(wait):
 		case <-ctx.Done():
@@ -264,19 +267,20 @@ func run(ctx context.Context, cc clientConfig) error {
 		}
 	}
 	elapsed := time.Since(start)
-	log.Printf("received %d frames, %.1f KB total, %.1f FPS wall-clock (%d dropped, %d deadline misses, %d reconnects)",
-		st.frames, float64(st.bytes)/1024, float64(st.frames)/elapsed.Seconds(), st.dropped, st.misses, st.reconnects)
+	logx.Info("session summary", "frames", st.frames, "kb", fmt.Sprintf("%.1f", float64(st.bytes)/1024),
+		"fps", fmt.Sprintf("%.1f", float64(st.frames)/elapsed.Seconds()),
+		"dropped", st.dropped, "misses", st.misses, "reconnects", st.reconnects)
 	if cc.flightPath != "" {
 		if err := writeFlight(cc.flightPath, st.rec); err != nil {
 			return err
 		}
-		log.Printf("flight dump written to %s", cc.flightPath)
+		logx.Info("flight dump written", "path", cc.flightPath)
 	}
 	if cc.save != "" && st.lastUp != nil {
 		if err := st.lastUp.SavePPM(cc.save); err != nil {
 			return err
 		}
-		log.Printf("last upscaled frame saved to %s", cc.save)
+		logx.Info("last upscaled frame saved", "path", cc.save)
 	}
 	return sessErr
 }
@@ -318,15 +322,15 @@ func runSession(ctx context.Context, cc clientConfig, dev *device.Profile, st *s
 	clock := c.Clock()
 	switch {
 	case cc.spectate != "":
-		log.Printf("spectating %q: %dx%d, GOP %d, q %d (protocol v%d)", cc.spectate, cfg.Width, cfg.Height, cfg.GOPSize, cfg.QStep, max(cfg.Version, 1))
+		logx.Info("spectating", "channel", cc.spectate, "width", cfg.Width, "height", cfg.Height, "gop", cfg.GOPSize, "q", cfg.QStep, "protocol", max(cfg.Version, 1))
 	case cc.channel != "":
-		log.Printf("publishing %q: %dx%d, GOP %d, q %d (protocol v%d)", cc.channel, cfg.Width, cfg.Height, cfg.GOPSize, cfg.QStep, max(cfg.Version, 1))
+		logx.Info("publishing", "channel", cc.channel, "width", cfg.Width, "height", cfg.Height, "gop", cfg.GOPSize, "q", cfg.QStep, "protocol", max(cfg.Version, 1))
 	default:
-		log.Printf("stream: %dx%d, GOP %d, q %d (protocol v%d)", cfg.Width, cfg.Height, cfg.GOPSize, cfg.QStep, max(cfg.Version, 1))
+		logx.Info("stream up", "width", cfg.Width, "height", cfg.Height, "gop", cfg.GOPSize, "q", cfg.QStep, "protocol", max(cfg.Version, 1))
 	}
 	if clock.Synced {
-		log.Printf("clock sync: offset %v, rtt %v (offset error ≤ %v)",
-			clock.Offset.Round(time.Microsecond), clock.RTT.Round(time.Microsecond), (clock.RTT / 2).Round(time.Microsecond))
+		logx.Info("clock sync", "offset", clock.Offset.Round(time.Microsecond),
+			"rtt", clock.RTT.Round(time.Microsecond), "offset_err_bound", (clock.RTT / 2).Round(time.Microsecond))
 	}
 	if clock.Synced {
 		st.rec.SetClockSync(clock.Offset, clock.RTT)
@@ -346,7 +350,7 @@ func runSession(ctx context.Context, cc clientConfig, dev *device.Profile, st *s
 			case <-sessionDone: // session already over; nothing to interrupt
 			default:
 				close(interrupted)
-				log.Printf("interrupted: sending bye")
+				logx.Info("interrupted: sending bye")
 				_ = c.Bye()
 				conn.Close()
 			}
@@ -415,7 +419,7 @@ func runSession(ctx context.Context, cc clientConfig, dev *device.Profile, st *s
 		if err != nil {
 			// A corrupt frame is dropped, not fatal: the display freezes one
 			// frame and the drop rides the next Stats report to the server.
-			log.Printf("frame %d: dropped: %v", pkt.Index, err)
+			logx.Warn("frame dropped", "frame", pkt.Index, "err", err)
 			st.rec.SetFrozen(fid)
 			st.dropped++
 			continue
@@ -488,7 +492,7 @@ func runSession(ctx context.Context, cc clientConfig, dev *device.Profile, st *s
 		st.frames++
 		st.bytes += len(pkt.Payload)
 		if pkt.Keyenc {
-			log.Printf("frame %d (reference): %d B, RoI %v", pkt.Index, len(pkt.Payload), pkt.RoI)
+			logx.Debug("reference frame", "frame", pkt.Index, "bytes", len(pkt.Payload), "roi", pkt.RoI)
 		}
 
 		// The telemetry backchannel: windowed percentiles every N frames,
@@ -507,12 +511,12 @@ func runSession(ctx context.Context, cc clientConfig, dev *device.Profile, st *s
 			if err := c.SendStats(p); err != nil {
 				// Not fatal: a report can race the server's end-of-stream
 				// close. A real disconnect surfaces on the receive path.
-				log.Printf("stats report %d not delivered: %v", p.Seq, err)
+				logx.Warn("stats report not delivered", "seq", p.Seq, "err", err)
 			}
 		}
 	}
 	if rtt, pongs := c.PingRTT(); pongs > 0 {
-		log.Printf("heartbeat: %d pongs, last rtt %v", pongs, rtt.Round(time.Microsecond))
+		logx.Info("heartbeat", "pongs", pongs, "rtt", rtt.Round(time.Microsecond))
 	}
 	// Clean shutdown: say goodbye before dropping the connection (the
 	// interrupt path already did).
@@ -559,10 +563,12 @@ func serveMetrics(addr string, reg *telemetry.Registry, flight telemetry.FlightD
 	if err != nil {
 		return fmt.Errorf("metrics listener: %w", err)
 	}
-	log.Printf("telemetry on http://%s/metrics (JSON at /metrics.json, flight dumps at /debug/flight, profiles at /debug/pprof/)", ml.Addr())
+	diag.RegisterBuildInfo(reg)
+	logx.Info("telemetry up", "url", fmt.Sprintf("http://%s/metrics", ml.Addr()),
+		"endpoints", "/metrics.json /debug/flight /debug/pprof/")
 	go func() {
 		if err := http.Serve(ml, telemetry.Handler(reg, flight)); err != nil {
-			log.Printf("telemetry server stopped: %v", err)
+			logx.Warn("telemetry server stopped", "err", err)
 		}
 	}()
 	return nil

@@ -50,14 +50,16 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
 	"net"
 	"net/http"
+	"os"
 	"sync/atomic"
 	"time"
 
 	"gamestreamsr/internal/bufpool"
 	"gamestreamsr/internal/codec"
+	"gamestreamsr/internal/diag"
+	"gamestreamsr/internal/diag/logx"
 	"gamestreamsr/internal/faultnet"
 	"gamestreamsr/internal/frame"
 	"gamestreamsr/internal/games"
@@ -89,13 +91,20 @@ func main() {
 	idleTimeout := flag.Duration("idle-timeout", 0, "reap v4 sessions silent (no heartbeat) this long (0 = default, negative disables)")
 	parkGrace := flag.Duration("park-grace", 0, "keep a dropped publisher's channel parked this long awaiting a resume reclaim (0 = default, negative disables)")
 	fault := flag.String("fault", "", "chaos script applied to every accepted connection, e.g. \"latency=5ms,jitter=2ms,reset@96KB\" (see internal/faultnet)")
+	deadline := flag.Duration("deadline", 0, "per-frame budget the flight recorders account against (0 = 60 FPS frame time)")
+	diagDir := flag.String("diag", "", "directory for SLO-triggered diagnostic capture bundles; also arms the continuous profile ring and /debug/diag")
+	verbose := flag.Bool("v", false, "log at debug level")
 	flag.Parse()
 
+	if *verbose {
+		logx.Default().SetLevel(logx.LevelDebug)
+	}
 	cfg := serverConfig{
 		addr: *addr, gameID: *gameID, frames: *frames, width: *width, height: *height,
 		gop: *gop, qstep: *qstep, metricsAddr: *metricsAddr, flight: *flight,
 		maxSessions: *maxSessions, maxSubs: *maxSubs, subQueue: *subQueue,
 		idleTimeout: *idleTimeout, parkGrace: *parkGrace, fault: *fault,
+		deadline: *deadline, diagDir: *diagDir,
 	}
 	if *admission {
 		cfg.admission = &stream.AdmissionPolicy{MinSlack: *admissionSlack}
@@ -104,7 +113,8 @@ func main() {
 		cfg.shed = &stream.ShedPolicy{EscalateStreak: *shedStreak, RecoverFrames: *shedRecover}
 	}
 	if err := run(cfg); err != nil {
-		log.Fatal(err)
+		logx.Error("gssr-server exiting", "err", err)
+		os.Exit(1)
 	}
 }
 
@@ -119,6 +129,8 @@ type serverConfig struct {
 	shed                            *stream.ShedPolicy
 	idleTimeout, parkGrace          time.Duration
 	fault                           string
+	deadline                        time.Duration
+	diagDir                         string
 }
 
 func run(cfg serverConfig) error {
@@ -150,9 +162,9 @@ func run(cfg serverConfig) error {
 			return err
 		}
 		l = faultnet.WrapListener(l, script)
-		log.Printf("fault injection armed: %q", cfg.fault)
+		logx.Info("fault injection armed", "script", cfg.fault)
 	}
-	log.Printf("serving %s (%d frames at %dx%d) on %s", g, frames, width, height, l.Addr())
+	logx.Info("serving", "game", g, "frames", frames, "width", width, "height", height, "addr", l.Addr())
 
 	// Each client gets its own encoder + RoI detector sized to the RoI
 	// window its Hello announced (Fig. 6 step ❶); sessions run
@@ -170,8 +182,9 @@ func run(cfg serverConfig) error {
 		Shed:            cfg.shed,
 		IdleTimeout:     cfg.idleTimeout,
 		ParkGrace:       cfg.parkGrace,
+		Deadline:        cfg.deadline,
 		OnInput: func(remote string, in stream.InputPacket) {
-			log.Printf("input from %s #%d: %q", remote, in.Seq, in.Payload)
+			logx.Info("input", "session", remote, "seq", in.Seq, "payload", string(in.Payload))
 		},
 		NewSource: func(h stream.Hello) (stream.FrameSource, error) {
 			if h.RoIWindow < 8 || h.RoIWindow > width || h.RoIWindow > height {
@@ -204,14 +217,27 @@ func run(cfg serverConfig) error {
 					detShrunk = d
 				}
 			}
-			log.Printf("hello from %q: RoI window %d, scale %d", h.Device, h.RoIWindow, h.Scale)
+			logx.Info("hello", "device", h.Device, "roi_window", h.RoIWindow, "scale", h.Scale)
 			return &gameSource{game: g, enc: enc, det: det, detShrunk: detShrunk, rd: &render.Renderer{}, w: width, h: height}, nil
 		},
+	}
+	var d *diag.Diag
+	if cfg.diagDir != "" {
+		// Always-on diagnostics: the continuous profile ring samples in the
+		// background, and the MultiServer's SLO watchdog (miss streaks, shed
+		// escalations, admission rejects, reaps) freezes capture bundles
+		// into the directory. The process-wide logx ring rides along in
+		// every bundle.
+		d = diag.New(diag.Config{Metrics: reg, Flight: srv, Log: logx.Default(), Dir: cfg.diagDir})
+		d.Start()
+		defer d.Close()
+		srv.Diag = d
+		logx.Info("diagnostics armed", "dir", cfg.diagDir)
 	}
 	if metricsAddr != "" {
 		// The MultiServer itself is the FlightDumper: /debug/flight merges
 		// every retained session's window into one Perfetto trace.
-		if err := serveMetrics(metricsAddr, reg, srv); err != nil {
+		if err := serveMetrics(metricsAddr, reg, srv, d); err != nil {
 			return err
 		}
 	}
@@ -219,17 +245,24 @@ func run(cfg serverConfig) error {
 }
 
 // serveMetrics starts the telemetry endpoint (/metrics, /metrics.json,
-// /debug/flight, /debug/pprof) on addr, fed by reg and the server's
-// per-session flight recorders.
-func serveMetrics(addr string, reg *telemetry.Registry, flight telemetry.FlightDumper) error {
+// /debug/flight, /debug/pprof, and — when diagnostics are armed —
+// /debug/diag) on addr, fed by reg and the server's per-session flight
+// recorders.
+func serveMetrics(addr string, reg *telemetry.Registry, flight telemetry.FlightDumper, d *diag.Diag) error {
 	ml, err := net.Listen("tcp", addr)
 	if err != nil {
 		return fmt.Errorf("metrics listener: %w", err)
 	}
-	log.Printf("telemetry on http://%s/metrics (JSON at /metrics.json, flight dumps at /debug/flight, profiles at /debug/pprof/)", ml.Addr())
+	diag.RegisterBuildInfo(reg)
+	mux := telemetry.Handler(reg, flight)
+	if d != nil {
+		mux.Handle("/debug/diag", d.Handler())
+	}
+	logx.Info("telemetry up", "url", fmt.Sprintf("http://%s/metrics", ml.Addr()),
+		"endpoints", "/metrics.json /debug/flight /debug/pprof/ /debug/diag")
 	go func() {
-		if err := http.Serve(ml, telemetry.Handler(reg, flight)); err != nil {
-			log.Printf("telemetry server stopped: %v", err)
+		if err := http.Serve(ml, mux); err != nil {
+			logx.Warn("telemetry server stopped", "err", err)
 		}
 	}()
 	return nil

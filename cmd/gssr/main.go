@@ -35,7 +35,6 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"log"
 	"net"
 	"net/http"
 	"os"
@@ -46,6 +45,8 @@ import (
 
 	gssr "gamestreamsr"
 	"gamestreamsr/internal/codec"
+	"gamestreamsr/internal/diag"
+	"gamestreamsr/internal/diag/logx"
 	"gamestreamsr/internal/experiments"
 	"gamestreamsr/internal/faultnet"
 	"gamestreamsr/internal/frame"
@@ -79,6 +80,8 @@ func run(args []string) error {
 		return cmdSim(args[1:])
 	case "trace":
 		return cmdTrace(args[1:])
+	case "diag":
+		return cmdDiag(args[1:])
 	case "report":
 		return cmdReport(args[1:])
 	case "help", "-h", "--help":
@@ -97,6 +100,7 @@ func usage() {
   gssr sim [-game G3] [-device s8] [-pipeline ours|nemo|srdec] [-frames N] [-gop N] [-simdiv N] [-json out.json] [-metrics :9090] [-flight out.json]
   gssr trace [-width N] <flight.json>
   gssr trace -merge [-o merged.json] <server.json> <client.json>
+  gssr diag [-top N] <bundle.json>
   gssr report <out.md> [-simdiv N] [-gop N] [-games G1,G3]
   gssr render <game> <frame> <out.ppm>
   gssr roi <game> <frame> <out-dir>`)
@@ -521,6 +525,32 @@ func cmdTrace(args []string) error {
 	return nil
 }
 
+// cmdDiag renders an SLO capture bundle (written by a `gssr-server -diag`
+// watchdog trigger, or fetched from /debug/diag) as a terminal report: the
+// trigger reason and detail, build and runtime state, per-session/per-stage
+// CPU attribution from the bundled profile, the hottest functions, the
+// flight-trace frame summary around the trigger, and the recent log lines.
+func cmdDiag(args []string) error {
+	fs := flag.NewFlagSet("diag", flag.ContinueOnError)
+	top := fs.Int("top", 10, "rows per CPU attribution table")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("diag: want one <bundle.json> (from -diag's bundle dir or /debug/diag)")
+	}
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	b, err := diag.ParseBundle(f)
+	if err != nil {
+		return fmt.Errorf("%s: %w", fs.Arg(0), err)
+	}
+	return diag.RenderBundle(os.Stdout, b, *top)
+}
+
 // mergeTraces fuses a server flight dump and a client flight dump into one
 // Chrome/Perfetto trace: every process from both files is rebased onto one
 // reference clock (frametrace.AlignDumps — client epochs corrected by their
@@ -674,10 +704,12 @@ func serveMetrics(addr string, reg *telemetry.Registry, rec *frametrace.Recorder
 	if rec != nil {
 		fd = rec
 	}
-	log.Printf("telemetry on http://%s/metrics (JSON at /metrics.json, flight dump at /debug/flight, profiles at /debug/pprof/)", ml.Addr())
+	diag.RegisterBuildInfo(reg)
+	logx.Info("telemetry up", "url", fmt.Sprintf("http://%s/metrics", ml.Addr()),
+		"endpoints", "/metrics.json /debug/flight /debug/pprof/")
 	go func() {
 		if err := http.Serve(ml, telemetry.Handler(reg, fd)); err != nil {
-			log.Printf("telemetry server stopped: %v", err)
+			logx.Warn("telemetry server stopped", "err", err)
 		}
 	}()
 	return nil

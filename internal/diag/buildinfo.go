@@ -1,0 +1,52 @@
+package diag
+
+import (
+	"strings"
+
+	"gamestreamsr/internal/telemetry"
+)
+
+// RegisterBuildInfo publishes the binary's build identity to the
+// registry so every /metrics snapshot — and therefore every bundle — is
+// self-describing. The registry's metric names are flat (no labels), so
+// the string-valued facts ride in the metric *name*, Prometheus
+// info-metric style: a constant-1 gauge per fact.
+//
+//	gssr_build_info                      1
+//	gssr_build_info_go_go1_24_0          1  (Go toolchain)
+//	gssr_build_info_version_v1_2_3      (1, only when a module version
+//	                                     or VCS revision is stamped)
+//	gssr_build_gomaxprocs                live GOMAXPROCS
+//	gssr_build_num_cpu                   machine CPUs
+//
+// Safe on a nil registry; repeat registration is idempotent.
+func RegisterBuildInfo(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	b := Build()
+	reg.Gauge("gssr_build_info").Set(1)
+	reg.Gauge("gssr_build_info_go_" + metricToken(b.GoVersion)).Set(1)
+	if b.Version != "" && b.Version != "(devel)" {
+		reg.Gauge("gssr_build_info_version_" + metricToken(b.Version)).Set(1)
+	} else if b.Revision != "" {
+		reg.Gauge("gssr_build_info_rev_" + metricToken(b.Revision)).Set(1)
+	}
+	reg.GaugeFunc("gssr_build_gomaxprocs", func() int64 { return int64(Build().GOMAXPROCS) })
+	reg.Gauge("gssr_build_num_cpu").Set(int64(b.NumCPU))
+}
+
+// metricToken maps a free-form identity string to the metric-name
+// charset: lowercase alphanumerics with everything else collapsed to _.
+func metricToken(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			return r
+		case r >= 'A' && r <= 'Z':
+			return r + ('a' - 'A')
+		default:
+			return '_'
+		}
+	}, s)
+}

@@ -1,0 +1,312 @@
+package diag
+
+import (
+	"bytes"
+	"context"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"runtime/pprof"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"gamestreamsr/internal/diag/logx"
+	"gamestreamsr/internal/telemetry"
+)
+
+// burn spins real CPU so the profiler has something to sample. The sink
+// defeats dead-code elimination; burners run concurrently, so it is atomic.
+var burnSink atomic.Uint64
+
+func burn(d time.Duration) {
+	deadline := time.Now().Add(d)
+	x := uint64(12345)
+	for time.Now().Before(deadline) {
+		for i := 0; i < 1<<14; i++ {
+			x = x*6364136223846793005 + 1442695040888963407
+		}
+		burnSink.Add(x)
+	}
+}
+
+// profileWithLabels captures a CPU profile of concurrent labeled burners.
+func profileWithLabels(t *testing.T, d time.Duration) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := pprof.StartCPUProfile(&buf); err != nil {
+		t.Skipf("cpu profiler busy: %v", err)
+	}
+	var wg sync.WaitGroup
+	for _, sess := range []string{"sess-a", "sess-b"} {
+		wg.Add(1)
+		go func(sess string) {
+			defer wg.Done()
+			pprof.Do(context.Background(), pprof.Labels("session", sess, "stage", "burn"), func(context.Context) {
+				burn(d)
+			})
+		}(sess)
+	}
+	wg.Wait()
+	pprof.StopCPUProfile()
+	return buf.Bytes()
+}
+
+func TestParseProfileLabelsAndStacks(t *testing.T) {
+	data := profileWithLabels(t, 300*time.Millisecond)
+	p, err := ParseProfile(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.SampleType) == 0 {
+		t.Fatal("no sample types decoded")
+	}
+	vi := p.CPUIndex()
+	if st := p.SampleType[vi]; st.Type != "cpu" || st.Unit != "nanoseconds" {
+		t.Errorf("CPUIndex resolved %v, want cpu/nanoseconds", st)
+	}
+	if len(p.Samples) == 0 {
+		t.Skip("profiler returned no samples (starved CI runner)")
+	}
+	var labeled, inBurn int64
+	sessions := map[string]bool{}
+	for _, s := range p.Samples {
+		if sess, ok := s.Labels["session"]; ok {
+			labeled += s.Value[vi]
+			sessions[sess] = true
+			if s.Labels["stage"] != "burn" {
+				t.Errorf("sample with session %q carries stage %q", sess, s.Labels["stage"])
+			}
+		}
+		for _, fn := range s.Stack {
+			if strings.Contains(fn, "diag.burn") {
+				inBurn += s.Value[vi]
+				break
+			}
+		}
+	}
+	if labeled == 0 {
+		t.Error("no sample carried the session label")
+	}
+	if inBurn == 0 {
+		t.Error("no sample's stack resolved to diag.burn — symbolisation broken")
+	}
+	if !sessions["sess-a"] && !sessions["sess-b"] {
+		t.Errorf("neither session label observed: %v", sessions)
+	}
+}
+
+func TestParseProfileRejectsGarbage(t *testing.T) {
+	if _, err := ParseProfile([]byte{0x1f, 0x8b, 0xff}); err == nil {
+		t.Error("truncated gzip accepted")
+	}
+	// Non-gzip garbage: field tags that demand more bytes than exist.
+	if _, err := ParseProfile([]byte{0x0a, 0xff}); err == nil {
+		t.Error("truncated protobuf accepted")
+	}
+}
+
+func TestSamplerRings(t *testing.T) {
+	s := NewSampler(SamplerConfig{Period: 80 * time.Millisecond, Duration: 20 * time.Millisecond, Ring: 2, RuntimeRing: 3})
+	s.Start()
+	defer s.Stop()
+	go burn(200 * time.Millisecond)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, ok := s.LatestProfile(); ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			captures, skips := s.Stats()
+			t.Fatalf("no profile captured in 5s (captures %d, skips %d)", captures, skips)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	p, _ := s.LatestProfile()
+	if _, err := ParseProfile(p.Data); err != nil {
+		t.Errorf("ring profile unparseable: %v", err)
+	}
+	if snaps := s.Snapshots(); len(snaps) == 0 {
+		t.Error("no runtime snapshots")
+	} else {
+		last := snaps[len(snaps)-1]
+		if last.Goroutines <= 0 {
+			t.Errorf("goroutines = %d, want > 0", last.Goroutines)
+		}
+		if last.HeapLiveBytes == 0 {
+			t.Error("heap live bytes = 0")
+		}
+		if len(snaps) > 3 {
+			t.Errorf("runtime ring grew to %d, bound is 3", len(snaps))
+		}
+	}
+	s.Stop() // idempotent
+}
+
+func TestTriggerHysteresis(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	log := logx.New(logx.Config{Out: &bytes.Buffer{}, Ring: 16})
+	log.Warn("before trigger", "frame", 7)
+	dir := t.TempDir()
+	d := New(Config{Metrics: reg, Log: log, Dir: dir, Cooldown: time.Hour})
+	defer d.Close()
+
+	if !d.Trigger("miss_streak", "session", "s1", "streak", 9) {
+		t.Fatal("first trigger suppressed")
+	}
+	for i := 0; i < 5; i++ {
+		if d.Trigger("miss_streak") {
+			t.Fatal("trigger inside cooldown captured a bundle")
+		}
+	}
+	if got := d.BundleCount(); got != 1 {
+		t.Fatalf("bundle count = %d, want 1", got)
+	}
+	b := d.Latest()
+	if b == nil || b.Reason != "miss_streak" || b.Detail["session"] != "s1" {
+		t.Fatalf("bundle = %+v", b)
+	}
+	if b.Goroutines == "" || !strings.Contains(b.Goroutines, "goroutine profile") {
+		t.Error("bundle missing goroutine dump")
+	}
+	found := false
+	for _, e := range b.Logs {
+		if strings.Contains(e.Line, "before trigger") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("bundle missing the pre-trigger log line")
+	}
+	if len(b.Metrics) == 0 || !bytes.Contains(b.Metrics, []byte("diag_bundles_total")) {
+		t.Error("bundle missing the metrics snapshot")
+	}
+
+	// The bundle file round-trips through ParseBundle and renders.
+	path := filepath.Join(dir, "bundle-000001.json")
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatalf("bundle file: %v", err)
+	}
+	defer f.Close()
+	parsed, err := ParseBundle(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.Seq != 1 || parsed.Reason != "miss_streak" {
+		t.Errorf("parsed bundle seq %d reason %q", parsed.Seq, parsed.Reason)
+	}
+	var out bytes.Buffer
+	if err := RenderBundle(&out, parsed, 5); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"diag bundle #1", "reason: miss_streak", "session=s1", "recent log lines"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("render missing %q:\n%s", want, out.String())
+		}
+	}
+	s := reg.Snapshot()
+	if got := s.Counter("diag_bundles_total"); got != 1 {
+		t.Errorf("diag_bundles_total = %d, want 1", got)
+	}
+	if got := s.Counter("diag_triggers_suppressed_total"); got != 5 {
+		t.Errorf("diag_triggers_suppressed_total = %d, want 5", got)
+	}
+}
+
+func TestTriggerCooldownExpires(t *testing.T) {
+	d := New(Config{Cooldown: 30 * time.Millisecond, Log: logx.New(logx.Config{Out: &bytes.Buffer{}})})
+	defer d.Close()
+	if !d.Trigger("one") {
+		t.Fatal("first trigger suppressed")
+	}
+	if d.Trigger("two") {
+		t.Fatal("second trigger inside cooldown")
+	}
+	time.Sleep(60 * time.Millisecond)
+	if !d.Trigger("three") {
+		t.Fatal("trigger after cooldown suppressed")
+	}
+	if got := d.BundleCount(); got != 2 {
+		t.Errorf("bundle count = %d, want 2", got)
+	}
+}
+
+func TestNilDiagIsInert(t *testing.T) {
+	var d *Diag
+	d.Start()
+	d.Close()
+	if d.Trigger("x") {
+		t.Error("nil diag captured")
+	}
+	if d.Latest() != nil || d.BundleCount() != 0 || d.Sampler() != nil {
+		t.Error("nil diag not inert")
+	}
+	rr := httptest.NewRecorder()
+	d.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/debug/diag", nil))
+	if rr.Code != 404 {
+		t.Errorf("nil diag handler status %d, want 404", rr.Code)
+	}
+}
+
+func TestHandler(t *testing.T) {
+	d := New(Config{Cooldown: time.Hour, Log: logx.New(logx.Config{Out: &bytes.Buffer{}})})
+	defer d.Close()
+	h := d.Handler()
+
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/debug/diag", nil))
+	if rr.Code != 404 {
+		t.Fatalf("empty diag status %d, want 404", rr.Code)
+	}
+	rr = httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/debug/diag?trigger=1", nil))
+	if rr.Code != 200 {
+		t.Fatalf("trigger status %d, want 200", rr.Code)
+	}
+	b, err := ParseBundle(rr.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Reason != "manual" {
+		t.Errorf("reason %q, want manual", b.Reason)
+	}
+	// Cooldown holds for plain triggers; force=1 bypasses it.
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/debug/diag?trigger=1", nil))
+	if got := d.BundleCount(); got != 1 {
+		t.Fatalf("plain trigger bypassed cooldown: %d bundles", got)
+	}
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/debug/diag?trigger=1&force=1", nil))
+	if got := d.BundleCount(); got != 2 {
+		t.Errorf("forced trigger did not capture: %d bundles", got)
+	}
+}
+
+func TestRegisterBuildInfo(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	RegisterBuildInfo(reg)
+	RegisterBuildInfo(reg) // idempotent
+	RegisterBuildInfo(nil) // nil-safe
+	s := reg.Snapshot()
+	if got := s.Gauge("gssr_build_info"); got != 1 {
+		t.Errorf("gssr_build_info = %d, want 1", got)
+	}
+	if got := s.Gauge("gssr_build_gomaxprocs"); got <= 0 {
+		t.Errorf("gssr_build_gomaxprocs = %d, want > 0", got)
+	}
+	goInfo := false
+	for _, g := range s.Gauges {
+		if strings.HasPrefix(g.Name, "gssr_build_info_go_go") && g.Value == 1 {
+			goInfo = true
+		}
+	}
+	if !goInfo {
+		t.Errorf("no gssr_build_info_go_* gauge in %+v", s.Gauges)
+	}
+	b := Build()
+	if b.GoVersion == "" || b.GOMAXPROCS <= 0 || b.NumCPU <= 0 {
+		t.Errorf("Build() = %+v", b)
+	}
+}

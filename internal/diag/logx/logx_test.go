@@ -1,0 +1,146 @@
+package logx
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestLogRendering(t *testing.T) {
+	var buf bytes.Buffer
+	l := New(Config{Out: &buf, Ring: 8})
+	l.Warn("stream: slow send", "session", "10.0.0.1:9", "frame", 12, "flight", uint64(7), "took", 20*time.Millisecond)
+	line := buf.String()
+	for _, want := range []string{"WARN stream: slow send", "session=10.0.0.1:9", "frame=12", "flight=7", "took=20ms"} {
+		if !strings.Contains(line, want) {
+			t.Errorf("line %q missing %q", line, want)
+		}
+	}
+	if !strings.HasSuffix(line, "\n") {
+		t.Errorf("line not newline-terminated: %q", line)
+	}
+}
+
+func TestLevelFiltering(t *testing.T) {
+	var buf bytes.Buffer
+	l := New(Config{Out: &buf, Level: LevelWarn})
+	l.Debug("d")
+	l.Info("i")
+	l.Warn("w")
+	l.Error("e")
+	out := buf.String()
+	if strings.Contains(out, "DEBUG") || strings.Contains(out, "INFO") {
+		t.Errorf("sub-threshold lines written: %q", out)
+	}
+	if !strings.Contains(out, "WARN w") || !strings.Contains(out, "ERROR e") {
+		t.Errorf("expected warn+error lines, got %q", out)
+	}
+	if got := l.Recent(0); len(got) != 2 {
+		t.Errorf("ring holds %d entries, want 2", len(got))
+	}
+	l.SetLevel(LevelDebug)
+	if !l.Enabled(LevelDebug) {
+		t.Error("debug should be enabled after SetLevel")
+	}
+}
+
+func TestQuoting(t *testing.T) {
+	var buf bytes.Buffer
+	l := New(Config{Out: &buf})
+	l.Info("msg", "err", fmt.Errorf("boom with spaces"), "s", "a b", "plain", "ok")
+	line := buf.String()
+	for _, want := range []string{`err="boom with spaces"`, `s="a b"`, "plain=ok"} {
+		if !strings.Contains(line, want) {
+			t.Errorf("line %q missing %q", line, want)
+		}
+	}
+}
+
+func TestRingWrapAndRecent(t *testing.T) {
+	l := New(Config{Out: &bytes.Buffer{}, Ring: 4})
+	for i := 0; i < 10; i++ {
+		l.Info("line", "i", i)
+	}
+	got := l.Recent(0)
+	if len(got) != 4 {
+		t.Fatalf("ring holds %d entries, want 4", len(got))
+	}
+	for i, e := range got {
+		want := fmt.Sprintf("i=%d", 6+i)
+		if !strings.Contains(e.Line, want) {
+			t.Errorf("entry %d = %q, want suffix %q (oldest-first order)", i, e.Line, want)
+		}
+	}
+	if got2 := l.Recent(2); len(got2) != 2 || !strings.Contains(got2[1].Line, "i=9") {
+		t.Errorf("Recent(2) = %+v, want the 2 newest", got2)
+	}
+}
+
+func TestNilLoggerFallsThrough(t *testing.T) {
+	var l *Logger
+	l.Info("nil logger goes to default") // must not panic
+	if !l.Enabled(LevelInfo) {
+		t.Error("nil logger should report default's enablement")
+	}
+}
+
+func TestConcurrentLogging(t *testing.T) {
+	l := New(Config{Out: &bytes.Buffer{}, Ring: 64})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				l.Info("concurrent", "g", g, "i", i)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := len(l.Recent(0)); got != 64 {
+		t.Errorf("ring holds %d entries, want full 64", got)
+	}
+}
+
+func TestLimiter(t *testing.T) {
+	lim := NewLimiter(0.0001, 2) // effectively no refill within the test
+	for i := 0; i < 2; i++ {
+		if ok, sup := lim.Allow("a"); !ok || sup != 0 {
+			t.Fatalf("burst allow %d: ok=%v sup=%d", i, ok, sup)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		if ok, _ := lim.Allow("a"); ok {
+			t.Fatalf("allow %d after burst exhausted", i)
+		}
+	}
+	// A different key has its own bucket.
+	if ok, _ := lim.Allow("b"); !ok {
+		t.Error("key b should have a fresh bucket")
+	}
+	// Refill and observe the suppressed count.
+	lim2 := NewLimiter(1000, 1)
+	lim2.Allow("k")
+	lim2.Allow("k") // may or may not be suppressed depending on timing; force drain
+	var suppressed uint64
+	deadline := time.Now().Add(time.Second)
+	for time.Now().Before(deadline) {
+		if ok, sup := lim2.Allow("k"); ok && sup > 0 {
+			suppressed = sup
+			break
+		}
+	}
+	if suppressed == 0 {
+		t.Skip("timing did not produce a suppressed run (slow machine)")
+	}
+}
+
+func TestNilLimiterAllowsAll(t *testing.T) {
+	var lim *Limiter
+	if ok, sup := lim.Allow("x"); !ok || sup != 0 {
+		t.Errorf("nil limiter: ok=%v sup=%d", ok, sup)
+	}
+}

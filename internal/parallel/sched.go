@@ -21,7 +21,9 @@ package parallel
 //     *worker help*, never progress.
 
 import (
+	"context"
 	"runtime"
+	"runtime/pprof"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -65,6 +67,11 @@ type ClientConfig struct {
 type Client struct {
 	s    *Scheduler
 	name string
+	// labelCtx carries the client's pprof goroutine labels
+	// (sched_client=name), pre-built at NewClient so the worker loop's
+	// label switch is a single SetGoroutineLabels call with no per-chunk
+	// allocation. Immutable after creation.
+	labelCtx context.Context
 
 	prio   atomic.Int32
 	vdelta atomic.Int64 // vUnit / weight
@@ -176,6 +183,11 @@ func (s *Scheduler) Workers() int { return s.size }
 // session ends.
 func (s *Scheduler) NewClient(cfg ClientConfig) *Client {
 	c := &Client{s: s, name: cfg.Name}
+	name := cfg.Name
+	if name == "" {
+		name = "default"
+	}
+	c.labelCtx = pprof.WithLabels(context.Background(), pprof.Labels("sched_client", name))
 	w := cfg.Weight
 	if w <= 0 {
 		w = 1
@@ -283,8 +295,13 @@ func dispatchBefore(a, b *job) bool {
 
 // worker is the loop of one pool goroutine: pick the fairest runnable job,
 // execute one chunk, re-pick — so a long job cannot monopolise a worker
-// while a lighter client waits.
+// while a lighter client waits. Stolen chunks run under the owning
+// client's pprof labels (sched_client=name), switched only when
+// consecutive chunks belong to different clients; chunks run inline on
+// the submitting goroutine inherit that goroutine's own labels (the
+// engine's session/stage), which is the sharper attribution.
 func (s *Scheduler) worker() {
+	var labeled *Client
 	s.mu.Lock()
 	for {
 		if s.closed {
@@ -297,6 +314,10 @@ func (s *Scheduler) worker() {
 			continue
 		}
 		s.mu.Unlock()
+		if c := j.c; c != labeled {
+			pprof.SetGoroutineLabels(c.labelCtx)
+			labeled = c
+		}
 		if !j.runChunk(true) {
 			s.dequeue(j)
 		}

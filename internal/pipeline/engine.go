@@ -1,7 +1,9 @@
 package pipeline
 
 import (
+	"context"
 	"fmt"
+	"runtime/pprof"
 	"sync"
 	"time"
 
@@ -314,11 +316,26 @@ func (e *engineRun) run(nFrames int) (*Result, error) {
 	}
 	var wg sync.WaitGroup
 
+	// Every stage goroutine runs under pprof labels
+	// (session=<Config.Session>, stage=<name>) so CPU and goroutine
+	// profiles attribute samples to sessions and stages; goroutines a
+	// stage spawns (the SR engine's, render's) inherit them. The measure
+	// stage runs on the caller's goroutine, so it uses pprof.Do to restore
+	// the caller's labels on return.
+	session := e.cfg.Session
+	if session == "" {
+		session = "pipeline"
+	}
+	stageLabels := func(stage string) context.Context {
+		return pprof.WithLabels(context.Background(), pprof.Labels("session", session, "stage", stage))
+	}
+
 	// Generator: the server stage produces jobs in frame order.
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
 		defer close(chans[0])
+		pprof.SetGoroutineLabels(stageLabels("server"))
 		for i := 0; i < nFrames; i++ {
 			t0 := time.Now()
 			job, err := e.serverFrame(i)
@@ -353,6 +370,7 @@ func (e *engineRun) run(nFrames int) (*Result, error) {
 		go func(st stage, in <-chan *FrameJob, out chan<- *FrameJob) {
 			defer wg.Done()
 			defer close(out)
+			pprof.SetGoroutineLabels(stageLabels(st.name))
 			for job := range in {
 				t0 := time.Now()
 				if err := st.fn(job); err != nil {
@@ -375,21 +393,23 @@ func (e *engineRun) run(nFrames int) (*Result, error) {
 	// in arrival order (= frame order, since every channel is FIFO and
 	// every stage is a single goroutine).
 	last := stages[len(stages)-1]
-	for job := range chans[len(chans)-1] {
-		t0 := time.Now()
-		if err := last.fn(job); err != nil {
-			e.fail(err)
-			break
+	pprof.Do(context.Background(), pprof.Labels("session", session, "stage", last.name), func(context.Context) {
+		for job := range chans[len(chans)-1] {
+			t0 := time.Now()
+			if err := last.fn(job); err != nil {
+				e.fail(err)
+				break
+			}
+			e.observeSpan(job.ID, last.name, last.span, t0)
+			// The job header is fully consumed; hand it back to the server
+			// stage (results hold their own copies of anything they keep).
+			*job = FrameJob{}
+			select {
+			case e.jobFree <- job:
+			default:
+			}
 		}
-		e.observeSpan(job.ID, last.name, last.span, t0)
-		// The job header is fully consumed; hand it back to the server
-		// stage (results hold their own copies of anything they keep).
-		*job = FrameJob{}
-		select {
-		case e.jobFree <- job:
-		default:
-		}
-	}
+	})
 	wg.Wait()
 	if e.err != nil {
 		return nil, e.err

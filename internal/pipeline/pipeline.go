@@ -138,6 +138,14 @@ type Config struct {
 	// implementations that keep it must copy. Tapping never alters
 	// results — the determinism tests run with a tap attached.
 	Tap PacketTap
+
+	// Session names this run in pprof goroutine labels: every stage
+	// goroutine (and anything it spawns) carries session=<Session>,
+	// stage=<server|client|measure>, so a CPU or goroutine profile of a
+	// multi-session process attributes samples to sessions (see
+	// internal/diag and DESIGN.md §16). Empty means "pipeline". Labels
+	// never alter results — the determinism tests run with them stamped.
+	Session string
 }
 
 // PacketTap receives the server stage's encoded output, frame by frame.

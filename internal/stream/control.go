@@ -5,10 +5,10 @@ import (
 	"encoding/hex"
 	"errors"
 	"io"
-	"log"
 	"os"
 	"time"
 
+	"gamestreamsr/internal/diag/logx"
 	"gamestreamsr/internal/telemetry"
 )
 
@@ -35,7 +35,7 @@ const (
 // replaces the raw SetWriteDeadline(…time.Second) calls that used to be
 // scattered across the server and silently discarded the error; timeout
 // <= 0 picks DefaultControlTimeout.
-func controlWrite(conn io.Writer, m *telemetry.Registry, timeout time.Duration, remote, what string, fn func() error) error {
+func controlWrite(conn io.Writer, m *telemetry.Registry, lg *logx.Logger, timeout time.Duration, remote, what string, fn func() error) error {
 	if timeout <= 0 {
 		timeout = DefaultControlTimeout
 	}
@@ -51,7 +51,8 @@ func controlWrite(conn io.Writer, m *telemetry.Registry, timeout time.Duration, 
 		m.Counter("stream_control_write_errors_total").Inc()
 		if errors.Is(err, os.ErrDeadlineExceeded) {
 			m.Counter("stream_control_write_deadline_total").Inc()
-			log.Printf("stream: %s write to %s timed out after %v (peer not reading)", what, remote, timeout)
+			lg.Warn("stream: control write timed out (peer not reading)",
+				"what", what, "session", remote, "timeout", timeout)
 		}
 	}
 	return err

@@ -5,14 +5,16 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"log"
 	"net"
 	"os"
+	"runtime/pprof"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"gamestreamsr/internal/diag"
+	"gamestreamsr/internal/diag/logx"
 	"gamestreamsr/internal/frame"
 	"gamestreamsr/internal/frametrace"
 	"gamestreamsr/internal/parallel"
@@ -187,6 +189,17 @@ type MultiServer struct {
 	// ControlTimeout bounds small control writes (rejects, byes, pongs);
 	// 0 picks DefaultControlTimeout.
 	ControlTimeout time.Duration
+	// Log receives the server's structured log lines (session lifecycle,
+	// shed transitions, rejects, reaps), each tagged with session / frame /
+	// flight fields. Nil uses logx.Default() — stderr, like the stdlib log
+	// package this replaces.
+	Log *logx.Logger
+	// Diag, when non-nil, is the SLO watchdog: sustained deadline-miss
+	// streaks, shed-ladder escalations, admission rejects and session reaps
+	// each ask it to freeze a capture bundle (profile ring + goroutine dump
+	// + flight trace + log ring); its cooldown turns those asks into at most
+	// one bundle per incident.
+	Diag *diag.Diag
 
 	mu       sync.Mutex
 	sessions map[net.Conn]*session
@@ -386,7 +399,8 @@ func (s *MultiServer) handleConn(conn net.Conn) {
 	case MsgSubscribe:
 		s.serveSubscriber(conn, *msg.Subscribe, tFirst)
 	default:
-		log.Printf("stream: %s opened with %v, want hello or subscribe", conn.RemoteAddr(), msg.Type)
+		s.Log.Warn("stream: bad opening message, want hello or subscribe",
+			"remote", conn.RemoteAddr().String(), "type", msg.Type)
 		conn.Close()
 	}
 }
@@ -407,7 +421,7 @@ func (s *MultiServer) rejectConn(conn net.Conn, ver int, rej Reject) {
 	if ver < ProtocolV4 {
 		rej.RetryAfterMs = 0
 	}
-	controlWrite(conn, s.Metrics, s.ControlTimeout, conn.RemoteAddr().String(), "reject", func() error {
+	controlWrite(conn, s.Metrics, s.Log, s.ControlTimeout, conn.RemoteAddr().String(), "reject", func() error {
 		return WriteReject(conn, rej)
 	})
 }
@@ -438,7 +452,7 @@ func (s *MultiServer) servePublisher(conn net.Conn, hello Hello, tHello time.Tim
 	if overCap {
 		s.ctrs.rejected.Inc()
 		s.ctrs.rejectedCap.Inc()
-		log.Printf("stream: rejecting %s: session limit %d reached", sess.remote, max)
+		s.Log.Warn("stream: rejecting session: capacity", "session", sess.remote, "limit", max)
 		s.rejectConn(conn, ver, Reject{
 			Code:         RejectCapacity,
 			Reason:       fmt.Sprintf("session limit %d reached", max),
@@ -456,8 +470,12 @@ func (s *MultiServer) servePublisher(conn net.Conn, hello Hello, tHello time.Tim
 			unregister()
 			s.ctrs.rejected.Inc()
 			s.ctrs.rejectedBusy.Inc()
-			log.Printf("stream: rejecting %s: no SLO headroom (windowed p99 %v over %d frames, deadline %v)",
-				sess.remote, p99, samples, deadline)
+			s.Log.Warn("stream: rejecting session: no SLO headroom",
+				"session", sess.remote, "p99", p99, "samples", samples, "deadline", deadline)
+			// An admission reject means the fleet is already missing its tail
+			// SLO — exactly the moment a postmortem bundle is worth freezing.
+			s.Diag.Trigger("admission_reject",
+				"session", sess.remote, "p99", p99, "samples", samples, "deadline", deadline)
 			s.rejectConn(conn, ver, Reject{
 				Code:         RejectBusy,
 				Reason:       fmt.Sprintf("no SLO headroom: p99 %v", p99.Round(time.Microsecond)),
@@ -477,7 +495,7 @@ func (s *MultiServer) servePublisher(conn net.Conn, hello Hello, tHello time.Tim
 		if token != "" {
 			if orig, ok := s.resumeIdentity(token); ok {
 				identity = orig
-				log.Printf("stream: %s resumed session of %s", sess.remote, identity)
+				s.Log.Info("stream: session resumed", "remote", sess.remote, "session", identity)
 			}
 		} else {
 			token = newResumeToken()
@@ -505,7 +523,8 @@ func (s *MultiServer) servePublisher(conn net.Conn, hello Hello, tHello time.Tim
 			if err != nil {
 				unregister()
 				s.ctrs.rejected.Inc()
-				log.Printf("stream: rejecting %s: channel %q: %v", sess.remote, hello.Channel, err)
+				s.Log.Warn("stream: rejecting session: channel unavailable",
+					"session", sess.remote, "channel", hello.Channel, "err", err)
 				s.rejectConn(conn, ver, Reject{
 					Code:   RejectChannelTaken,
 					Reason: fmt.Sprintf("channel %q already has a publisher", hello.Channel),
@@ -515,10 +534,10 @@ func (s *MultiServer) servePublisher(conn net.Conn, hello Hello, tHello time.Tim
 		}
 		ch.setResume(token, identity)
 		if resumed {
-			log.Printf("stream: %s reclaimed parked channel %q (%d spectators retained)",
-				sess.remote, hello.Channel, ch.Subscribers())
+			s.Log.Info("stream: parked channel reclaimed",
+				"session", sess.remote, "channel", hello.Channel, "spectators", ch.Subscribers())
 		} else {
-			log.Printf("stream: %s publishing channel %q", sess.remote, hello.Channel)
+			s.Log.Info("stream: publishing channel", "session", sess.remote, "channel", hello.Channel)
 		}
 	}
 	if s.Sched != nil {
@@ -539,8 +558,8 @@ func (s *MultiServer) servePublisher(conn net.Conn, hello Hello, tHello time.Tim
 				parked = ch.park()
 			}
 			if parked {
-				log.Printf("stream: channel %q parked after publisher %s dropped (%v)",
-					ch.Name(), sess.remote, sessErr)
+				s.Log.Warn("stream: channel parked after publisher dropped",
+					"channel", ch.Name(), "session", sess.remote, "err", sessErr)
 			} else {
 				ch.close(false)
 			}
@@ -615,6 +634,12 @@ func (s *MultiServer) serveSession(conn net.Conn, sess *session, hello Hello, tH
 	if ch != nil {
 		channel = ch.Name()
 	}
+	// Label this session's goroutine (and the read goroutine serveHello
+	// spawns from it) so CPU profiles attribute frame production and sends
+	// to the session identity. The goroutine is per-connection and exits
+	// right after, so there is nothing to restore.
+	pprof.SetGoroutineLabels(pprof.WithLabels(context.Background(),
+		pprof.Labels("session", identity, "stage", "publish", "channel", channel)))
 	rec := s.beginFlight(identity, channel, false)
 	sess.rec = rec
 	var src FrameSource
@@ -627,13 +652,15 @@ func (s *MultiServer) serveSession(conn net.Conn, sess *session, hello Hello, tH
 			rec:         rec,
 			pol:         s.Shed.withDefaults(),
 			remote:      remote,
+			log:         s.Log,
+			diag:        s.Diag,
 			escalations: s.Metrics.Counter("stream_shed_escalations_total"),
 			recoveries:  s.Metrics.Counter("stream_shed_recoveries_total"),
 		}
 		sess.shed = shed
 		source = shed
 	}
-	sink := &statsSink{metrics: s.Metrics, remote: identity, rec: rec}
+	sink := &statsSink{metrics: s.Metrics, remote: identity, rec: rec, log: s.Log}
 	opt := ServerOptions{
 		Accept:         s.Accept,
 		MaxFrames:      s.MaxFrames,
@@ -643,8 +670,12 @@ func (s *MultiServer) serveSession(conn net.Conn, sess *session, hello Hello, tH
 		ResumeToken:    token,
 		IdleTimeout:    s.idleTimeout(),
 		ControlTimeout: s.ControlTimeout,
-		Source:         source,
-		OnStats:        sink.handle,
+		Log:            s.Log,
+		OnReap: func(idle time.Duration) {
+			s.Diag.Trigger("session_reaped", "session", identity, "channel", channel, "idle", idle)
+		},
+		Source:  source,
+		OnStats: sink.handle,
 		OnInput: func(in InputPacket) {
 			if s.OnInput != nil {
 				s.OnInput(remote, in)
@@ -670,8 +701,9 @@ func (s *MultiServer) serveSession(conn net.Conn, sess *session, hello Hello, tH
 	if sess.client != nil {
 		st := sess.client.Stats()
 		if st.Jobs > 0 {
-			log.Printf("stream: session %s scheduler: %d jobs, %d chunks (%d stolen), queue-wait %v",
-				remote, st.Jobs, st.Chunks, st.Stolen, st.StolenWait.Round(time.Microsecond))
+			s.Log.Info("stream: session scheduler stats", "session", remote,
+				"jobs", st.Jobs, "chunks", st.Chunks, "stolen", st.Stolen,
+				"queue_wait", st.StolenWait.Round(time.Microsecond))
 		}
 	}
 	s.endFlight(identity)
@@ -696,14 +728,14 @@ func (s *MultiServer) serveSubscriber(conn net.Conn, sub Subscribe, tSub time.Ti
 	}
 	if ch == nil {
 		s.ctrs.subsRejected.Inc()
-		log.Printf("stream: rejecting spectator %s: no channel %q", remote, sub.Channel)
+		s.Log.Warn("stream: rejecting spectator: unknown channel", "session", remote, "channel", sub.Channel)
 		s.rejectConn(conn, ver, Reject{Code: RejectUnknownChannel, Reason: fmt.Sprintf("no publisher on channel %q", sub.Channel)})
 		return
 	}
 	subr, err := ch.Subscribe(remote)
 	if err != nil {
 		s.ctrs.subsRejected.Inc()
-		log.Printf("stream: rejecting spectator %s on %q: %v", remote, sub.Channel, err)
+		s.Log.Warn("stream: rejecting spectator", "session", remote, "channel", sub.Channel, "err", err)
 		rej := Reject{Code: RejectUnknownChannel, Reason: err.Error()}
 		if errors.Is(err, errSubscriberCap) {
 			rej.Code = RejectCapacity
@@ -728,7 +760,11 @@ func (s *MultiServer) serveSubscriber(conn net.Conn, sub Subscribe, tSub time.Ti
 	}
 	conn.SetWriteDeadline(time.Time{})
 	s.ctrs.subsAccepted.Inc()
-	log.Printf("stream: %s spectating channel %q (protocol v%d)", remote, sub.Channel, ver)
+	s.Log.Info("stream: spectator attached", "session", remote, "channel", sub.Channel, "protocol", ver)
+	// Label the writer goroutine (and the read goroutine spawned below) so
+	// relay fan-out CPU shows up against the spectator's identity.
+	pprof.SetGoroutineLabels(pprof.WithLabels(context.Background(),
+		pprof.Labels("session", remote, "stage", "subscribe", "channel", sub.Channel)))
 	var client *parallel.Client
 	if s.Sched != nil {
 		// Spectators only cost relay writes today, but registering them at
@@ -738,7 +774,7 @@ func (s *MultiServer) serveSubscriber(conn net.Conn, sub Subscribe, tSub time.Ti
 	}
 	_ = client
 	rec := s.beginFlight(remote, sub.Channel, true)
-	sink := &statsSink{metrics: s.Metrics, remote: remote, rec: rec}
+	sink := &statsSink{metrics: s.Metrics, remote: remote, rec: rec, log: s.Log}
 	defer func() {
 		sink.close()
 		s.endFlight(remote)
@@ -766,8 +802,9 @@ func (s *MultiServer) serveSubscriber(conn net.Conn, sub Subscribe, tSub time.Ti
 			if err != nil {
 				if liveness && errors.Is(err, os.ErrDeadlineExceeded) {
 					s.Metrics.Counter("stream_sessions_reaped_total").Inc()
-					log.Printf("stream: reaping spectator %s on %q: no traffic (not even a heartbeat) for %v",
-						remote, sub.Channel, idle)
+					s.Log.Warn("stream: reaping spectator: no traffic (not even a heartbeat)",
+						"session", remote, "channel", sub.Channel, "idle", idle)
+					s.Diag.Trigger("session_reaped", "session", remote, "channel", sub.Channel, "idle", idle)
 					conn.Close()
 				}
 				return
@@ -779,7 +816,7 @@ func (s *MultiServer) serveSubscriber(conn net.Conn, sub Subscribe, tSub time.Ti
 				s.Metrics.Counter("stream_pings_total").Inc()
 				ping := *msg.Ping
 				sendMu.Lock()
-				werr := controlWrite(conn, s.Metrics, s.ControlTimeout, remote, "pong", func() error {
+				werr := controlWrite(conn, s.Metrics, s.Log, s.ControlTimeout, remote, "pong", func() error {
 					return WritePong(conn, PongPacket{Seq: ping.Seq, EchoUnixMicro: ping.SendUnixMicro})
 				})
 				sendMu.Unlock()
@@ -838,13 +875,14 @@ func (s *MultiServer) serveSubscriber(conn net.Conn, sub Subscribe, tSub time.Ti
 		// Clean goodbye — including to an evicted reader, whose socket may
 		// still accept one small control message even while frames back up.
 		sendMu.Lock()
-		controlWrite(conn, s.Metrics, s.ControlTimeout, remote, "bye", func() error {
+		controlWrite(conn, s.Metrics, s.Log, s.ControlTimeout, remote, "bye", func() error {
 			return WriteBye(conn)
 		})
 		sendMu.Unlock()
 	}
 	if subr.Evicted() {
-		log.Printf("stream: spectator %s evicted from %q (stalled past drop-to-keyframe)", remote, sub.Channel)
+		s.Log.Warn("stream: spectator evicted (stalled past drop-to-keyframe)",
+			"session", remote, "channel", sub.Channel)
 	}
 	conn.Close()
 	<-readDone
@@ -863,6 +901,7 @@ type statsSink struct {
 	metrics *telemetry.Registry
 	remote  string
 	rec     *frametrace.Recorder
+	log     *logx.Logger
 
 	mu                      sync.Mutex
 	closed                  bool
@@ -923,9 +962,10 @@ func (k *statsSink) handle(st StatsPacket) {
 	k.rec.SetClientStats(k.rec.LastID(), st.AgeP99, st.Dropped, st.Misses)
 	if !k.seen {
 		k.seen = true
-		log.Printf("stream: %s backchannel up: e2e age p50 %v p99 %v, decode p99 %v, sr p99 %v (%d frames)",
-			k.remote, st.AgeP50.Round(time.Microsecond), st.AgeP99.Round(time.Microsecond),
-			st.DecodeP99.Round(time.Microsecond), st.SRP99.Round(time.Microsecond), st.WindowFrames)
+		k.log.Info("stream: backchannel up", "session", k.remote,
+			"age_p50", st.AgeP50.Round(time.Microsecond), "age_p99", st.AgeP99.Round(time.Microsecond),
+			"decode_p99", st.DecodeP99.Round(time.Microsecond), "sr_p99", st.SRP99.Round(time.Microsecond),
+			"frames", st.WindowFrames)
 	}
 }
 
@@ -954,6 +994,8 @@ type shedSource struct {
 	rec    *frametrace.Recorder
 	pol    ShedPolicy
 	remote string
+	log    *logx.Logger
+	diag   *diag.Diag
 
 	level atomic.Int32
 	arm   int64 // next escalation requires a streak >= arm
@@ -961,6 +1003,13 @@ type shedSource struct {
 
 	escalations, recoveries *telemetry.Counter
 }
+
+// shedLogLimit rate-limits the per-session shed-transition log lines: a
+// session oscillating at the capacity edge climbs and descends repeatedly,
+// and each transition is one line — the limiter keeps a flapping ladder
+// from flooding the log while the suppressed count still records how often
+// it flapped.
+var shedLogLimit = logx.NewLimiter(1, 4)
 
 // Level returns the session's current shed-ladder level.
 func (ss *shedSource) Level() int { return int(ss.level.Load()) }
@@ -996,6 +1045,11 @@ func (ss *shedSource) evaluate(i int) {
 		// instead of one rung per frame.
 		ss.arm = streak + int64(ss.pol.EscalateStreak)
 		ss.escalations.Inc()
+		// A climb means sustained misses despite the previous level's
+		// relief — worth a capture bundle (the diag cooldown dedupes the
+		// rungs of one incident into a single bundle).
+		ss.diag.Trigger("shed_escalation",
+			"session", ss.remote, "level", level+1, "frame", i, "streak", streak)
 	}
 }
 
@@ -1011,8 +1065,14 @@ func (ss *shedSource) setLevel(i, level int) {
 			ss.client.SetPriority(parallel.Normal)
 		}
 	}
-	log.Printf("stream: shed %s: level %d -> %d at frame %d (flight id %d, miss streak %d)",
-		ss.remote, old, level, i, ss.rec.LastID(), ss.rec.MissStreak())
+	if ok, suppressed := shedLogLimit.Allow("shed:" + ss.remote); ok {
+		kv := []any{"session", ss.remote, "from", old, "to", level, "frame", i,
+			"flight", ss.rec.LastID(), "streak", ss.rec.MissStreak()}
+		if suppressed > 0 {
+			kv = append(kv, "suppressed", suppressed)
+		}
+		ss.log.Warn("stream: shed level change", kv...)
+	}
 }
 
 // beginFlight attaches a flight recorder to a new session (nil when
@@ -1028,7 +1088,30 @@ func (s *MultiServer) beginFlight(remote, channel string, spectator bool) *frame
 	s.mu.Lock()
 	streaks := s.streaks
 	s.mu.Unlock()
-	rec := frametrace.New(frametrace.Config{Frames: s.FlightFrames, Deadline: s.Deadline, Metrics: s.Metrics, Streaks: streaks})
+	cfg := frametrace.Config{Frames: s.FlightFrames, Deadline: s.Deadline, Metrics: s.Metrics, Streaks: streaks}
+	var rec *frametrace.Recorder
+	if s.Diag != nil && !spectator {
+		// The SLO watchdog: a sustained deadline-miss streak on a player
+		// session freezes a capture bundle with the triggering frames still
+		// in the flight window. The threshold tracks the shed ladder's
+		// escalation streak so a bundle lands exactly when shedding starts;
+		// Diag's cooldown turns a 100-frame streak (one OnMiss per frame)
+		// into one bundle, not a capture storm. rec is captured by the
+		// closure before New assigns it; OnMiss only fires from
+		// ObserveDeadline calls on the constructed recorder.
+		threshold := int64(ShedPolicy{}.withDefaults().EscalateStreak)
+		if s.Shed != nil {
+			threshold = int64(s.Shed.withDefaults().EscalateStreak)
+		}
+		cfg.OnMiss = func(id uint64, slack time.Duration) {
+			// MissStreak already counts the miss that fired this callback.
+			if streak := rec.MissStreak(); streak >= threshold {
+				s.Diag.Trigger("miss_streak",
+					"session", remote, "channel", channel, "streak", streak, "flight", id, "slack", slack)
+			}
+		}
+	}
+	rec = frametrace.New(cfg)
 	retain := s.FlightRetain
 	if retain <= 0 {
 		retain = retiredFlights

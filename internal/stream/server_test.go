@@ -6,14 +6,13 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"log"
 	"net"
-	"os"
 	"strings"
 	"sync"
 	"testing"
 	"time"
 
+	"gamestreamsr/internal/diag/logx"
 	"gamestreamsr/internal/frame"
 	"gamestreamsr/internal/frametrace"
 	"gamestreamsr/internal/parallel"
@@ -422,9 +421,10 @@ func TestMultiServerFlightRetention(t *testing.T) {
 // flight frame ID (the log line is the server-side correlation handle).
 func TestServeFlightAndSlowSendLog(t *testing.T) {
 	rec := frametrace.New(frametrace.Config{Frames: 8})
-	var logBuf bytes.Buffer
-	log.SetOutput(&logBuf)
-	defer log.SetOutput(os.Stderr)
+	lg := logx.New(logx.Config{Out: io.Discard, Ring: 64})
+	// The slow-send limiter buckets are keyed by remote and live for the
+	// whole process; a unique remote per run keeps -count=N runs fresh.
+	remote := fmt.Sprintf("test-peer-%d", time.Now().UnixNano())
 
 	server, client := net.Pipe()
 	defer client.Close()
@@ -435,7 +435,8 @@ func TestServeFlightAndSlowSendLog(t *testing.T) {
 			Source:   &countingSource{n: 3},
 			Flight:   rec,
 			SlowSend: time.Nanosecond, // every send is an outlier
-			Remote:   "test-peer",
+			Remote:   remote,
+			Log:      lg,
 		})
 	}()
 	c := NewClient(client)
@@ -456,15 +457,19 @@ func TestServeFlightAndSlowSendLog(t *testing.T) {
 	if len(d.Frames) != 3 {
 		t.Fatalf("recorder holds %d frames, want 3", len(d.Frames))
 	}
-	logs := logBuf.String()
+	var logs strings.Builder
+	for _, e := range lg.Recent(0) {
+		logs.WriteString(e.Line)
+		logs.WriteByte('\n')
+	}
 	for _, f := range d.Frames {
-		want := fmt.Sprintf("flight id %d", f.ID)
-		if !strings.Contains(logs, want) {
-			t.Errorf("slow-send log missing %q:\n%s", want, logs)
+		want := fmt.Sprintf("flight=%d", f.ID)
+		if !strings.Contains(logs.String(), want) {
+			t.Errorf("slow-send log missing %q:\n%s", want, logs.String())
 		}
 	}
-	if !strings.Contains(logs, "slow send to test-peer") {
-		t.Errorf("slow-send log missing the remote tag:\n%s", logs)
+	if !strings.Contains(logs.String(), "slow send session="+remote) {
+		t.Errorf("slow-send log missing the remote tag:\n%s", logs.String())
 	}
 }
 

@@ -4,12 +4,12 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"log"
 	"os"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"gamestreamsr/internal/diag/logx"
 	"gamestreamsr/internal/frame"
 	"gamestreamsr/internal/frametrace"
 	"gamestreamsr/internal/telemetry"
@@ -73,6 +73,14 @@ type ServerOptions struct {
 	// ControlTimeout bounds small control writes (reject, bye, pong);
 	// <= 0 picks DefaultControlTimeout.
 	ControlTimeout time.Duration
+	// Log receives the session's structured log lines (slow sends, reaps,
+	// session-end diagnosis), tagged with session/frame/flight fields. Nil
+	// uses logx.Default().
+	Log *logx.Logger
+	// OnReap, if non-nil, is called when read-side liveness reaps the
+	// session (no traffic for IdleTimeout) — MultiServer wires it to the
+	// diag watchdog so a reap freezes a capture bundle.
+	OnReap func(idle time.Duration)
 	// Tap, if non-nil, observes every outgoing frame packet after its
 	// flight identity is assigned and before it hits the socket — the
 	// relay's encode-once fan-out point. The packet's payload is only
@@ -84,6 +92,12 @@ type ServerOptions struct {
 // three 60 FPS frame budgets — a send this slow means the link, not the
 // encoder, is pacing the stream.
 const DefaultSlowSend = 50 * time.Millisecond
+
+// slowSendLimit rate-limits the per-session slow-send log lines: a stalled
+// socket makes EVERY send slow, and one line per frame at 60 FPS is a log
+// flood that buries the signal. The allowed lines carry a suppressed=N
+// field so the flood's size survives the limiting.
+var slowSendLimit = logx.NewLimiter(1, 3)
 
 // Serve runs one server session over conn: handshake, then frames until the
 // source is exhausted, then Bye. Client input arriving during the stream is
@@ -117,7 +131,7 @@ func serveHello(conn io.ReadWriter, hello Hello, tHello time.Time, opt ServerOpt
 		if err := opt.Validate(hello); err != nil {
 			// Tell the client why before closing — a silent close is
 			// indistinguishable from a network fault on their side.
-			controlWrite(conn, opt.Metrics, opt.ControlTimeout, opt.Remote, "reject", func() error {
+			controlWrite(conn, opt.Metrics, opt.Log, opt.ControlTimeout, opt.Remote, "reject", func() error {
 				return WriteReject(conn, Reject{Code: RejectBadHello, Reason: err.Error()})
 			})
 			return fmt.Errorf("stream: rejecting client: %w", err)
@@ -170,7 +184,11 @@ func serveHello(conn io.ReadWriter, hello Hello, tHello time.Time, opt ServerOpt
 			if err != nil {
 				if liveness && errors.Is(err, os.ErrDeadlineExceeded) {
 					opt.Metrics.Counter("stream_sessions_reaped_total").Inc()
-					log.Printf("stream: reaping %s: no traffic (not even a heartbeat) for %v", opt.Remote, opt.IdleTimeout)
+					opt.Log.Warn("stream: reaping session: no traffic (not even a heartbeat)",
+						"session", opt.Remote, "idle", opt.IdleTimeout)
+					if opt.OnReap != nil {
+						opt.OnReap(opt.IdleTimeout)
+					}
 					if c, ok := conn.(io.Closer); ok {
 						c.Close()
 					}
@@ -190,7 +208,7 @@ func serveHello(conn io.ReadWriter, hello Hello, tHello time.Time, opt ServerOpt
 				opt.Metrics.Counter("stream_pings_total").Inc()
 				ping := *m.Ping
 				sendMu.Lock()
-				err := controlWrite(conn, opt.Metrics, opt.ControlTimeout, opt.Remote, "pong", func() error {
+				err := controlWrite(conn, opt.Metrics, opt.Log, opt.ControlTimeout, opt.Remote, "pong", func() error {
 					return WritePong(conn, PongPacket{Seq: ping.Seq, EchoUnixMicro: ping.SendUnixMicro})
 				})
 				sendMu.Unlock()
@@ -270,8 +288,14 @@ func serveHello(conn io.ReadWriter, hello Hello, tHello time.Time, opt ServerOpt
 		latScratch[1] = frametrace.StageLatency{Name: "send", D: d}
 		opt.Flight.ObserveDeadline(fid, latScratch[:])
 		if slowSend > 0 && d > slowSend {
-			log.Printf("stream: slow send to %s: frame %d (flight id %d) took %v (%d B, RoI %dx%d)",
-				opt.Remote, i, fid, d, len(payload), roi.W, roi.H)
+			if ok, suppressed := slowSendLimit.Allow("slow_send:" + opt.Remote); ok {
+				kv := []any{"session", opt.Remote, "frame", i, "flight", fid, "took", d,
+					"bytes", len(payload), "roi_w", roi.W, "roi_h", roi.H}
+				if suppressed > 0 {
+					kv = append(kv, "suppressed", suppressed)
+				}
+				opt.Log.Warn("stream: slow send", kv...)
+			}
 		}
 		sendLat.ObserveDuration(d)
 		framesSent.Inc()
@@ -288,9 +312,9 @@ func serveHello(conn io.ReadWriter, hello Hello, tHello time.Time, opt ServerOpt
 	// log line tells them apart so session logs are diagnosable.
 	if opt.Remote != "" && sendErr != nil {
 		if clientBye.Load() {
-			log.Printf("stream: session %s: client closed cleanly (bye received)", opt.Remote)
+			opt.Log.Info("stream: client closed cleanly (bye received)", "session", opt.Remote)
 		} else {
-			log.Printf("stream: session %s: ended without bye: %v", opt.Remote, sendErr)
+			opt.Log.Warn("stream: session ended without bye", "session", opt.Remote, "err", sendErr)
 		}
 	}
 	// The read goroutine exits when the client sends Bye or the caller

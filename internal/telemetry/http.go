@@ -25,8 +25,9 @@ type FlightDumper interface {
 // The handler is safe with a nil registry (it serves empty snapshots), so
 // callers can register it unconditionally and flip telemetry on later.
 // flight optionally wires the /debug/flight source; when several are given
-// the first non-nil one serves the endpoint.
-func Handler(r *Registry, flight ...FlightDumper) http.Handler {
+// the first non-nil one serves the endpoint. The concrete mux is returned
+// so callers can mount additional debug endpoints (e.g. /debug/diag).
+func Handler(r *Registry, flight ...FlightDumper) *http.ServeMux {
 	var fd FlightDumper
 	for _, f := range flight {
 		if f != nil {
